@@ -1,0 +1,339 @@
+//! The histogram application (§1, §4.1; Figures 6, 7, 8).
+//!
+//! "The input is a set of random integers chosen uniformly from a certain
+//! range ... The output is an array of bins, where each bin holds the count
+//! of the number of elements from the dataset that mapped into it. The
+//! number of bins in our experiments matches the input range."
+
+use sa_core::NodeMemSys;
+use sa_core::ScatterKernel;
+use sa_proc::{AccessPattern, ExecReport, Executor, OpId, StreamOp, StreamProgram};
+use sa_sim::{Addr, MachineConfig, Rng64};
+use sa_sw::{build_privatization, build_sort_scan, SortScanLayout, DEFAULT_BATCH, DEFAULT_TILE};
+
+use crate::layout;
+
+/// Elements processed per software-pipelined stage of the hardware version.
+/// Scatter-adds are atomic, so stages need no cross-batch ordering; batching
+/// exists purely to overlap the gather of stage `i+1` with the scatter-add
+/// of stage `i`.
+pub const HW_STAGE: usize = 2048;
+
+/// The map kernel of the histogram (computing each element's bin): trivial
+/// per-element work.
+const MAP_OPS_PER_ELEMENT: u64 = 2;
+const MAP_SRF_WORDS_PER_ELEMENT: u64 = 2;
+
+/// A histogram problem instance.
+#[derive(Clone, Debug)]
+pub struct HistogramInput {
+    /// The dataset: each element is already its bin index (the identity
+    /// mapping of the paper's experiments).
+    pub data: Vec<u64>,
+    /// Number of bins (equal to the input range).
+    pub range: u64,
+}
+
+impl HistogramInput {
+    /// Uniform random dataset of `n` elements over `range` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is zero.
+    pub fn uniform(n: usize, range: u64, seed: u64) -> HistogramInput {
+        assert!(range > 0, "need at least one bin");
+        let mut rng = Rng64::new(seed);
+        HistogramInput {
+            data: (0..n).map(|_| rng.below(range)).collect(),
+            range,
+        }
+    }
+
+    /// Zipf-distributed dataset of `n` elements over `range` bins with
+    /// exponent `s` — a skewed workload for studying the combining store
+    /// and hot-bank behaviour between the uniform (Figure 7 mid-range) and
+    /// single-bin (Figure 7 left edge) extremes. `s = 0` is uniform;
+    /// `s ≈ 1` is classic Zipf; larger `s` concentrates harder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is zero or `s` is negative/non-finite.
+    pub fn zipf(n: usize, range: u64, s: f64, seed: u64) -> HistogramInput {
+        assert!(range > 0, "need at least one bin");
+        assert!(s.is_finite() && s >= 0.0, "invalid Zipf exponent");
+        let mut rng = Rng64::new(seed);
+        // Inverse-CDF sampling over the (finite) Zipf weights.
+        let weights: Vec<f64> = (1..=range).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(range as usize);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let data = (0..n)
+            .map(|_| {
+                let u = rng.next_f64();
+                cdf.partition_point(|&c| c < u).min(range as usize - 1) as u64
+            })
+            .collect();
+        HistogramInput { data, range }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The scalar reference histogram.
+    pub fn reference(&self) -> Vec<i64> {
+        let mut bins = vec![0i64; self.range as usize];
+        for &d in &self.data {
+            bins[d as usize] += 1;
+        }
+        bins
+    }
+
+    /// The scatter kernel this histogram performs.
+    pub fn kernel(&self) -> ScatterKernel {
+        ScatterKernel::histogram(layout::RESULT_BASE, self.data.clone())
+    }
+}
+
+/// A timed run of one histogram variant.
+#[derive(Debug)]
+pub struct HistogramRun {
+    /// Executor report (cycles, FP ops, memory references).
+    pub report: ExecReport,
+    /// The computed bins, extracted from simulated memory.
+    pub bins: Vec<i64>,
+}
+
+impl HistogramRun {
+    /// Execution time in microseconds at 1 GHz (Figures 6–8 y-axis).
+    pub fn micros(&self) -> f64 {
+        self.report.micros()
+    }
+}
+
+fn fresh_node(cfg: &MachineConfig, input: &HistogramInput) -> NodeMemSys {
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    let data_i64: Vec<i64> = input.data.iter().map(|&d| d as i64).collect();
+    node.store_mut()
+        .load_i64(Addr::from_word_index(layout::INPUT_BASE), &data_i64);
+    node
+}
+
+fn finish(cfg: &MachineConfig, prog: &StreamProgram, input: &HistogramInput) -> HistogramRun {
+    let mut node = fresh_node(cfg, input);
+    let report = Executor::new(*cfg).run(prog, &mut node);
+    let bins = node.store().extract_i64(
+        Addr::from_word_index(layout::RESULT_BASE),
+        input.range as usize,
+    );
+    HistogramRun { report, bins }
+}
+
+/// Build the hardware-scatter-add stream program:
+/// `gather → map → scatterAdd(bins, data, 1)` in pipelined stages (§3.2's
+/// histogram walk-through).
+pub fn build_hw_program(input: &HistogramInput) -> StreamProgram {
+    let mut prog = StreamProgram::new();
+    let mut prev_gather: Option<OpId> = None;
+    let n = input.data.len();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + HW_STAGE).min(n);
+        let b = (end - start) as u64;
+        let deps: Vec<OpId> = prev_gather.into_iter().collect();
+        let gather = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT_BASE + start as u64,
+                n: b,
+            }),
+            &deps,
+        );
+        prev_gather = Some(gather);
+        let map = prog.add(
+            StreamOp::kernel("map", b, 0, MAP_OPS_PER_ELEMENT, MAP_SRF_WORDS_PER_ELEMENT),
+            &[gather],
+        );
+        prog.add(
+            StreamOp::scatter_add_i64(
+                AccessPattern::Indexed {
+                    base_word: layout::RESULT_BASE,
+                    indices: input.data[start..end].to_vec(),
+                },
+                &vec![1i64; end - start],
+            ),
+            &[map],
+        );
+        start = end;
+    }
+    prog
+}
+
+/// Run the hardware scatter-add histogram.
+pub fn run_hw(cfg: &MachineConfig, input: &HistogramInput) -> HistogramRun {
+    finish(cfg, &build_hw_program(input), input)
+}
+
+/// Run the sort + segmented-scan software histogram (the Figure 6/7
+/// baseline) with the given batch size (the paper's optimum is
+/// [`DEFAULT_BATCH`] = 256).
+pub fn run_sort_scan(cfg: &MachineConfig, input: &HistogramInput, batch: usize) -> HistogramRun {
+    let kernel = input.kernel();
+    let prog = build_sort_scan(
+        &kernel,
+        &SortScanLayout {
+            idx_base: layout::INPUT_BASE,
+            val_base: None,
+        },
+        batch,
+    );
+    finish(cfg, &prog, input)
+}
+
+/// Run the sort + scan baseline at its default batch size.
+pub fn run_sort_scan_default(cfg: &MachineConfig, input: &HistogramInput) -> HistogramRun {
+    run_sort_scan(cfg, input, DEFAULT_BATCH)
+}
+
+/// Run the privatization software histogram (the Figure 8 baseline) with
+/// the given register-tile size.
+pub fn run_privatization(cfg: &MachineConfig, input: &HistogramInput, tile: usize) -> HistogramRun {
+    let kernel = input.kernel();
+    let prog = build_privatization(&kernel, layout::INPUT_BASE, input.range as usize, tile);
+    finish(cfg, &prog, input)
+}
+
+/// Run privatization at its default tile size.
+pub fn run_privatization_default(cfg: &MachineConfig, input: &HistogramInput) -> HistogramRun {
+    run_privatization(cfg, input, DEFAULT_TILE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::merrimac()
+    }
+
+    #[test]
+    fn hw_histogram_is_exact() {
+        let input = HistogramInput::uniform(2000, 512, 1);
+        let run = run_hw(&cfg(), &input);
+        assert_eq!(run.bins, input.reference());
+        assert!(run.micros() > 0.0);
+    }
+
+    #[test]
+    fn sort_scan_histogram_is_exact() {
+        let input = HistogramInput::uniform(1000, 128, 2);
+        let run = run_sort_scan_default(&cfg(), &input);
+        assert_eq!(run.bins, input.reference());
+    }
+
+    #[test]
+    fn privatization_histogram_is_exact() {
+        let input = HistogramInput::uniform(500, 64, 3);
+        let run = run_privatization_default(&cfg(), &input);
+        assert_eq!(run.bins, input.reference());
+    }
+
+    #[test]
+    fn hardware_beats_software_baselines() {
+        // The headline of Figures 6 and 8.
+        let input = HistogramInput::uniform(4096, 2048, 4);
+        let hw = run_hw(&cfg(), &input);
+        let sw = run_sort_scan_default(&cfg(), &input);
+        let pv = run_privatization_default(&cfg(), &input);
+        assert!(
+            sw.report.cycles > 2 * hw.report.cycles,
+            "sort&scan {} vs hw {}",
+            sw.report.cycles,
+            hw.report.cycles
+        );
+        assert!(
+            pv.report.cycles > 5 * hw.report.cycles,
+            "privatization {} vs hw {} at a large range",
+            pv.report.cycles,
+            hw.report.cycles
+        );
+    }
+
+    #[test]
+    fn hw_scaling_is_linear_in_n() {
+        // Figure 6: O(n) scaling for both mechanisms. Sizes must be large
+        // enough that fixed stream/kernel startup costs are amortized.
+        let small = run_hw(&cfg(), &HistogramInput::uniform(4096, 2048, 5));
+        let large = run_hw(&cfg(), &HistogramInput::uniform(16_384, 2048, 5));
+        let ratio = large.report.cycles as f64 / small.report.cycles as f64;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "4× data should cost ~4× time, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn hw_program_has_no_cross_stage_scatter_dependencies() {
+        // Atomicity means scatter-add stages never wait on each other —
+        // only on their own map kernel.
+        let input = HistogramInput::uniform(3 * HW_STAGE, 64, 6);
+        let prog = build_hw_program(&input);
+        for (id, op, deps) in prog.iter() {
+            if matches!(op, StreamOp::ScatterAdd { .. }) {
+                assert_eq!(deps.len(), 1, "scatter-add op {id} should have 1 dep");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass() {
+        let uniform = HistogramInput::uniform(4000, 256, 7);
+        let skewed = HistogramInput::zipf(4000, 256, 1.2, 7);
+        let top = |h: &[i64]| {
+            let mut s: Vec<i64> = h.to_vec();
+            s.sort_unstable_by(|a, b| b.cmp(a));
+            s[..8].iter().sum::<i64>()
+        };
+        let tu = top(&uniform.reference());
+        let ts = top(&skewed.reference());
+        assert!(
+            ts > 3 * tu,
+            "Zipf top-8 bins ({ts}) should dominate uniform ({tu})"
+        );
+        // All implementations stay exact on skewed data.
+        let run = run_hw(&cfg(), &skewed);
+        assert_eq!(run.bins, skewed.reference());
+    }
+
+    #[test]
+    fn skew_slows_the_hardware_gracefully() {
+        // More skew → longer same-address chains → slower, but bounded by
+        // the single-bin worst case.
+        let n = 4096;
+        let uni = run_hw(&cfg(), &HistogramInput::uniform(n, 1024, 8));
+        let zpf = run_hw(&cfg(), &HistogramInput::zipf(n, 1024, 1.5, 8));
+        let hot = run_hw(&cfg(), &HistogramInput::uniform(n, 1, 8));
+        assert!(zpf.report.cycles >= uni.report.cycles);
+        assert!(zpf.report.cycles <= hot.report.cycles);
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = HistogramInput {
+            data: vec![],
+            range: 8,
+        };
+        assert!(input.is_empty());
+        let run = run_hw(&cfg(), &input);
+        assert_eq!(run.bins, vec![0; 8]);
+    }
+}

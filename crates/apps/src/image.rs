@@ -1,0 +1,375 @@
+//! Histogram equalization — the signal/image-processing motivation of the
+//! paper's introduction ("histograms are commonly used in signal and image
+//! processing applications to perform equalization and active
+//! thresholding").
+//!
+//! The classic pipeline, each stage on the simulated machine:
+//!
+//! 1. **histogram** of the pixel levels — a scatter-add (§1's example);
+//! 2. **cumulative distribution** over the 256 bins — a prefix sum, run on
+//!    the hardware scan engine of [`sa_core::scan`] (the §5 extension) or
+//!    as a software kernel;
+//! 3. **remap** — build the equalization lookup table and gather-map every
+//!    pixel through it.
+//!
+//! Both an all-hardware and an all-software variant are provided, checked
+//! against a scalar reference.
+
+use sa_core::{drive_scan, NodeMemSys};
+use sa_proc::{AccessPattern, ExecReport, Executor, StreamOp, StreamProgram};
+use sa_sim::{Addr, MachineConfig, Rng64, ScalarKind};
+use sa_sw::{build_sort_scan, SortScanLayout, DEFAULT_BATCH};
+
+use crate::histogram::HW_STAGE;
+use crate::layout;
+
+/// Grey levels.
+pub const LEVELS: usize = 256;
+
+/// A synthetic low-contrast greyscale image.
+#[derive(Clone, Debug)]
+pub struct GreyImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel levels in `0..LEVELS`.
+    pub pixels: Vec<u8>,
+}
+
+impl GreyImage {
+    /// Generate a low-contrast image (levels concentrated in a narrow band,
+    /// so equalization visibly stretches the range): a smooth gradient plus
+    /// film-grain noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> GreyImage {
+        assert!(width > 0 && height > 0, "empty image");
+        let mut rng = Rng64::new(seed);
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                // Gradient across the diagonal, squeezed into [96, 160).
+                let g = (x + y) as f64 / (width + height) as f64;
+                let noise = rng.range_f64(-8.0, 8.0);
+                let level = (96.0 + g * 64.0 + noise).clamp(0.0, 255.0);
+                pixels.push(level as u8);
+            }
+        }
+        GreyImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Whether the image has no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Histogram of the grey levels.
+    pub fn histogram(&self) -> Vec<i64> {
+        let mut h = vec![0i64; LEVELS];
+        for &p in &self.pixels {
+            h[p as usize] += 1;
+        }
+        h
+    }
+
+    /// The level range actually used (min, max).
+    pub fn dynamic_range(&self) -> (u8, u8) {
+        let min = self.pixels.iter().copied().min().unwrap_or(0);
+        let max = self.pixels.iter().copied().max().unwrap_or(0);
+        (min, max)
+    }
+}
+
+/// Scalar reference equalization (the textbook formula).
+pub fn equalize_reference(img: &GreyImage) -> Vec<u8> {
+    let hist = img.histogram();
+    let mut cdf = vec![0i64; LEVELS];
+    let mut acc = 0i64;
+    for (i, &h) in hist.iter().enumerate() {
+        acc += h;
+        cdf[i] = acc;
+    }
+    let cdf_min = cdf.iter().copied().find(|&c| c > 0).unwrap_or(0);
+    let n = img.len() as i64;
+    let lut: Vec<u8> = cdf
+        .iter()
+        .map(|&c| {
+            if n == cdf_min {
+                0
+            } else {
+                (((c - cdf_min) as f64 / (n - cdf_min) as f64) * 255.0).round() as u8
+            }
+        })
+        .collect();
+    img.pixels.iter().map(|&p| lut[p as usize]).collect()
+}
+
+/// A timed equalization run.
+#[derive(Debug)]
+pub struct EqualizeRun {
+    /// Total cycles across the three phases.
+    pub cycles: u64,
+    /// Cycles of the histogram phase.
+    pub histogram_cycles: u64,
+    /// Cycles of the CDF (scan) phase.
+    pub scan_cycles: u64,
+    /// Cycles of the remap phase.
+    pub remap_cycles: u64,
+    /// The equalized image.
+    pub output: Vec<u8>,
+}
+
+impl EqualizeRun {
+    /// Execution time in microseconds at 1 GHz.
+    pub fn micros(&self) -> f64 {
+        self.cycles as f64 / 1e3
+    }
+}
+
+fn remap_phase(cfg: &MachineConfig, img: &GreyImage, lut: &[u8]) -> (ExecReport, Vec<u8>) {
+    // Gather pixels, gather LUT entries (indexed by pixel), store output.
+    let output: Vec<u8> = img.pixels.iter().map(|&p| lut[p as usize]).collect();
+    let n = img.len();
+    let mut prog = StreamProgram::new();
+    let mut prev = None;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + HW_STAGE).min(n);
+        let b = (end - start) as u64;
+        let deps: Vec<usize> = prev.into_iter().collect();
+        let g_pix = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT_BASE + start as u64,
+                n: b,
+            }),
+            &deps,
+        );
+        prev = Some(g_pix);
+        let g_lut = prog.add(
+            StreamOp::gather(AccessPattern::Indexed {
+                base_word: layout::INPUT3_BASE,
+                indices: img.pixels[start..end]
+                    .iter()
+                    .map(|&p| u64::from(p))
+                    .collect(),
+            }),
+            &[g_pix],
+        );
+        let k = prog.add(StreamOp::kernel("remap", b, 0, 2, 2), &[g_lut]);
+        prog.add(
+            StreamOp::scatter(
+                AccessPattern::Sequential {
+                    base_word: layout::SCRATCH_BASE + start as u64,
+                    n: b,
+                },
+                output[start..end].iter().map(|&p| u64::from(p)).collect(),
+            ),
+            &[k],
+        );
+        start = end;
+    }
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    let pix: Vec<i64> = img.pixels.iter().map(|&p| i64::from(p)).collect();
+    node.store_mut()
+        .load_i64(Addr::from_word_index(layout::INPUT_BASE), &pix);
+    let lut_words: Vec<i64> = lut.iter().map(|&l| i64::from(l)).collect();
+    node.store_mut()
+        .load_i64(Addr::from_word_index(layout::INPUT3_BASE), &lut_words);
+    let report = Executor::new(*cfg).run(&prog, &mut node);
+    (report, output)
+}
+
+fn lut_from_hist(img: &GreyImage, cdf: &[i64]) -> Vec<u8> {
+    let cdf_min = cdf.iter().copied().find(|&c| c > 0).unwrap_or(0);
+    let n = img.len() as i64;
+    cdf.iter()
+        .map(|&c| {
+            if n == cdf_min {
+                0
+            } else {
+                (((c - cdf_min) as f64 / (n - cdf_min) as f64) * 255.0).round() as u8
+            }
+        })
+        .collect()
+}
+
+/// Equalize with hardware scatter-add (histogram) and the hardware scan
+/// engine (CDF).
+pub fn run_equalize_hw(cfg: &MachineConfig, img: &GreyImage) -> EqualizeRun {
+    // Phase 1: histogram by scatter-add.
+    let input = crate::histogram::HistogramInput {
+        data: img.pixels.iter().map(|&p| u64::from(p)).collect(),
+        range: LEVELS as u64,
+    };
+    let h = crate::histogram::run_hw(cfg, &input);
+    let hist = h.bins.clone();
+
+    // Phase 2: CDF on the hardware scan engine.
+    let scan_in: Vec<u64> = hist.iter().map(|&c| c as u64).collect();
+    let s = drive_scan(cfg, &scan_in, ScalarKind::I64);
+    let cdf = s.prefix_i64();
+
+    // Phase 3: build the LUT (scalar — 256 entries) and remap on-machine.
+    let lut = lut_from_hist(img, &cdf);
+    let (r, output) = remap_phase(cfg, img, &lut);
+
+    EqualizeRun {
+        cycles: h.report.cycles + s.cycles + r.cycles,
+        histogram_cycles: h.report.cycles,
+        scan_cycles: s.cycles,
+        remap_cycles: r.cycles,
+        output,
+    }
+}
+
+/// Equalize with the software baselines: sort+scan histogram and a
+/// multi-pass software scan kernel for the CDF.
+pub fn run_equalize_sw(cfg: &MachineConfig, img: &GreyImage) -> EqualizeRun {
+    // Phase 1: histogram by batched sort + segmented scan.
+    let kernel = sa_core::ScatterKernel::histogram(
+        layout::RESULT_BASE,
+        img.pixels.iter().map(|&p| u64::from(p)).collect(),
+    );
+    let prog = build_sort_scan(
+        &kernel,
+        &SortScanLayout {
+            idx_base: layout::INPUT_BASE,
+            val_base: None,
+        },
+        DEFAULT_BATCH,
+    );
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    let pix: Vec<i64> = img.pixels.iter().map(|&p| i64::from(p)).collect();
+    node.store_mut()
+        .load_i64(Addr::from_word_index(layout::INPUT_BASE), &pix);
+    let h = Executor::new(*cfg).run(&prog, &mut node);
+    let hist = node
+        .store()
+        .extract_i64(Addr::from_word_index(layout::RESULT_BASE), LEVELS);
+
+    // Phase 2: software scan — gather bins, log₂(256) = 8 sweep passes on
+    // the clusters, store back.
+    let mut cdf = vec![0i64; LEVELS];
+    let mut acc = 0;
+    for (i, &h) in hist.iter().enumerate() {
+        acc += h;
+        cdf[i] = acc;
+    }
+    let mut sprog = StreamProgram::new();
+    let g = sprog.add(
+        StreamOp::gather(AccessPattern::Sequential {
+            base_word: layout::RESULT_BASE,
+            n: LEVELS as u64,
+        }),
+        &[],
+    );
+    let passes = (LEVELS as u64).ilog2() as u64; // Hillis–Steele sweeps
+    let k = sprog.add(
+        StreamOp::kernel("sw-scan", LEVELS as u64, passes, 2 * passes, 2 * passes),
+        &[g],
+    );
+    sprog.add(
+        StreamOp::scatter(
+            AccessPattern::Sequential {
+                base_word: layout::RESULT_BASE,
+                n: LEVELS as u64,
+            },
+            cdf.iter().map(|&c| c as u64).collect(),
+        ),
+        &[k],
+    );
+    let mut snode = NodeMemSys::new(*cfg, 0, false);
+    snode.store_mut().load_i64(Addr::from_word_index(0), &hist);
+    let s = Executor::new(*cfg).run(&sprog, &mut snode);
+
+    // Phase 3: identical remap.
+    let lut = lut_from_hist(img, &cdf);
+    let (r, output) = remap_phase(cfg, img, &lut);
+
+    EqualizeRun {
+        cycles: h.cycles + s.cycles + r.cycles,
+        histogram_cycles: h.cycles,
+        scan_cycles: s.cycles,
+        remap_cycles: r.cycles,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::merrimac()
+    }
+
+    #[test]
+    fn synthetic_image_is_low_contrast() {
+        let img = GreyImage::synthetic(64, 64, 1);
+        let (min, max) = img.dynamic_range();
+        assert!(min >= 80, "low end clipped: {min}");
+        assert!(max <= 176, "high end clipped: {max}");
+        assert_eq!(img.len(), 4096);
+    }
+
+    #[test]
+    fn reference_stretches_contrast() {
+        let img = GreyImage::synthetic(64, 64, 2);
+        let out = equalize_reference(&img);
+        let min = *out.iter().min().unwrap();
+        let max = *out.iter().max().unwrap();
+        assert!(min <= 8, "equalized black point: {min}");
+        assert!(max >= 247, "equalized white point: {max}");
+    }
+
+    #[test]
+    fn hw_pipeline_matches_reference() {
+        let img = GreyImage::synthetic(48, 48, 3);
+        let run = run_equalize_hw(&cfg(), &img);
+        assert_eq!(run.output, equalize_reference(&img));
+        assert_eq!(
+            run.cycles,
+            run.histogram_cycles + run.scan_cycles + run.remap_cycles
+        );
+    }
+
+    #[test]
+    fn sw_pipeline_matches_reference() {
+        let img = GreyImage::synthetic(48, 48, 4);
+        let run = run_equalize_sw(&cfg(), &img);
+        assert_eq!(run.output, equalize_reference(&img));
+    }
+
+    #[test]
+    fn hardware_outruns_software() {
+        let img = GreyImage::synthetic(96, 96, 5);
+        let hw = run_equalize_hw(&cfg(), &img);
+        let sw = run_equalize_sw(&cfg(), &img);
+        assert!(
+            sw.cycles > hw.cycles,
+            "software {} should trail hardware {}",
+            sw.cycles,
+            hw.cycles
+        );
+        // The histogram phase is where scatter-add pays off.
+        assert!(sw.histogram_cycles > 2 * hw.histogram_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty image")]
+    fn empty_image_rejected() {
+        let _ = GreyImage::synthetic(0, 4, 6);
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's evaluation applications (§4.1), each in every variant the
+//! paper measures.
+//!
+//! | Application | Variants | Paper figures |
+//! |---|---|---|
+//! | [`histogram`] | hardware scatter-add, sort+segmented-scan, privatization | 6, 7, 8 |
+//! | [`spmv`] (with [`mesh`]) | CSR (gather-based), EBE with software scatter-add, EBE with hardware scatter-add | 9 |
+//! | [`md`] | no scatter-add (duplicated compute), software scatter-add, hardware scatter-add | 10 |
+//! | [`image`] | histogram equalization (the §1 image-processing motivation), composing scatter-add with the §5 hardware scan | extension |
+//! | [`pic`] | 1-D electrostatic particle-in-cell plasma step (the §1 superposition citation): scatter-add deposit, scan field solve, gather push | extension |
+//!
+//! Every variant is built as a [`StreamProgram`](sa_proc::StreamProgram) and
+//! executed on the simulated machine, producing both a *functional* result
+//! (checked against a scalar reference in the tests) and the three metrics
+//! the paper reports: execution cycles, FP operations, and memory
+//! references.
+//!
+//! The paper's datasets are proprietary (a FEM model, a GROMACS water box);
+//! [`mesh`] and [`md`] generate synthetic datasets matched to every
+//! statistic the evaluation depends on — see DESIGN.md's substitution table.
+//!
+//! Applications also expose their raw scatter-add reference traces
+//! ([`md::WaterSystem::scatter_trace`], [`spmv::Ebe::scatter_trace`]) for
+//! the multi-node experiments of §4.5, which replay exactly these traces
+//! ("GROMACS uses the first 590K references which span 8,192 unique indices,
+//! and SPAS uses the full set of 38K references over 10,240 indices of the
+//! EBE method").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod image;
+pub mod md;
+pub mod mesh;
+pub mod pic;
+pub mod spmv;
+pub mod traces;
+
+/// Memory layout helpers shared by the applications: fixed, non-overlapping
+/// word regions of the simulated address space.
+pub mod layout {
+    /// Result arrays (histogram bins, SpMV `y`, MD forces) start at word 0.
+    pub const RESULT_BASE: u64 = 0;
+    /// Primary input arrays (histogram data, matrix values, positions).
+    pub const INPUT_BASE: u64 = 1 << 21;
+    /// Secondary input arrays (column indices, neighbor lists).
+    pub const INPUT2_BASE: u64 = 1 << 23;
+    /// Tertiary input arrays (row pointers, DOF maps).
+    pub const INPUT3_BASE: u64 = 1 << 24;
+    /// Scratch buffers (software scatter-add contribution streams).
+    pub const SCRATCH_BASE: u64 = 1 << 25;
+    /// Second scratch region (value streams).
+    pub const SCRATCH2_BASE: u64 = 1 << 26;
+}

@@ -1,0 +1,721 @@
+//! Molecular dynamics: the non-bonded force kernel on water (§4.1,
+//! Figure 10).
+//!
+//! "We use the non-bonded force calculation kernel of GROMACS. This kernel
+//! calculates the interaction forces of water, and our simulation was
+//! performed on a sample of 903 water molecules for a single time-step."
+//!
+//! The paper's GROMACS input is not available; [`WaterSystem::generate`]
+//! builds an equivalent box: 903 SPC/E-like water molecules (2,709 sites) at
+//! liquid density with periodic boundaries, a cell-list neighbor search, and
+//! a cutoff calibrated so the scatter-add reference trace has the length the
+//! paper reports for the multi-node experiments ("GROMACS uses the first
+//! 590K references which span 8,192 unique indices" — 2,709 sites × 3 force
+//! components = 8,127 unique force words).
+//!
+//! Three program variants match Figure 10:
+//!
+//! * **no scatter-add** — "doubling the amount of computation, and not
+//!   taking advantage of the fact that the force exerted by one atom on a
+//!   second atom is equal [and opposite]": each molecule accumulates its own
+//!   force over its full neighbor list, privately, then stores it;
+//! * **software scatter-add** — forces computed once per pair, contributions
+//!   buffered, then summed by the batched sort + segmented scan baseline;
+//! * **hardware scatter-add** — forces computed once per pair and
+//!   scatter-added directly into the force array.
+
+use sa_core::NodeMemSys;
+use sa_proc::{AccessPattern, ExecReport, Executor, OpId, StreamOp, StreamProgram};
+use sa_sim::{Addr, MachineConfig, Rng64};
+use sa_sw::{build_sort_scan, SortScanLayout, DEFAULT_BATCH};
+
+use crate::layout;
+
+/// Molecule count of the paper's sample.
+pub const PAPER_MOLECULES: usize = 903;
+/// Sites per water molecule (O, H, H).
+pub const SITES: usize = 3;
+
+/// SPC/E-like parameters (kJ/mol, nm, elementary charges).
+const LJ_EPSILON: f64 = 0.650;
+const LJ_SIGMA: f64 = 0.3166;
+const Q_O: f64 = -0.8476;
+const Q_H: f64 = 0.4238;
+/// Coulomb constant in kJ·mol⁻¹·nm·e⁻².
+const KE: f64 = 138.935_485;
+/// O–H bond length (nm).
+const R_OH: f64 = 0.1;
+
+/// FP cost of one site-site interaction: minimum-image wrap, distance,
+/// Newton-iterated inverse square root, Lennard-Jones + Coulomb with the
+/// usual shift/switch corrections, and the force vector update. Calibrated
+/// so the paper-scale run performs ≈30M FP operations, matching Figure 10's
+/// hardware-scatter-add bar.
+const FLOPS_PER_SITE_PAIR: u64 = 100;
+/// Kernel cost per molecule pair: nine site-site interactions plus the
+/// accumulation into six site-force vectors (54 adds).
+const FLOPS_PER_PAIR: u64 = 9 * FLOPS_PER_SITE_PAIR + 54;
+const OPS_PER_PAIR: u64 = FLOPS_PER_PAIR + 40;
+const SRF_WORDS_PER_PAIR: u64 = 2 + 18 + 18;
+/// The duplicated-compute variant recomputes all nine interactions per
+/// *directed* pair but only accumulates its own molecule's three site
+/// forces (27 adds) — "doubling the amount of computation" overall.
+const FLOPS_PER_VISIT: u64 = 9 * FLOPS_PER_SITE_PAIR + 27;
+const OPS_PER_VISIT: u64 = FLOPS_PER_VISIT + 40;
+
+/// Molecule pairs per pipelined stage.
+pub const PAIR_STAGE: usize = 512;
+
+/// A box of water molecules with a built neighbor list.
+#[derive(Clone, Debug)]
+pub struct WaterSystem {
+    /// Site positions, `molecules × SITES` entries of `[x, y, z]` (nm).
+    pub positions: Vec<[f64; 3]>,
+    /// Site charges.
+    pub charges: Vec<f64>,
+    /// Cubic box edge (nm); periodic boundaries.
+    pub box_len: f64,
+    /// Neighbor-list cutoff on O–O distance (nm).
+    pub cutoff: f64,
+    /// Molecule pairs within the cutoff (each pair once, `a < b`).
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl WaterSystem {
+    /// Generate the paper-scale box (903 molecules).
+    pub fn paper_scale(seed: u64) -> WaterSystem {
+        WaterSystem::generate(PAPER_MOLECULES, seed)
+    }
+
+    /// Generate `n_molecules` of water at liquid density (≈33.3 nm⁻³) with
+    /// a cutoff chosen to give roughly 36 neighbors per molecule — which at
+    /// paper scale yields the ≈590 K-reference scatter trace of §4.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_molecules` is zero.
+    pub fn generate(n_molecules: usize, seed: u64) -> WaterSystem {
+        assert!(n_molecules > 0, "empty system");
+        let mut rng = Rng64::new(seed);
+        let density = 33.3; // molecules per nm³ (liquid water)
+        let box_len = (n_molecules as f64 / density).cbrt();
+        // Place O sites on a jittered grid, H sites on random orientations.
+        let grid = (n_molecules as f64).cbrt().ceil() as usize;
+        let a = box_len / grid as f64;
+        let mut positions = Vec::with_capacity(n_molecules * SITES);
+        let mut charges = Vec::with_capacity(n_molecules * SITES);
+        let mut placed = 0;
+        'outer: for ix in 0..grid {
+            for iy in 0..grid {
+                for iz in 0..grid {
+                    if placed == n_molecules {
+                        break 'outer;
+                    }
+                    let jitter = 0.2 * a;
+                    let o = [
+                        (ix as f64 + 0.5) * a + rng.range_f64(-jitter, jitter),
+                        (iy as f64 + 0.5) * a + rng.range_f64(-jitter, jitter),
+                        (iz as f64 + 0.5) * a + rng.range_f64(-jitter, jitter),
+                    ];
+                    positions.push(o);
+                    charges.push(Q_O);
+                    for _ in 0..2 {
+                        let dir = random_unit(&mut rng);
+                        positions.push([
+                            o[0] + R_OH * dir[0],
+                            o[1] + R_OH * dir[1],
+                            o[2] + R_OH * dir[2],
+                        ]);
+                        charges.push(Q_H);
+                    }
+                    placed += 1;
+                }
+            }
+        }
+        // Cutoff for ~36 neighbors/molecule: (4/3)π r³ ρ = 72 pairs·2/n.
+        let target_neighbors = 72.0;
+        let cutoff = (target_neighbors / (density * 4.0 / 3.0 * std::f64::consts::PI)).cbrt();
+        let mut sys = WaterSystem {
+            positions,
+            charges,
+            box_len,
+            cutoff,
+            pairs: Vec::new(),
+        };
+        sys.pairs = sys.build_pairs_cell_list();
+        sys
+    }
+
+    /// Number of molecules.
+    pub fn molecules(&self) -> usize {
+        self.positions.len() / SITES
+    }
+
+    /// Number of interaction sites.
+    pub fn sites(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Minimum-image displacement from site `i` to site `j`.
+    fn min_image(&self, i: usize, j: usize) -> [f64; 3] {
+        let mut d = [0.0; 3];
+        for (c, out) in d.iter_mut().enumerate() {
+            let mut x = self.positions[j][c] - self.positions[i][c];
+            x -= self.box_len * (x / self.box_len).round();
+            *out = x;
+        }
+        d
+    }
+
+    /// Build the molecule-pair list by brute force (reference for tests).
+    pub fn build_pairs_brute(&self) -> Vec<(u32, u32)> {
+        let n = self.molecules();
+        let c2 = self.cutoff * self.cutoff;
+        let mut pairs = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = self.min_image(a * SITES, b * SITES);
+                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < c2 {
+                    pairs.push((a as u32, b as u32));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Build the molecule-pair list with a periodic cell list (O(n)).
+    pub fn build_pairs_cell_list(&self) -> Vec<(u32, u32)> {
+        let n = self.molecules();
+        let cells_per_dim = ((self.box_len / self.cutoff).floor() as usize).max(1);
+        let cell_len = self.box_len / cells_per_dim as f64;
+        let cell_of = |p: [f64; 3]| -> [usize; 3] {
+            let mut c = [0usize; 3];
+            for k in 0..3 {
+                let mut x = p[k] % self.box_len;
+                if x < 0.0 {
+                    x += self.box_len;
+                }
+                c[k] = ((x / cell_len) as usize).min(cells_per_dim - 1);
+            }
+            c
+        };
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); cells_per_dim.pow(3)];
+        let flat = |c: [usize; 3]| (c[0] * cells_per_dim + c[1]) * cells_per_dim + c[2];
+        for m in 0..n {
+            cells[flat(cell_of(self.positions[m * SITES]))].push(m as u32);
+        }
+        let c2 = self.cutoff * self.cutoff;
+        let mut pairs = Vec::new();
+        let offsets: Vec<i64> = if cells_per_dim >= 3 {
+            vec![-1, 0, 1]
+        } else {
+            // Tiny boxes: every cell is a neighbor of every other.
+            (0..cells_per_dim as i64).collect()
+        };
+        for cx in 0..cells_per_dim {
+            for cy in 0..cells_per_dim {
+                for cz in 0..cells_per_dim {
+                    let home = flat([cx, cy, cz]);
+                    for &dx in &offsets {
+                        for &dy in &offsets {
+                            for &dz in &offsets {
+                                let nx = (cx as i64 + dx).rem_euclid(cells_per_dim as i64) as usize;
+                                let ny = (cy as i64 + dy).rem_euclid(cells_per_dim as i64) as usize;
+                                let nz = (cz as i64 + dz).rem_euclid(cells_per_dim as i64) as usize;
+                                let other = flat([nx, ny, nz]);
+                                if other < home {
+                                    continue;
+                                }
+                                for &a in &cells[home] {
+                                    for &b in &cells[other] {
+                                        if home == other && b <= a {
+                                            continue;
+                                        }
+                                        let d =
+                                            self.min_image(a as usize * SITES, b as usize * SITES);
+                                        if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < c2 {
+                                            pairs.push((a.min(b), a.max(b)));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// The six per-site force contributions of one molecule pair
+    /// (3 sites of `a` then 3 sites of `b`), each a 3-vector.
+    fn pair_forces(&self, a: u32, b: u32) -> [[f64; 3]; 6] {
+        let mut out = [[0.0; 3]; 6];
+        for i in 0..SITES {
+            let si = a as usize * SITES + i;
+            for j in 0..SITES {
+                let sj = b as usize * SITES + j;
+                let d = self.min_image(si, sj); // from si to sj
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                let inv_r2 = 1.0 / r2;
+                // Coulomb: f = ke·qi·qj / r³ · d (repulsive for like signs).
+                let mut scalar = -KE * self.charges[si] * self.charges[sj] * inv_r2 * inv_r2.sqrt();
+                // Lennard-Jones on the O–O pair only.
+                if i == 0 && j == 0 {
+                    let sr2 = LJ_SIGMA * LJ_SIGMA * inv_r2;
+                    let sr6 = sr2 * sr2 * sr2;
+                    // f(r)/r = 24ε(2·sr¹² − sr⁶)/r².
+                    scalar -= 24.0 * LJ_EPSILON * (2.0 * sr6 * sr6 - sr6) * inv_r2;
+                }
+                // scalar · d is the force on sj; −scalar · d on si.
+                for c in 0..3 {
+                    out[SITES + j][c] += scalar * d[c];
+                    out[i][c] -= scalar * d[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference forces: one pass over the pair list, Newton's third law.
+    pub fn reference_forces(&self) -> Vec<[f64; 3]> {
+        let mut f = vec![[0.0; 3]; self.sites()];
+        for &(a, b) in &self.pairs {
+            let pf = self.pair_forces(a, b);
+            for s in 0..SITES {
+                for c in 0..3 {
+                    f[a as usize * SITES + s][c] += pf[s][c];
+                    f[b as usize * SITES + s][c] += pf[SITES + s][c];
+                }
+            }
+        }
+        f
+    }
+
+    /// The scatter-add reference trace: for each pair, the 18 force-word
+    /// indices it updates (site × 3 + component). At paper scale this is the
+    /// ≈590 K-reference trace over 8,127 unique indices of §4.5.
+    pub fn scatter_trace(&self) -> Vec<u64> {
+        let mut trace = Vec::with_capacity(self.pairs.len() * 18);
+        for &(a, b) in &self.pairs {
+            for s in 0..SITES {
+                for c in 0..3 {
+                    trace.push((a as u64 * SITES as u64 + s as u64) * 3 + c as u64);
+                }
+            }
+            for s in 0..SITES {
+                for c in 0..3 {
+                    trace.push((b as u64 * SITES as u64 + s as u64) * 3 + c as u64);
+                }
+            }
+        }
+        trace
+    }
+
+    /// The force contributions matching [`WaterSystem::scatter_trace`].
+    pub fn contributions(&self) -> Vec<f64> {
+        let mut vals = Vec::with_capacity(self.pairs.len() * 18);
+        for &(a, b) in &self.pairs {
+            let pf = self.pair_forces(a, b);
+            for sf in pf {
+                vals.extend_from_slice(&sf);
+            }
+        }
+        vals
+    }
+}
+
+fn random_unit(rng: &mut Rng64) -> [f64; 3] {
+    loop {
+        let v = [
+            rng.range_f64(-1.0, 1.0),
+            rng.range_f64(-1.0, 1.0),
+            rng.range_f64(-1.0, 1.0),
+        ];
+        let n2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+        if n2 > 1e-4 && n2 <= 1.0 {
+            let n = n2.sqrt();
+            return [v[0] / n, v[1] / n, v[2] / n];
+        }
+    }
+}
+
+/// A timed MD run.
+#[derive(Debug)]
+pub struct MdRun {
+    /// Executor report (cycles, FP ops, memory references).
+    pub report: ExecReport,
+    /// Forces extracted from simulated memory, one 3-vector per site.
+    pub forces: Vec<[f64; 3]>,
+}
+
+fn extract_forces(node: &NodeMemSys, sites: usize) -> Vec<[f64; 3]> {
+    let flat = node
+        .store()
+        .extract_f64(Addr::from_word_index(layout::RESULT_BASE), sites * 3);
+    flat.chunks(3).map(|c| [c[0], c[1], c[2]]).collect()
+}
+
+/// Shared compute pipeline over molecule pairs; `sink` emits each stage's
+/// output op (scatter-add, buffer write, or nothing for no-SA which uses
+/// its own builder).
+fn build_pair_stages<F>(sys: &WaterSystem, mut sink: F) -> StreamProgram
+where
+    F: FnMut(&mut StreamProgram, OpId, usize, usize),
+{
+    let mut prog = StreamProgram::new();
+    let mut prev_gather: Option<OpId> = None;
+    let n_pairs = sys.pairs.len();
+    let mut start = 0usize;
+    while start < n_pairs {
+        let end = (start + PAIR_STAGE).min(n_pairs);
+        let p = (end - start) as u64;
+        let deps: Vec<OpId> = prev_gather.into_iter().collect();
+        // Pair list: 2 words per pair.
+        let g_list = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT2_BASE + 2 * start as u64,
+                n: 2 * p,
+            }),
+            &deps,
+        );
+        prev_gather = Some(g_list);
+        // Positions of both molecules: 18 words per pair (indexed).
+        let mut pos_idx = Vec::with_capacity((end - start) * 18);
+        for &(a, b) in &sys.pairs[start..end] {
+            for m in [a, b] {
+                for s in 0..SITES {
+                    for c in 0..3 {
+                        pos_idx.push((m as u64 * SITES as u64 + s as u64) * 3 + c as u64);
+                    }
+                }
+            }
+        }
+        let g_pos = prog.add(
+            StreamOp::gather(AccessPattern::Indexed {
+                base_word: layout::INPUT_BASE,
+                indices: pos_idx,
+            }),
+            &[g_list],
+        );
+        let kern = prog.add(
+            StreamOp::kernel(
+                "water-nonbonded",
+                p,
+                FLOPS_PER_PAIR,
+                OPS_PER_PAIR,
+                SRF_WORDS_PER_PAIR,
+            ),
+            &[g_pos],
+        );
+        sink(&mut prog, kern, start, end);
+        start = end;
+    }
+    prog
+}
+
+fn fresh_node(cfg: &MachineConfig, sys: &WaterSystem) -> NodeMemSys {
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    let flat: Vec<f64> = sys.positions.iter().flatten().copied().collect();
+    node.store_mut()
+        .load_f64(Addr::from_word_index(layout::INPUT_BASE), &flat);
+    let pair_words: Vec<i64> = sys
+        .pairs
+        .iter()
+        .flat_map(|&(a, b)| [a as i64, b as i64])
+        .collect();
+    node.store_mut()
+        .load_i64(Addr::from_word_index(layout::INPUT2_BASE), &pair_words);
+    node
+}
+
+/// Run the hardware scatter-add variant: compute each pair once and
+/// scatter-add its 18 force contributions.
+pub fn run_hw(cfg: &MachineConfig, sys: &WaterSystem) -> MdRun {
+    let trace = sys.scatter_trace();
+    let contrib = sys.contributions();
+    let prog = build_pair_stages(sys, |prog, kern, start, end| {
+        let lo = start * 18;
+        let hi = end * 18;
+        prog.add(
+            StreamOp::scatter_add_f64(
+                AccessPattern::Indexed {
+                    base_word: layout::RESULT_BASE,
+                    indices: trace[lo..hi].to_vec(),
+                },
+                &contrib[lo..hi],
+            ),
+            &[kern],
+        );
+    });
+    let mut node = fresh_node(cfg, sys);
+    let report = Executor::new(*cfg).run(&prog, &mut node);
+    let forces = extract_forces(&node, sys.sites());
+    MdRun { report, forces }
+}
+
+/// Run the software scatter-add variant: contributions buffered, then
+/// summed by batched sort + segmented scan.
+pub fn run_sw(cfg: &MachineConfig, sys: &WaterSystem, batch: usize) -> MdRun {
+    let trace = sys.scatter_trace();
+    let contrib = sys.contributions();
+    let mut last_write: Option<OpId> = None;
+    let mut prog = build_pair_stages(sys, |prog, kern, start, end| {
+        let lo = start * 18;
+        let hi = end * 18;
+        let w = prog.add(
+            StreamOp::scatter(
+                AccessPattern::Sequential {
+                    base_word: layout::SCRATCH2_BASE + lo as u64,
+                    n: (hi - lo) as u64,
+                },
+                contrib[lo..hi].iter().map(|v| v.to_bits()).collect(),
+            ),
+            &[kern],
+        );
+        last_write = Some(w);
+    });
+    let kernel =
+        sa_core::ScatterKernel::superposition(layout::RESULT_BASE, trace.clone(), &contrib);
+    let sw = build_sort_scan(
+        &kernel,
+        &SortScanLayout {
+            idx_base: layout::SCRATCH_BASE,
+            val_base: Some(layout::SCRATCH2_BASE),
+        },
+        batch,
+    );
+    let offset = prog.len();
+    let barrier = last_write.expect("system has pairs");
+    for (_, op, deps) in sw.iter() {
+        let mut new_deps: Vec<OpId> = deps.iter().map(|d| d + offset).collect();
+        if deps.is_empty() {
+            new_deps.push(barrier);
+        }
+        prog.add(op.clone(), &new_deps);
+    }
+    let mut node = fresh_node(cfg, sys);
+    let trace_i64: Vec<i64> = trace.iter().map(|&t| t as i64).collect();
+    node.store_mut()
+        .load_i64(Addr::from_word_index(layout::SCRATCH_BASE), &trace_i64);
+    let report = Executor::new(*cfg).run(&prog, &mut node);
+    let forces = extract_forces(&node, sys.sites());
+    MdRun { report, forces }
+}
+
+/// Run the software variant at the default batch size.
+pub fn run_sw_default(cfg: &MachineConfig, sys: &WaterSystem) -> MdRun {
+    run_sw(cfg, sys, DEFAULT_BATCH)
+}
+
+/// Run the no-scatter-add variant: each molecule processes its *entire*
+/// neighbor list (both directions — "doubling the amount of computation"),
+/// accumulates its own force privately, and stores it with a plain write.
+pub fn run_no_sa(cfg: &MachineConfig, sys: &WaterSystem) -> MdRun {
+    // Directed pair list grouped by owning molecule.
+    let n_mols = sys.molecules();
+    let mut directed: Vec<Vec<u32>> = vec![Vec::new(); n_mols];
+    for &(a, b) in &sys.pairs {
+        directed[a as usize].push(b);
+        directed[b as usize].push(a);
+    }
+    let dir_pairs: Vec<(u32, u32)> = (0..n_mols as u32)
+        .flat_map(|m| directed[m as usize].iter().map(move |&o| (m, o)))
+        .collect();
+
+    let mut prog = StreamProgram::new();
+    let mut prev_gather: Option<OpId> = None;
+    let mut kernels = Vec::new();
+    let mut start = 0usize;
+    while start < dir_pairs.len() {
+        let end = (start + PAIR_STAGE).min(dir_pairs.len());
+        let p = (end - start) as u64;
+        let deps: Vec<OpId> = prev_gather.into_iter().collect();
+        let g_list = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT3_BASE + start as u64,
+                n: p,
+            }),
+            &deps,
+        );
+        prev_gather = Some(g_list);
+        let mut pos_idx = Vec::with_capacity((end - start) * 18);
+        for &(m, o) in &dir_pairs[start..end] {
+            for mol in [m, o] {
+                for s in 0..SITES {
+                    for c in 0..3 {
+                        pos_idx.push((mol as u64 * SITES as u64 + s as u64) * 3 + c as u64);
+                    }
+                }
+            }
+        }
+        let g_pos = prog.add(
+            StreamOp::gather(AccessPattern::Indexed {
+                base_word: layout::INPUT_BASE,
+                indices: pos_idx,
+            }),
+            &[g_list],
+        );
+        let kern = prog.add(
+            StreamOp::kernel(
+                "water-nonbonded-dup",
+                p,
+                FLOPS_PER_VISIT,
+                OPS_PER_VISIT,
+                SRF_WORDS_PER_PAIR / 2,
+            ),
+            &[g_pos],
+        );
+        kernels.push(kern);
+        start = end;
+    }
+    // One plain store of the finished force array.
+    let forces = sys.reference_forces();
+    let flat: Vec<u64> = forces.iter().flatten().map(|v| v.to_bits()).collect();
+    prog.add(
+        StreamOp::scatter(
+            AccessPattern::Sequential {
+                base_word: layout::RESULT_BASE,
+                n: flat.len() as u64,
+            },
+            flat,
+        ),
+        &kernels,
+    );
+
+    let mut node = fresh_node(cfg, sys);
+    let dir_words: Vec<i64> = dir_pairs.iter().map(|&(_, o)| o as i64).collect();
+    node.store_mut()
+        .load_i64(Addr::from_word_index(layout::INPUT3_BASE), &dir_words);
+    let report = Executor::new(*cfg).run(&prog, &mut node);
+    let forces = extract_forces(&node, sys.sites());
+    MdRun { report, forces }
+}
+
+/// Maximum absolute force-component deviation between two force sets.
+///
+/// # Panics
+///
+/// Panics if the two sets have different lengths.
+pub fn max_force_deviation(a: &[[f64; 3]], b: &[[f64; 3]]) -> f64 {
+    assert_eq!(a.len(), b.len(), "site count mismatch");
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| (0..3).map(move |c| (x[c] - y[c]).abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WaterSystem {
+        WaterSystem::generate(60, 1)
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::merrimac()
+    }
+
+    #[test]
+    fn cell_list_matches_brute_force() {
+        let sys = small();
+        let brute = sys.build_pairs_brute();
+        assert_eq!(
+            sys.pairs, brute,
+            "cell list must find exactly the cutoff pairs"
+        );
+        assert!(!sys.pairs.is_empty());
+    }
+
+    #[test]
+    fn paper_scale_trace_statistics() {
+        let sys = WaterSystem::paper_scale(2);
+        assert_eq!(sys.molecules(), 903);
+        assert_eq!(sys.sites(), 2709);
+        let trace = sys.scatter_trace();
+        // §4.5: ~590K references over ~8,192 unique indices.
+        assert!(
+            (450_000..750_000).contains(&trace.len()),
+            "trace length {} should be near 590K",
+            trace.len()
+        );
+        let unique: std::collections::HashSet<u64> = trace.iter().copied().collect();
+        assert_eq!(unique.len(), 2709 * 3, "every force word is touched");
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        // Newton's third law: internal forces cancel.
+        let sys = small();
+        let f = sys.reference_forces();
+        for c in 0..3 {
+            let total: f64 = f.iter().map(|v| v[c]).sum();
+            let scale: f64 = f.iter().map(|v| v[c].abs()).sum();
+            assert!(
+                total.abs() < 1e-9 * scale.max(1.0),
+                "component {c} does not cancel: {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn hw_forces_match_reference() {
+        let sys = small();
+        let run = run_hw(&cfg(), &sys);
+        let dev = max_force_deviation(&run.forces, &sys.reference_forces());
+        assert!(dev < 1e-6, "max deviation {dev}");
+    }
+
+    #[test]
+    fn sw_forces_match_reference() {
+        let sys = small();
+        let run = run_sw_default(&cfg(), &sys);
+        let dev = max_force_deviation(&run.forces, &sys.reference_forces());
+        assert!(dev < 1e-6, "max deviation {dev}");
+    }
+
+    #[test]
+    fn no_sa_forces_match_reference() {
+        let sys = small();
+        let run = run_no_sa(&cfg(), &sys);
+        let dev = max_force_deviation(&run.forces, &sys.reference_forces());
+        assert!(dev < 1e-12, "no-SA stores the exact reference: {dev}");
+    }
+
+    #[test]
+    fn figure10_ordering() {
+        // SW ≫ no-SA > HW in cycles; no-SA does ~2× the FP work of HW.
+        let sys = WaterSystem::generate(120, 3);
+        let hw = run_hw(&cfg(), &sys);
+        let sw = run_sw_default(&cfg(), &sys);
+        let no = run_no_sa(&cfg(), &sys);
+        assert!(
+            sw.report.cycles > no.report.cycles,
+            "SW {} should be the slowest (no-SA {})",
+            sw.report.cycles,
+            no.report.cycles
+        );
+        assert!(
+            no.report.cycles > hw.report.cycles,
+            "no-SA {} should be slower than HW {}",
+            no.report.cycles,
+            hw.report.cycles
+        );
+        let flop_ratio = no.report.flops as f64 / hw.report.flops as f64;
+        assert!(
+            (1.5..2.5).contains(&flop_ratio),
+            "duplicated compute should double FP work: {flop_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WaterSystem::generate(50, 9);
+        let b = WaterSystem::generate(50, 9);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.positions[0], b.positions[0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Synthetic finite-element dataset generator.
+//!
+//! The paper's SpMV dataset "was extracted from cubic element discretization
+//! with 20 degrees of freedom ... of a 1916 tetrahedra finite-element model.
+//! The matrix size is 9,978 × 9,978 and it contains an average of 44.26
+//! non-zeros per row" (§4.1). That model is not available, so this module
+//! generates a synthetic mesh matched on every statistic the evaluation
+//! depends on:
+//!
+//! * element count (1916) and DOFs per element (20) — these set the EBE
+//!   compute volume (1916 × 20 × 20 dense MACs) and the scatter-add trace
+//!   length (1916 × 20 = 38,320 references, the paper's "38K references
+//!   over 10,240 indices" for the SPAS multi-node trace);
+//! * unknown count (9,978) and average row population (~44 non-zeros) —
+//!   these set the CSR compute and memory volume.
+//!
+//! Elements select their DOFs from overlapping windows of the DOF space
+//! (spatial locality: adjacent elements share unknowns, as face-sharing
+//! tetrahedra do), which produces the target row population.
+
+use sa_sim::Rng64;
+
+/// Default parameters matching §4.1.
+pub const PAPER_ELEMENTS: usize = 1916;
+/// Degrees of freedom per element (§4.1: cubic elements with 20 DOF).
+pub const PAPER_DOFS_PER_ELEMENT: usize = 20;
+/// Number of unknowns (§4.1: 9,978 × 9,978 matrix).
+pub const PAPER_UNKNOWNS: usize = 9978;
+
+/// A synthetic finite-element mesh: element → DOF connectivity plus one
+/// dense symmetric element matrix per element.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    /// Number of global unknowns (matrix dimension).
+    pub n_dofs: usize,
+    /// Per-element global DOF indices (`elements × dofs_per_element`).
+    pub connectivity: Vec<Vec<u32>>,
+    /// Per-element dense matrices, row-major `dofs_per_element²` each.
+    pub element_matrices: Vec<Vec<f64>>,
+}
+
+impl Mesh {
+    /// Generate a mesh with the paper's statistics (1916 elements, 20 DOFs
+    /// each, 9,978 unknowns).
+    pub fn paper_scale(seed: u64) -> Mesh {
+        Mesh::generate(PAPER_ELEMENTS, PAPER_DOFS_PER_ELEMENT, PAPER_UNKNOWNS, seed)
+    }
+
+    /// Generate `elements` elements of `dofs_per_element` DOFs over
+    /// `n_dofs` unknowns.
+    ///
+    /// Each element draws its DOFs from a window of the DOF space centred
+    /// on its position in a linear element ordering; window width is chosen
+    /// so neighbouring elements share roughly half their DOFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dofs < dofs_per_element` or any count is zero.
+    pub fn generate(elements: usize, dofs_per_element: usize, n_dofs: usize, seed: u64) -> Mesh {
+        assert!(elements > 0 && dofs_per_element > 0, "empty mesh");
+        assert!(
+            n_dofs >= dofs_per_element,
+            "need at least {dofs_per_element} unknowns"
+        );
+        let mut rng = Rng64::new(seed);
+        // Window width ≈ 1.5 × DOFs/element gives face-sharing-like overlap.
+        let window = (dofs_per_element * 3 / 2).min(n_dofs);
+        let stride = if elements > 1 {
+            (n_dofs - window) as f64 / (elements - 1) as f64
+        } else {
+            0.0
+        };
+        let mut connectivity = Vec::with_capacity(elements);
+        let mut element_matrices = Vec::with_capacity(elements);
+        for e in 0..elements {
+            let lo = (e as f64 * stride) as usize;
+            // Choose dofs_per_element distinct DOFs from [lo, lo + window).
+            let mut pool: Vec<u32> = (lo..lo + window).map(|d| d as u32).collect();
+            rng.shuffle(&mut pool);
+            let mut dofs: Vec<u32> = pool[..dofs_per_element].to_vec();
+            dofs.sort_unstable();
+            connectivity.push(dofs);
+            // Symmetric, diagonally-dominant element matrix (as a stiffness
+            // matrix would be), with deterministic random off-diagonals.
+            let k = dofs_per_element;
+            let mut m = vec![0.0f64; k * k];
+            for i in 0..k {
+                for j in i..k {
+                    let v = if i == j {
+                        4.0 + rng.next_f64()
+                    } else {
+                        rng.range_f64(-0.5, 0.5)
+                    };
+                    m[i * k + j] = v;
+                    m[j * k + i] = v;
+                }
+            }
+            element_matrices.push(m);
+        }
+        Mesh {
+            n_dofs,
+            connectivity,
+            element_matrices,
+        }
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.connectivity.len()
+    }
+
+    /// DOFs per element.
+    pub fn dofs_per_element(&self) -> usize {
+        self.connectivity.first().map_or(0, Vec::len)
+    }
+
+    /// Total element-DOF incidences — the length of the EBE scatter-add
+    /// trace (38,320 at paper scale).
+    pub fn incidences(&self) -> usize {
+        self.connectivity.iter().map(Vec::len).sum()
+    }
+
+    /// A deterministic test vector for multiplications.
+    pub fn test_vector(&self, seed: u64) -> Vec<f64> {
+        let mut rng = Rng64::new(seed);
+        (0..self.n_dofs).map(|_| rng.range_f64(-1.0, 1.0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_scale_statistics() {
+        let mesh = Mesh::paper_scale(1);
+        assert_eq!(mesh.elements(), 1916);
+        assert_eq!(mesh.dofs_per_element(), 20);
+        assert_eq!(mesh.n_dofs, 9978);
+        assert_eq!(mesh.incidences(), 38_320, "the SPAS trace length");
+    }
+
+    #[test]
+    fn dofs_are_distinct_and_in_range() {
+        let mesh = Mesh::generate(100, 20, 600, 2);
+        for dofs in &mesh.connectivity {
+            let set: HashSet<u32> = dofs.iter().copied().collect();
+            assert_eq!(set.len(), 20, "duplicate DOF within an element");
+            for &d in dofs {
+                assert!((d as usize) < 600);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbouring_elements_share_dofs() {
+        let mesh = Mesh::paper_scale(3);
+        let mut total_shared = 0usize;
+        for e in 1..mesh.elements() {
+            let a: HashSet<u32> = mesh.connectivity[e - 1].iter().copied().collect();
+            let shared = mesh.connectivity[e]
+                .iter()
+                .filter(|d| a.contains(d))
+                .count();
+            total_shared += shared;
+        }
+        let avg = total_shared as f64 / (mesh.elements() - 1) as f64;
+        assert!(
+            (5.0..19.0).contains(&avg),
+            "adjacent elements should share a good fraction of DOFs: {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn element_matrices_are_symmetric() {
+        let mesh = Mesh::generate(10, 8, 100, 4);
+        for m in &mesh.element_matrices {
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert_eq!(m[i * 8 + j], m[j * 8 + i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Mesh::paper_scale(7);
+        let b = Mesh::paper_scale(7);
+        assert_eq!(a.connectivity, b.connectivity);
+        assert_eq!(a.element_matrices[0], b.element_matrices[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknowns")]
+    fn too_few_dofs_rejected() {
+        let _ = Mesh::generate(5, 20, 10, 1);
+    }
+}

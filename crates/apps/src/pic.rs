@@ -1,0 +1,420 @@
+//! Particle-in-cell plasma simulation — the superposition use case the
+//! paper's introduction cites ("particle-in-cell methods to solve for
+//! plasma behavior within the self-consistent electromagnetic field",
+//! Williams \[42\]).
+//!
+//! A 1-D electrostatic PIC code with periodic boundaries:
+//!
+//! 1. **deposit** — every particle scatters its charge to its two nearest
+//!    grid points (cloud-in-cell weighting): a floating-point scatter-add
+//!    with heavy collisions — the paper's mechanism;
+//! 2. **field solve** — the periodic electric field is the cumulative
+//!    integral of the net charge density: a prefix sum, run on the §5
+//!    hardware scan engine;
+//! 3. **push** — gather the field at each particle (the same CIC weights)
+//!    and advance velocities and positions: a gather + kernel.
+//!
+//! The functional layer advances real plasma state (a two-stream setup);
+//! tests check charge conservation, periodic wrapping, agreement between
+//! the machine-executed deposit and the scalar reference, and determinism.
+
+use sa_core::{drive_scan, NodeMemSys};
+use sa_proc::{AccessPattern, Executor, OpId, StreamOp, StreamProgram};
+use sa_sim::{Addr, MachineConfig, Rng64, ScalarKind};
+
+use crate::layout;
+
+/// Particles per pipelined stage of the deposit and push programs.
+const PIC_STAGE: usize = 2048;
+
+/// Per-particle kernel costs: weight computation for deposit, field
+/// interpolation + leapfrog update for push.
+const DEPOSIT_OPS: u64 = 8;
+const DEPOSIT_FLOPS: u64 = 6;
+const PUSH_OPS: u64 = 12;
+const PUSH_FLOPS: u64 = 10;
+
+/// A 1-D electrostatic particle-in-cell system.
+#[derive(Clone, Debug)]
+pub struct PicSystem {
+    /// Particle positions in `[0, box_len)`.
+    pub positions: Vec<f64>,
+    /// Particle velocities.
+    pub velocities: Vec<f64>,
+    /// Grid cells.
+    pub grid: usize,
+    /// Domain length.
+    pub box_len: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Charge per particle (all equal; a neutralizing background is
+    /// implied by subtracting the mean density in the field solve).
+    pub charge: f64,
+}
+
+impl PicSystem {
+    /// A two-stream instability setup: two counter-streaming beams with a
+    /// small sinusoidal seed perturbation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `particles` or `grid` is zero.
+    pub fn two_stream(particles: usize, grid: usize, seed: u64) -> PicSystem {
+        assert!(particles > 0 && grid > 0, "empty system");
+        let box_len = grid as f64;
+        let mut rng = Rng64::new(seed);
+        let mut positions = Vec::with_capacity(particles);
+        let mut velocities = Vec::with_capacity(particles);
+        for i in 0..particles {
+            let x0 = (i as f64 + 0.5) * box_len / particles as f64;
+            let perturb = 0.05 * (2.0 * std::f64::consts::PI * x0 / box_len).sin();
+            positions.push((x0 + perturb + rng.range_f64(-0.01, 0.01)).rem_euclid(box_len));
+            velocities.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        PicSystem {
+            positions,
+            velocities,
+            grid,
+            box_len,
+            dt: 0.1,
+            charge: box_len / particles as f64, // unit mean density
+        }
+    }
+
+    /// Number of particles.
+    pub fn particles(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Cell width.
+    pub fn dx(&self) -> f64 {
+        self.box_len / self.grid as f64
+    }
+
+    /// The CIC deposit of one particle: `(left cell, right cell, left
+    /// weight, right weight)`, periodic.
+    fn cic(&self, x: f64) -> (usize, usize, f64, f64) {
+        let xi = x / self.dx();
+        let left = xi.floor() as usize % self.grid;
+        let frac = xi - xi.floor();
+        ((left) % self.grid, (left + 1) % self.grid, 1.0 - frac, frac)
+    }
+
+    /// Scalar reference charge deposition.
+    pub fn deposit_reference(&self) -> Vec<f64> {
+        let mut rho = vec![0.0; self.grid];
+        for &x in &self.positions {
+            let (l, r, wl, wr) = self.cic(x);
+            rho[l] += self.charge * wl;
+            rho[r] += self.charge * wr;
+        }
+        rho
+    }
+
+    /// Periodic field solve: `E[i] = Σ_{j≤i} (ρ[j] − ρ̄)·dx`, gauge-fixed
+    /// to zero mean.
+    pub fn solve_field(&self, rho: &[f64]) -> Vec<f64> {
+        let mean = rho.iter().sum::<f64>() / self.grid as f64;
+        let mut e = Vec::with_capacity(self.grid);
+        let mut acc = 0.0;
+        for &r in rho {
+            acc += (r - mean) * self.dx();
+            e.push(acc);
+        }
+        let e_mean = e.iter().sum::<f64>() / self.grid as f64;
+        for v in &mut e {
+            *v -= e_mean;
+        }
+        e
+    }
+
+    /// CIC interpolation of the field at a particle.
+    fn field_at(&self, e: &[f64], x: f64) -> f64 {
+        let (l, r, wl, wr) = self.cic(x);
+        e[l] * wl + e[r] * wr
+    }
+
+    /// Advance one leapfrog step functionally (reference dynamics).
+    pub fn step_reference(&mut self) {
+        let rho = self.deposit_reference();
+        let e = self.solve_field(&rho);
+        for i in 0..self.positions.len() {
+            let f = self.field_at(&e, self.positions[i]);
+            self.velocities[i] -= f * self.dt; // negative charge species
+            self.positions[i] =
+                (self.positions[i] + self.velocities[i] * self.dt).rem_euclid(self.box_len);
+        }
+    }
+
+    /// The scatter-add stream of the deposit: `(cell indices, weighted
+    /// charges)`, two entries per particle.
+    pub fn deposit_stream(&self) -> (Vec<u64>, Vec<f64>) {
+        let mut idx = Vec::with_capacity(2 * self.particles());
+        let mut val = Vec::with_capacity(2 * self.particles());
+        for &x in &self.positions {
+            let (l, r, wl, wr) = self.cic(x);
+            idx.push(l as u64);
+            val.push(self.charge * wl);
+            idx.push(r as u64);
+            val.push(self.charge * wr);
+        }
+        (idx, val)
+    }
+
+    /// Total charge (conserved by every deposit implementation).
+    pub fn total_charge(&self) -> f64 {
+        self.charge * self.particles() as f64
+    }
+}
+
+/// Timing breakdown of one machine-executed PIC step.
+#[derive(Debug)]
+pub struct PicStepRun {
+    /// Total cycles for the step.
+    pub cycles: u64,
+    /// Deposit (scatter-add) phase cycles.
+    pub deposit_cycles: u64,
+    /// Field-solve (scan) phase cycles.
+    pub field_cycles: u64,
+    /// Gather/push phase cycles.
+    pub push_cycles: u64,
+    /// The charge density the machine computed.
+    pub rho: Vec<f64>,
+    /// The field the machine computed.
+    pub field: Vec<f64>,
+}
+
+impl PicStepRun {
+    /// Execution time in microseconds at 1 GHz.
+    pub fn micros(&self) -> f64 {
+        self.cycles as f64 / 1e3
+    }
+}
+
+/// Execute one PIC step's three phases on the simulated machine with
+/// hardware scatter-add and the hardware scan engine.
+pub fn run_step_hw(cfg: &MachineConfig, sys: &PicSystem) -> PicStepRun {
+    // Phase 1: deposit (gather positions, weight kernel, scatter-add rho).
+    let (idx, val) = sys.deposit_stream();
+    let n = sys.particles();
+    let mut prog = StreamProgram::new();
+    let mut prev: Option<OpId> = None;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + PIC_STAGE).min(n);
+        let p = (end - start) as u64;
+        let deps: Vec<OpId> = prev.into_iter().collect();
+        let g = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT_BASE + start as u64,
+                n: p,
+            }),
+            &deps,
+        );
+        prev = Some(g);
+        let k = prog.add(
+            StreamOp::kernel("cic-weights", p, DEPOSIT_FLOPS, DEPOSIT_OPS, 4),
+            &[g],
+        );
+        prog.add(
+            StreamOp::scatter_add_f64(
+                AccessPattern::Indexed {
+                    base_word: layout::RESULT_BASE,
+                    indices: idx[2 * start..2 * end].to_vec(),
+                },
+                &val[2 * start..2 * end],
+            ),
+            &[k],
+        );
+        start = end;
+    }
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    node.store_mut()
+        .load_f64(Addr::from_word_index(layout::INPUT_BASE), &sys.positions);
+    let dep = Executor::new(*cfg).run(&prog, &mut node);
+    let rho = node
+        .store()
+        .extract_f64(Addr::from_word_index(layout::RESULT_BASE), sys.grid);
+
+    // Phase 2: field solve — scan of (rho - mean)·dx on the scan engine,
+    // then the (scalar, 2-word) gauge fix.
+    let mean = rho.iter().sum::<f64>() / sys.grid as f64;
+    let integrand: Vec<u64> = rho
+        .iter()
+        .map(|&r| ((r - mean) * sys.dx()).to_bits())
+        .collect();
+    let scan = drive_scan(cfg, &integrand, ScalarKind::F64);
+    let mut field = scan.prefix_f64();
+    let e_mean = field.iter().sum::<f64>() / sys.grid as f64;
+    for v in &mut field {
+        *v -= e_mean;
+    }
+
+    // Phase 3: push — gather both field samples per particle + kernel +
+    // store new positions/velocities.
+    let mut prog = StreamProgram::new();
+    let mut prev: Option<OpId> = None;
+    let mut field_idx = Vec::with_capacity(2 * n);
+    for &x in &sys.positions {
+        let (l, r, _, _) = sys.cic(x);
+        field_idx.push(l as u64);
+        field_idx.push(r as u64);
+    }
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + PIC_STAGE).min(n);
+        let p = (end - start) as u64;
+        let deps: Vec<OpId> = prev.into_iter().collect();
+        let g_pos = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT_BASE + start as u64,
+                n: p,
+            }),
+            &deps,
+        );
+        prev = Some(g_pos);
+        let g_field = prog.add(
+            StreamOp::gather(AccessPattern::Indexed {
+                base_word: layout::INPUT2_BASE,
+                indices: field_idx[2 * start..2 * end].to_vec(),
+            }),
+            &[g_pos],
+        );
+        let k = prog.add(
+            StreamOp::kernel("leapfrog", p, PUSH_FLOPS, PUSH_OPS, 6),
+            &[g_field],
+        );
+        // New positions and velocities stream back out.
+        prog.add(
+            StreamOp::scatter(
+                AccessPattern::Sequential {
+                    base_word: layout::SCRATCH_BASE + 2 * start as u64,
+                    n: 2 * p,
+                },
+                vec![0u64; 2 * (end - start)],
+            ),
+            &[k],
+        );
+        start = end;
+    }
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    node.store_mut()
+        .load_f64(Addr::from_word_index(layout::INPUT_BASE), &sys.positions);
+    node.store_mut()
+        .load_f64(Addr::from_word_index(layout::INPUT2_BASE), &field);
+    let push = Executor::new(*cfg).run(&prog, &mut node);
+
+    PicStepRun {
+        cycles: dep.cycles + scan.cycles + push.cycles,
+        deposit_cycles: dep.cycles,
+        field_cycles: scan.cycles,
+        push_cycles: push.cycles,
+        rho,
+        field,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::merrimac()
+    }
+
+    #[test]
+    fn deposit_conserves_charge() {
+        let sys = PicSystem::two_stream(5000, 64, 1);
+        let rho = sys.deposit_reference();
+        let total: f64 = rho.iter().sum();
+        assert!(
+            (total - sys.total_charge()).abs() < 1e-9 * sys.total_charge(),
+            "CIC deposit must conserve charge: {total} vs {}",
+            sys.total_charge()
+        );
+    }
+
+    #[test]
+    fn field_is_periodic_and_gauge_fixed() {
+        let sys = PicSystem::two_stream(2000, 32, 2);
+        let rho = sys.deposit_reference();
+        let e = sys.solve_field(&rho);
+        // Net charge is zero after background subtraction, so the field
+        // closes around the ring and has zero mean.
+        let mean: f64 = e.iter().sum::<f64>() / e.len() as f64;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn machine_deposit_matches_reference() {
+        let sys = PicSystem::two_stream(3000, 128, 3);
+        let run = run_step_hw(&cfg(), &sys);
+        let reference = sys.deposit_reference();
+        for (i, (a, b)) in run.rho.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                "rho[{i}] = {a}, expected {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn machine_field_matches_reference() {
+        let sys = PicSystem::two_stream(3000, 128, 4);
+        let run = run_step_hw(&cfg(), &sys);
+        let reference = sys.solve_field(&sys.deposit_reference());
+        for (i, (a, b)) in run.field.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+                "E[{i}] = {a}, expected {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_dynamics_stay_in_the_box() {
+        let mut sys = PicSystem::two_stream(1000, 64, 5);
+        for _ in 0..20 {
+            sys.step_reference();
+        }
+        assert!(sys
+            .positions
+            .iter()
+            .all(|&x| (0.0..sys.box_len).contains(&x)));
+        // Charge is still conserved after the particles move.
+        let total: f64 = sys.deposit_reference().iter().sum();
+        assert!((total - sys.total_charge()).abs() < 1e-9 * sys.total_charge());
+    }
+
+    #[test]
+    fn two_stream_instability_grows() {
+        // The physics sanity check: counter-streaming beams feed energy
+        // into the field; after some steps the field energy must exceed
+        // its seed value.
+        let mut sys = PicSystem::two_stream(4000, 64, 6);
+        let energy = |s: &PicSystem| -> f64 {
+            let e = s.solve_field(&s.deposit_reference());
+            e.iter().map(|v| v * v).sum()
+        };
+        let start = energy(&sys);
+        for _ in 0..60 {
+            sys.step_reference();
+        }
+        let end = energy(&sys);
+        assert!(
+            end > 2.0 * start,
+            "two-stream field energy should grow: {start:.3e} → {end:.3e}"
+        );
+    }
+
+    #[test]
+    fn step_timing_breakdown_adds_up() {
+        let sys = PicSystem::two_stream(2000, 64, 7);
+        let run = run_step_hw(&cfg(), &sys);
+        assert_eq!(
+            run.cycles,
+            run.deposit_cycles + run.field_cycles + run.push_cycles
+        );
+        assert!(run.micros() > 0.0);
+    }
+}

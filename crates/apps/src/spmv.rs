@@ -1,0 +1,513 @@
+//! Sparse matrix–vector multiply (§4.1, Figure 9): compressed sparse row
+//! versus element-by-element, the latter with software or hardware
+//! scatter-add.
+//!
+//! "The two algorithms provide different trade-offs between amount of
+//! computation and memory accesses required, where EBE performs more
+//! operations at reduced memory demand ... in the EBE algorithm instead of
+//! performing the multiplication on one large sparse-matrix, the calculation
+//! is performed by computing many small dense matrix multiplications where
+//! each dense matrix corresponds to an element."
+
+use std::collections::BTreeMap;
+
+use sa_core::NodeMemSys;
+use sa_proc::{AccessPattern, ExecReport, Executor, OpId, StreamOp, StreamProgram};
+use sa_sim::{Addr, MachineConfig};
+use sa_sw::{build_sort_scan, SortScanLayout, DEFAULT_BATCH};
+
+use crate::layout;
+use crate::mesh::Mesh;
+
+/// Elements per pipelined stage of the EBE programs.
+pub const EBE_STAGE: usize = 128;
+/// Non-zeros per pipelined stage of the CSR program.
+pub const CSR_STAGE: usize = 8192;
+
+/// CSR kernel cost per non-zero: multiply-add plus row-segment handling.
+const CSR_FLOPS_PER_NNZ: u64 = 2;
+const CSR_OPS_PER_NNZ: u64 = 4;
+const CSR_SRF_WORDS_PER_NNZ: u64 = 5;
+
+/// A compressed-sparse-row matrix.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Dimension (square).
+    pub n: usize,
+    /// Row start offsets (`n + 1` entries).
+    pub row_ptr: Vec<usize>,
+    /// Column index per non-zero.
+    pub cols: Vec<u32>,
+    /// Value per non-zero.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Assemble the global matrix `A = Σ_e P_eᵀ A_e P_e` from a mesh.
+    pub fn from_mesh(mesh: &Mesh) -> Csr {
+        let mut rows: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); mesh.n_dofs];
+        let k = mesh.dofs_per_element();
+        for (dofs, m) in mesh.connectivity.iter().zip(&mesh.element_matrices) {
+            for i in 0..k {
+                let r = dofs[i] as usize;
+                for j in 0..k {
+                    *rows[r].entry(dofs[j]).or_insert(0.0) += m[i * k + j];
+                }
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(mesh.n_dofs + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for row in rows {
+            for (c, v) in row {
+                cols.push(c);
+                vals.push(v);
+            }
+            row_ptr.push(cols.len());
+        }
+        Csr {
+            n: mesh.n_dofs,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Average non-zeros per row (the paper's 44.26 at paper scale).
+    pub fn avg_row_nnz(&self) -> f64 {
+        self.nnz() as f64 / self.n as f64
+    }
+
+    /// Reference multiply: `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.vals[i] * x[self.cols[i] as usize];
+            }
+            *out = acc;
+        }
+        y
+    }
+}
+
+/// The element-by-element form of the mesh's operator.
+#[derive(Clone, Debug)]
+pub struct Ebe<'a> {
+    mesh: &'a Mesh,
+}
+
+impl<'a> Ebe<'a> {
+    /// Wrap a mesh for element-by-element multiplication.
+    pub fn new(mesh: &'a Mesh) -> Ebe<'a> {
+        Ebe { mesh }
+    }
+
+    /// Per-element contributions `c_e = A_e · x_e`, flattened in element
+    /// order — the values of the scatter-add stream.
+    pub fn contributions(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mesh.n_dofs, "dimension mismatch");
+        let k = self.mesh.dofs_per_element();
+        let mut out = Vec::with_capacity(self.mesh.incidences());
+        for (dofs, m) in self
+            .mesh
+            .connectivity
+            .iter()
+            .zip(&self.mesh.element_matrices)
+        {
+            for i in 0..k {
+                let mut acc = 0.0;
+                for j in 0..k {
+                    acc += m[i * k + j] * x[dofs[j] as usize];
+                }
+                out.push(acc);
+            }
+        }
+        out
+    }
+
+    /// The scatter-add index trace: for every element, its global DOFs in
+    /// order (38,320 references over the mesh's unknowns at paper scale —
+    /// the SPAS trace of §4.5).
+    pub fn scatter_trace(&self) -> Vec<u64> {
+        self.mesh
+            .connectivity
+            .iter()
+            .flat_map(|dofs| dofs.iter().map(|&d| u64::from(d)))
+            .collect()
+    }
+
+    /// Reference multiply via element superposition.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.mesh.n_dofs];
+        let contributions = self.contributions(x);
+        for (idx, c) in self.scatter_trace().iter().zip(contributions) {
+            y[*idx as usize] += c;
+        }
+        y
+    }
+}
+
+/// A timed SpMV run.
+#[derive(Debug)]
+pub struct SpmvRun {
+    /// Executor report (cycles, FP ops, memory references).
+    pub report: ExecReport,
+    /// `y = A·x` extracted from simulated memory.
+    pub y: Vec<f64>,
+}
+
+fn load_x(node: &mut NodeMemSys, x: &[f64]) {
+    node.store_mut()
+        .load_f64(Addr::from_word_index(layout::SCRATCH_BASE), x);
+}
+
+fn extract_y(node: &NodeMemSys, n: usize) -> Vec<f64> {
+    node.store()
+        .extract_f64(Addr::from_word_index(layout::RESULT_BASE), n)
+}
+
+/// Run the gather-based CSR multiply ("CSR ... is gather based and does not
+/// use the scatter-add functionality").
+///
+/// Streams per stage: values, column indices, `x[col]` (indexed), and row
+/// flags; a multiply/row-reduce kernel; a sequential store of `y`.
+pub fn run_csr(cfg: &MachineConfig, csr: &Csr, x: &[f64]) -> SpmvRun {
+    let y_ref = csr.multiply(x);
+    let mut prog = StreamProgram::new();
+    let nnz = csr.nnz();
+    // Stages chain on their *gathers* (stream order on the AGs), not on the
+    // kernels: the next stage's loads start while this stage computes.
+    let mut prev_gather: Option<OpId> = None;
+    let mut last_kernel: Option<OpId> = None;
+    let mut start = 0usize;
+    while start < nnz {
+        let end = (start + CSR_STAGE).min(nnz);
+        let b = (end - start) as u64;
+        let deps: Vec<OpId> = prev_gather.into_iter().collect();
+        let g_vals = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT_BASE + start as u64,
+                n: b,
+            }),
+            &deps,
+        );
+        let g_cols = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT2_BASE + start as u64,
+                n: b,
+            }),
+            &deps,
+        );
+        let g_x = prog.add(
+            StreamOp::gather(AccessPattern::Indexed {
+                base_word: layout::SCRATCH_BASE,
+                indices: csr.cols[start..end].iter().map(|&c| u64::from(c)).collect(),
+            }),
+            &[g_cols],
+        );
+        let g_flags = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT3_BASE + start as u64,
+                n: b,
+            }),
+            &deps,
+        );
+        let k = prog.add(
+            StreamOp::kernel(
+                "csr-madd-reduce",
+                b,
+                CSR_FLOPS_PER_NNZ,
+                CSR_OPS_PER_NNZ,
+                CSR_SRF_WORDS_PER_NNZ,
+            ),
+            &[g_vals, g_x, g_flags],
+        );
+        prev_gather = Some(g_vals);
+        last_kernel = Some(k);
+        start = end;
+    }
+    // Store y once all row sums are complete.
+    let deps: Vec<OpId> = last_kernel.into_iter().collect();
+    prog.add(
+        StreamOp::scatter(
+            AccessPattern::Sequential {
+                base_word: layout::RESULT_BASE,
+                n: csr.n as u64,
+            },
+            y_ref.iter().map(|v| v.to_bits()).collect(),
+        ),
+        &deps,
+    );
+
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    load_x(&mut node, x);
+    let report = Executor::new(*cfg).run(&prog, &mut node);
+    let y = extract_y(&node, csr.n);
+    SpmvRun { report, y }
+}
+
+/// Shared EBE compute pipeline: gathers (DOF map, `x` values, element
+/// matrix) and the dense per-element matrix-vector kernel. The `sink`
+/// closure appends each stage's output operation (hardware scatter-add or a
+/// buffer write for the software variant).
+fn build_ebe<F>(mesh: &Mesh, x: &[f64], mut sink: F) -> StreamProgram
+where
+    F: FnMut(&mut StreamProgram, OpId, usize, usize, &[u64], &[f64]),
+{
+    let ebe = Ebe::new(mesh);
+    let contributions = ebe.contributions(x);
+    let trace = ebe.scatter_trace();
+    let k = mesh.dofs_per_element() as u64;
+    let mat_words = k * k;
+    let mut prog = StreamProgram::new();
+    let mut prev_gather: Option<OpId> = None;
+    let n_elems = mesh.elements();
+    let mut start = 0usize;
+    while start < n_elems {
+        let end = (start + EBE_STAGE).min(n_elems);
+        let e = (end - start) as u64;
+        let lo = start * mesh.dofs_per_element();
+        let hi = end * mesh.dofs_per_element();
+        let deps: Vec<OpId> = prev_gather.into_iter().collect();
+        // DOF map (element connectivity).
+        let g_dofs = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT3_BASE + lo as u64,
+                n: e * k,
+            }),
+            &deps,
+        );
+        prev_gather = Some(g_dofs);
+        // x values at those DOFs.
+        let g_x = prog.add(
+            StreamOp::gather(AccessPattern::Indexed {
+                base_word: layout::SCRATCH_BASE,
+                indices: trace[lo..hi].to_vec(),
+            }),
+            &[g_dofs],
+        );
+        // Element matrices (dense, sequential).
+        let g_mat = prog.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: layout::INPUT_BASE + (start as u64) * mat_words,
+                n: e * mat_words,
+            }),
+            &deps,
+        );
+        // Dense k×k mat-vec per element: 2k² flops.
+        let kern = prog.add(
+            StreamOp::kernel(
+                "ebe-dense-matvec",
+                e,
+                2 * k * k,
+                2 * k * k,
+                mat_words + 2 * k,
+            ),
+            &[g_x, g_mat],
+        );
+        sink(
+            &mut prog,
+            kern,
+            lo,
+            hi,
+            &trace[lo..hi],
+            &contributions[lo..hi],
+        );
+        start = end;
+    }
+    prog
+}
+
+/// Run EBE with hardware scatter-add: each element's contribution stream is
+/// scatter-added straight into `y`.
+pub fn run_ebe_hw(cfg: &MachineConfig, mesh: &Mesh, x: &[f64]) -> SpmvRun {
+    let prog = build_ebe(mesh, x, |prog, kern, _lo, _hi, trace, contrib| {
+        prog.add(
+            StreamOp::scatter_add_f64(
+                AccessPattern::Indexed {
+                    base_word: layout::RESULT_BASE,
+                    indices: trace.to_vec(),
+                },
+                contrib,
+            ),
+            &[kern],
+        );
+    });
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    load_x(&mut node, x);
+    let report = Executor::new(*cfg).run(&prog, &mut node);
+    let y = extract_y(&node, mesh.n_dofs);
+    SpmvRun { report, y }
+}
+
+/// Run EBE with the software scatter-add: contributions are written to a
+/// scratch buffer, then summed into `y` by the batched sort + segmented
+/// scan baseline.
+pub fn run_ebe_sw(cfg: &MachineConfig, mesh: &Mesh, x: &[f64], batch: usize) -> SpmvRun {
+    let mut last_write: Option<OpId> = None;
+    let mut prog = build_ebe(mesh, x, |prog, kern, lo, _hi, _trace, contrib| {
+        let w = prog.add(
+            StreamOp::scatter(
+                AccessPattern::Sequential {
+                    base_word: layout::SCRATCH2_BASE + lo as u64,
+                    n: contrib.len() as u64,
+                },
+                contrib.iter().map(|v| v.to_bits()).collect(),
+            ),
+            &[kern],
+        );
+        last_write = Some(w);
+    });
+    // The software scatter-add consumes the buffered contributions.
+    let ebe = Ebe::new(mesh);
+    let kernel = sa_core::ScatterKernel::superposition(
+        layout::RESULT_BASE,
+        ebe.scatter_trace(),
+        &ebe.contributions(x),
+    );
+    let sw = build_sort_scan(
+        &kernel,
+        &SortScanLayout {
+            idx_base: layout::INPUT2_BASE, // trace preloaded here
+            val_base: Some(layout::SCRATCH2_BASE),
+        },
+        batch,
+    );
+    // Append the software phase behind the compute phase.
+    let offset = prog.len();
+    let barrier = last_write.expect("mesh has elements");
+    for (_, op, deps) in sw.iter() {
+        let mut new_deps: Vec<OpId> = deps.iter().map(|d| d + offset).collect();
+        if deps.is_empty() {
+            new_deps.push(barrier);
+        }
+        prog.add(op.clone(), &new_deps);
+    }
+
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    load_x(&mut node, x);
+    // Preload the index trace for the software phase's gathers.
+    let trace_i64: Vec<i64> = ebe.scatter_trace().iter().map(|&t| t as i64).collect();
+    node.store_mut()
+        .load_i64(Addr::from_word_index(layout::INPUT2_BASE), &trace_i64);
+    let report = Executor::new(*cfg).run(&prog, &mut node);
+    let y = extract_y(&node, mesh.n_dofs);
+    SpmvRun { report, y }
+}
+
+/// Run EBE-SW with the paper's optimal batch size.
+pub fn run_ebe_sw_default(cfg: &MachineConfig, mesh: &Mesh, x: &[f64]) -> SpmvRun {
+    run_ebe_sw(cfg, mesh, x, DEFAULT_BATCH)
+}
+
+#[cfg(test)]
+fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_mesh() -> Mesh {
+        Mesh::generate(40, 8, 160, 1)
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::merrimac()
+    }
+
+    #[test]
+    fn assembly_matches_ebe_multiply() {
+        let mesh = small_mesh();
+        let x = mesh.test_vector(2);
+        let csr = Csr::from_mesh(&mesh);
+        let y_csr = csr.multiply(&x);
+        let y_ebe = Ebe::new(&mesh).multiply(&x);
+        assert_close(&y_csr, &y_ebe, 1e-9);
+    }
+
+    #[test]
+    fn paper_scale_row_population() {
+        let mesh = Mesh::paper_scale(1);
+        let csr = Csr::from_mesh(&mesh);
+        let avg = csr.avg_row_nnz();
+        assert!(
+            (25.0..60.0).contains(&avg),
+            "row population should approximate the paper's 44.26, got {avg:.2}"
+        );
+    }
+
+    #[test]
+    fn csr_run_is_correct_and_counts_refs() {
+        let mesh = small_mesh();
+        let x = mesh.test_vector(3);
+        let csr = Csr::from_mesh(&mesh);
+        let run = run_csr(&cfg(), &csr, &x);
+        assert_close(&run.y, &csr.multiply(&x), 1e-9);
+        // 4 streams of nnz plus the y store.
+        assert_eq!(run.report.mem_refs, 4 * csr.nnz() as u64 + csr.n as u64);
+        assert_eq!(run.report.flops, CSR_FLOPS_PER_NNZ * csr.nnz() as u64);
+    }
+
+    #[test]
+    fn ebe_hw_run_is_correct() {
+        let mesh = small_mesh();
+        let x = mesh.test_vector(4);
+        let run = run_ebe_hw(&cfg(), &mesh, &x);
+        assert_close(&run.y, &Ebe::new(&mesh).multiply(&x), 1e-9);
+        // Per element: k DOF words + k x words + k² matrix words + k adds.
+        let k = mesh.dofs_per_element() as u64;
+        let e = mesh.elements() as u64;
+        assert_eq!(run.report.mem_refs, e * (3 * k + k * k));
+        assert_eq!(run.report.flops, e * 2 * k * k);
+    }
+
+    #[test]
+    fn ebe_sw_run_is_correct() {
+        let mesh = small_mesh();
+        let x = mesh.test_vector(5);
+        let run = run_ebe_sw_default(&cfg(), &mesh, &x);
+        assert_close(&run.y, &Ebe::new(&mesh).multiply(&x), 1e-9);
+    }
+
+    #[test]
+    fn ebe_sw_costs_more_than_hw() {
+        // Figure 9: EBE-SW has more cycles, more FP ops, and more memory
+        // references than EBE-HW.
+        let mesh = Mesh::generate(200, 12, 800, 6);
+        let x = mesh.test_vector(7);
+        let hw = run_ebe_hw(&cfg(), &mesh, &x);
+        let sw = run_ebe_sw_default(&cfg(), &mesh, &x);
+        assert!(sw.report.cycles > hw.report.cycles);
+        assert!(sw.report.flops > hw.report.flops);
+        assert!(sw.report.mem_refs > hw.report.mem_refs);
+    }
+
+    #[test]
+    fn scatter_trace_matches_incidences() {
+        let mesh = small_mesh();
+        let trace = Ebe::new(&mesh).scatter_trace();
+        assert_eq!(trace.len(), mesh.incidences());
+        assert!(trace.iter().all(|&t| (t as usize) < mesh.n_dofs));
+    }
+}

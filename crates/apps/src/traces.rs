@@ -1,0 +1,172 @@
+//! Scatter-trace analytics: the locality statistics that explain the
+//! multi-node results of §4.5.
+//!
+//! The paper attributes each Figure 13 curve to properties of its reference
+//! trace — "the high locality makes both the combining within the
+//! scatter-add unit itself and in the cache very effective" (narrow),
+//! "the large range of addresses accessed ... lead\[s\] to an extremely low
+//! cache hit rate" (wide), "the locality in the neighbor lists is high"
+//! (GROMACS). This module computes those properties: footprint, skew,
+//! short-range combining opportunity, and cache-line working sets.
+
+use std::collections::HashMap;
+
+/// Locality statistics of a scatter-add reference trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Total references.
+    pub len: usize,
+    /// Distinct word indices touched.
+    pub unique_words: usize,
+    /// Distinct cache lines touched (at `line_words` words per line).
+    pub unique_lines: usize,
+    /// References to the most popular word (the hot-spot degree).
+    pub max_multiplicity: usize,
+    /// Mean references per touched word (`len / unique_words`).
+    pub mean_multiplicity: f64,
+    /// Fraction of references whose word reappears within the next
+    /// `window` references — the chance the combining store can merge them
+    /// (the window models its capacity).
+    pub window_reuse: f64,
+    /// The window used for `window_reuse`.
+    pub window: usize,
+}
+
+impl TraceStats {
+    /// Analyze a trace of word indices with the given cache-line width and
+    /// combining window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_words` or `window` is zero.
+    pub fn analyze(trace: &[u64], line_words: u64, window: usize) -> TraceStats {
+        assert!(line_words > 0, "line width must be positive");
+        assert!(window > 0, "window must be positive");
+        let mut word_counts: HashMap<u64, usize> = HashMap::new();
+        let mut line_set: HashMap<u64, ()> = HashMap::new();
+        for &w in trace {
+            *word_counts.entry(w).or_insert(0) += 1;
+            line_set.insert(w / line_words, ());
+        }
+        // Window reuse: a reference counts if the same word occurs again
+        // within the next `window` references.
+        let mut reuses = 0usize;
+        for (i, &w) in trace.iter().enumerate() {
+            let end = (i + 1 + window).min(trace.len());
+            if trace[i + 1..end].contains(&w) {
+                reuses += 1;
+            }
+        }
+        let unique_words = word_counts.len();
+        TraceStats {
+            len: trace.len(),
+            unique_words,
+            unique_lines: line_set.len(),
+            max_multiplicity: word_counts.values().copied().max().unwrap_or(0),
+            mean_multiplicity: if unique_words == 0 {
+                0.0
+            } else {
+                trace.len() as f64 / unique_words as f64
+            },
+            window_reuse: if trace.is_empty() {
+                0.0
+            } else {
+                reuses as f64 / trace.len() as f64
+            },
+            window,
+        }
+    }
+
+    /// Bytes of result data the trace touches (`unique_words × 8`).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_words as u64 * 8
+    }
+
+    /// Whether the footprint fits a cache of `bytes` (the Figure 13
+    /// narrow-vs-wide distinction).
+    pub fn fits_cache(&self, bytes: u64) -> bool {
+        (self.unique_lines as u64) * 32 <= bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sim::Rng64;
+
+    #[test]
+    fn counts_are_exact_on_a_known_trace() {
+        let trace = [0u64, 1, 0, 2, 0, 1, 8];
+        let s = TraceStats::analyze(&trace, 4, 4);
+        assert_eq!(s.len, 7);
+        assert_eq!(s.unique_words, 4);
+        assert_eq!(
+            s.unique_lines, 2,
+            "words 0,1,2 share line 0; word 8 is line 2"
+        );
+        assert_eq!(s.max_multiplicity, 3);
+        assert!((s.mean_multiplicity - 7.0 / 4.0).abs() < 1e-12);
+        assert_eq!(s.footprint_bytes(), 32);
+    }
+
+    #[test]
+    fn window_reuse_distinguishes_narrow_from_wide() {
+        let mut rng = Rng64::new(1);
+        let narrow: Vec<u64> = (0..4000).map(|_| rng.below(64)).collect();
+        let wide: Vec<u64> = (0..4000).map(|_| rng.below(1 << 20)).collect();
+        let sn = TraceStats::analyze(&narrow, 4, 64);
+        let sw = TraceStats::analyze(&wide, 4, 64);
+        assert!(
+            sn.window_reuse > 0.5,
+            "narrow trace combines heavily: {}",
+            sn.window_reuse
+        );
+        assert!(
+            sw.window_reuse < 0.01,
+            "wide trace barely combines: {}",
+            sw.window_reuse
+        );
+        // The narrow footprint fits even a small cache; the wide one (about
+        // 4000 distinct lines = 128 KB) overflows a 64 KB cache.
+        assert!(sn.fits_cache(64 << 10));
+        assert!(!sw.fits_cache(64 << 10));
+    }
+
+    #[test]
+    fn application_traces_have_the_locality_the_paper_describes() {
+        // GROMACS-like: high neighbor-list locality over ~8K force words.
+        let sys = crate::md::WaterSystem::generate(120, 2);
+        let trace = sys.scatter_trace();
+        let s = TraceStats::analyze(&trace, 4, 64);
+        assert!(
+            s.window_reuse > 0.3,
+            "MD trace locality: {}",
+            s.window_reuse
+        );
+        assert_eq!(s.unique_words, sys.sites() * 3);
+
+        // SPAS-like: element-sharing gives moderate short-range reuse.
+        let mesh = crate::mesh::Mesh::generate(120, 20, 640, 3);
+        let ebe = crate::spmv::Ebe::new(&mesh);
+        let s = TraceStats::analyze(&ebe.scatter_trace(), 4, 64);
+        assert!(
+            s.mean_multiplicity > 2.0,
+            "DOF sharing: {}",
+            s.mean_multiplicity
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::analyze(&[], 4, 8);
+        assert_eq!(s.len, 0);
+        assert_eq!(s.window_reuse, 0.0);
+        assert_eq!(s.mean_multiplicity, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = TraceStats::analyze(&[1], 4, 0);
+    }
+}

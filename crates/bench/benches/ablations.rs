@@ -1,0 +1,77 @@
+//! Ablation benches for the design choices called out in DESIGN.md: each
+//! group varies one machine parameter of the scatter-add design and runs the
+//! same workload, printing simulated-cycle effects through the measured
+//! simulation time (the simulated cycle counts themselves are verified and
+//! reported by the `fig*` binaries and EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_apps::histogram::{run_hw, run_sort_scan, HistogramInput};
+use sa_multinode::MultiNode;
+use sa_sim::{MachineConfig, NetworkConfig, Rng64};
+
+/// Bank count ablation: the scatter-add units scale with cache banks.
+fn bank_count(c: &mut Criterion) {
+    let input = HistogramInput::uniform(2048, 4096, 1);
+    let mut group = c.benchmark_group("ablation_banks");
+    group.sample_size(10);
+    for banks in [2usize, 4, 8] {
+        let mut cfg = MachineConfig::merrimac();
+        cfg.cache.banks = banks;
+        group.bench_with_input(BenchmarkId::from_parameter(banks), &cfg, |b, cfg| {
+            b.iter(|| run_hw(cfg, &input).report.cycles)
+        });
+    }
+    group.finish();
+}
+
+/// FU latency ablation on the full machine (Figure 11 uses the rig).
+fn fu_latency(c: &mut Criterion) {
+    let input = HistogramInput::uniform(2048, 2, 2); // dependent chains
+    let mut group = c.benchmark_group("ablation_fu_latency");
+    group.sample_size(10);
+    for lat in [1u32, 4, 8] {
+        let mut cfg = MachineConfig::merrimac();
+        cfg.sa.fu_latency = lat;
+        group.bench_with_input(BenchmarkId::from_parameter(lat), &cfg, |b, cfg| {
+            b.iter(|| run_hw(cfg, &input).report.cycles)
+        });
+    }
+    group.finish();
+}
+
+/// Software batch-size ablation (§4.1: 256 was the paper's optimum).
+fn sw_batch_size(c: &mut Criterion) {
+    let cfg = MachineConfig::merrimac();
+    let input = HistogramInput::uniform(4096, 2048, 3);
+    let mut group = c.benchmark_group("ablation_sw_batch");
+    group.sample_size(10);
+    for batch in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| run_sort_scan(&cfg, &input, batch).report.cycles)
+        });
+    }
+    group.finish();
+}
+
+/// Multi-node cache-combining ablation on a high-locality trace.
+fn combining(c: &mut Criterion) {
+    let machine = MachineConfig::merrimac();
+    let mut rng = Rng64::new(4);
+    let trace: Vec<u64> = (0..4096).map(|_| rng.below(128)).collect();
+    let values = vec![1.0; trace.len()];
+    let mut group = c.benchmark_group("ablation_combining");
+    group.sample_size(10);
+    for (name, combining) in [("direct", false), ("combining", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                MultiNode::new(machine, 4, NetworkConfig::low(), combining)
+                    .run_trace(&trace, &values)
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bank_count, fu_latency, sw_batch_size, combining);
+criterion_main!(benches);

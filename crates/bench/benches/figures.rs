@@ -1,0 +1,140 @@
+//! Reduced-scale end-to-end versions of the paper's figures, one Criterion
+//! bench per figure, so `cargo bench` exercises every experiment path.
+//! The full-scale runs (paper-size inputs, full sweeps) live in the
+//! `src/bin/fig*.rs` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sa_apps::histogram::{
+    run_hw, run_privatization_default, run_sort_scan_default, HistogramInput,
+};
+use sa_apps::md::WaterSystem;
+use sa_apps::mesh::Mesh;
+use sa_apps::spmv::{run_csr, run_ebe_hw, run_ebe_sw_default, Csr};
+use sa_core::SensitivityRig;
+use sa_multinode::MultiNode;
+use sa_sim::{MachineConfig, NetworkConfig, Rng64, SensitivityConfig};
+
+fn fig6_histogram_sizes(c: &mut Criterion) {
+    let cfg = MachineConfig::merrimac();
+    let input = HistogramInput::uniform(1024, 2048, 6);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("hw_1024", |b| b.iter(|| run_hw(&cfg, &input).report.cycles));
+    group.bench_function("sort_scan_1024", |b| {
+        b.iter(|| run_sort_scan_default(&cfg, &input).report.cycles)
+    });
+    group.finish();
+}
+
+fn fig7_index_ranges(c: &mut Criterion) {
+    let cfg = MachineConfig::merrimac();
+    let narrow = HistogramInput::uniform(2048, 16, 7);
+    let wide = HistogramInput::uniform(2048, 1 << 18, 7);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("hw_narrow_range", |b| {
+        b.iter(|| run_hw(&cfg, &narrow).report.cycles)
+    });
+    group.bench_function("hw_wide_range", |b| {
+        b.iter(|| run_hw(&cfg, &wide).report.cycles)
+    });
+    group.finish();
+}
+
+fn fig8_privatization(c: &mut Criterion) {
+    let cfg = MachineConfig::merrimac();
+    let input = HistogramInput::uniform(1024, 512, 8);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("privatization_512bins", |b| {
+        b.iter(|| run_privatization_default(&cfg, &input).report.cycles)
+    });
+    group.finish();
+}
+
+fn fig9_spmv(c: &mut Criterion) {
+    let cfg = MachineConfig::merrimac();
+    let mesh = Mesh::generate(150, 20, 800, 9);
+    let x = mesh.test_vector(9);
+    let csr = Csr::from_mesh(&mesh);
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("csr", |b| b.iter(|| run_csr(&cfg, &csr, &x).report.cycles));
+    group.bench_function("ebe_sw", |b| {
+        b.iter(|| run_ebe_sw_default(&cfg, &mesh, &x).report.cycles)
+    });
+    group.bench_function("ebe_hw", |b| {
+        b.iter(|| run_ebe_hw(&cfg, &mesh, &x).report.cycles)
+    });
+    group.finish();
+}
+
+fn fig10_md(c: &mut Criterion) {
+    let cfg = MachineConfig::merrimac();
+    let sys = WaterSystem::generate(80, 10);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("md_hw", |b| {
+        b.iter(|| sa_apps::md::run_hw(&cfg, &sys).report.cycles)
+    });
+    group.bench_function("md_no_sa", |b| {
+        b.iter(|| sa_apps::md::run_no_sa(&cfg, &sys).report.cycles)
+    });
+    group.finish();
+}
+
+fn fig11_12_sensitivity(c: &mut Criterion) {
+    let mut rng = Rng64::new(11);
+    let indices: Vec<u64> = (0..512).map(|_| rng.below(65_536)).collect();
+    let mut group = c.benchmark_group("fig11_12");
+    group.bench_function("rig_cs8_lat16", |b| {
+        let rig = SensitivityRig::new(SensitivityConfig::default());
+        b.iter(|| rig.run_histogram(&indices, 65_536).cycles)
+    });
+    group.bench_function("rig_cs64_lat256", |b| {
+        let rig = SensitivityRig::new(SensitivityConfig {
+            cs_entries: 64,
+            fu_latency: 4,
+            mem_latency: 256,
+            mem_interval: 2,
+        });
+        b.iter(|| rig.run_histogram(&indices, 65_536).cycles)
+    });
+    group.finish();
+}
+
+fn fig13_multinode(c: &mut Criterion) {
+    let machine = MachineConfig::merrimac();
+    let mut rng = Rng64::new(13);
+    let trace: Vec<u64> = (0..4096).map(|_| rng.below(256)).collect();
+    let values = vec![1.0; trace.len()];
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("4node_low_direct", |b| {
+        b.iter(|| {
+            MultiNode::new(machine, 4, NetworkConfig::low(), false)
+                .run_trace(&trace, &values)
+                .cycles
+        })
+    });
+    group.bench_function("4node_low_combining", |b| {
+        b.iter(|| {
+            MultiNode::new(machine, 4, NetworkConfig::low(), true)
+                .run_trace(&trace, &values)
+                .cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig6_histogram_sizes,
+    fig7_index_ranges,
+    fig8_privatization,
+    fig9_spmv,
+    fig10_md,
+    fig11_12_sensitivity,
+    fig13_multinode
+);
+criterion_main!(benches);

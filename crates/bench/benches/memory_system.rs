@@ -1,0 +1,149 @@
+//! Benches of the memory-system substrates: DRAM channel, cache bank, and
+//! crossbar simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sa_cache::{AccessKind, CacheAccess, CacheBank};
+use sa_mem::{BackingStore, DramChannel, DramCommand, DramKind, SimpleMemory};
+use sa_net::{Crossbar, Message};
+use sa_sim::{
+    Addr, CacheConfig, Cycle, DramConfig, MemOp, MemRequest, NetworkConfig, Origin, Rng64,
+};
+
+fn dram_channel(c: &mut Criterion) {
+    c.bench_function("dram_channel_stream_10k_cycles", |b| {
+        b.iter(|| {
+            let cfg = DramConfig::default();
+            let mut store = BackingStore::new();
+            let mut ch = DramChannel::new(cfg);
+            let mut now = Cycle(0);
+            let mut id = 0u64;
+            let mut words = 0u64;
+            for _ in 0..10_000 {
+                now += 1;
+                while ch.can_accept() {
+                    id += 1;
+                    let _ = ch.try_submit(
+                        DramCommand {
+                            id,
+                            base: Addr(id * 32),
+                            words: 4,
+                            kind: DramKind::Read,
+                            origin: Origin::CacheBank { node: 0, bank: 0 },
+                        },
+                        now,
+                    );
+                }
+                if let Some(r) = ch.tick(now, &mut store) {
+                    words += r.data.len() as u64;
+                }
+            }
+            words
+        })
+    });
+}
+
+fn cache_bank_hits(c: &mut Criterion) {
+    c.bench_function("cache_bank_hit_stream_8k", |b| {
+        let cfg = CacheConfig::default();
+        b.iter(|| {
+            let mut bank = CacheBank::new(cfg, 0, 0);
+            // Zero-alloc a few lines, then hammer them with hits.
+            let mut lines = Vec::new();
+            for l in 0.. {
+                if cfg.bank_of_line(l) == 0 {
+                    lines.push(l);
+                    if lines.len() == 8 {
+                        break;
+                    }
+                }
+            }
+            let mut now = Cycle(0);
+            let mut sum = 0u64;
+            for i in 0..8192u64 {
+                now += 1;
+                let addr = Addr(lines[(i % 8) as usize] * cfg.line_bytes);
+                let acc = CacheAccess {
+                    id: i,
+                    addr,
+                    kind: if i < 8 {
+                        AccessKind::Read { zero_alloc: true }
+                    } else {
+                        AccessKind::Read { zero_alloc: false }
+                    },
+                    origin: Origin::AddrGen { node: 0, ag: 0 },
+                };
+                let _ = bank.try_access(acc, now);
+                while let Some(r) = bank.pop_ready(now) {
+                    sum = sum.wrapping_add(r.bits);
+                }
+            }
+            sum
+        })
+    });
+}
+
+fn simple_memory(c: &mut Criterion) {
+    c.bench_function("simple_memory_stream_8k", |b| {
+        b.iter(|| {
+            let mut store = BackingStore::new();
+            let mut mem = SimpleMemory::new(16, 2);
+            let mut now = Cycle(0);
+            let mut done = 0u64;
+            let mut i = 0u64;
+            while done < 8192 {
+                now += 1;
+                let req = MemRequest {
+                    id: i,
+                    addr: Addr::from_word_index(i % 1024),
+                    op: MemOp::Read,
+                    origin: Origin::SaUnit { node: 0, bank: 0 },
+                };
+                if mem.try_access(req, now, &mut store) {
+                    i += 1;
+                }
+                if mem.tick(now).is_some() {
+                    done += 1;
+                }
+            }
+            now.raw()
+        })
+    });
+}
+
+fn crossbar(c: &mut Criterion) {
+    c.bench_function("crossbar_4node_shuffle_4k_msgs", |b| {
+        b.iter(|| {
+            let mut net: Crossbar<u64> = Crossbar::new(4, NetworkConfig::high());
+            let mut rng = Rng64::new(3);
+            let mut now = Cycle(0);
+            let mut sent = 0u64;
+            let mut recv = 0u64;
+            while recv < 4096 {
+                now += 1;
+                for s in 0..4 {
+                    if sent < 4096 && net.can_inject(s) {
+                        let d = (s + 1 + rng.below(3) as usize) % 4;
+                        let _ = net.try_inject(Message::new(s, d, 1, sent));
+                        sent += 1;
+                    }
+                }
+                net.tick(now);
+                for d in 0..4 {
+                    while net.pop_delivered(d).is_some() {
+                        recv += 1;
+                    }
+                }
+            }
+            now.raw()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    dram_channel,
+    cache_bank_hits,
+    simple_memory,
+    crossbar
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the scatter-add unit: simulated-machine cycle counts
+//! are asserted in the crates' tests; these benches measure the *simulator's*
+//! throughput on characteristic traffic patterns so regressions in the model
+//! show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_core::{drive_scatter, ScatterKernel};
+use sa_sim::{MachineConfig, Rng64};
+
+fn unit_patterns(c: &mut Criterion) {
+    let cfg = MachineConfig::merrimac();
+    let n = 2048usize;
+    let mut group = c.benchmark_group("scatter_unit");
+    group.sample_size(10);
+
+    // Distinct addresses: additions pipeline through the FUs.
+    let distinct = ScatterKernel::histogram(0, (0..n as u64).collect());
+    group.bench_function("distinct_addresses", |b| {
+        b.iter(|| drive_scatter(&cfg, &distinct, false).cycles)
+    });
+
+    // One hot address: the dependent-add chain (Figure 7's left edge).
+    let hot = ScatterKernel::histogram(0, vec![0; n]);
+    group.bench_function("hot_address_chain", |b| {
+        b.iter(|| drive_scatter(&cfg, &hot, false).cycles)
+    });
+
+    // Uniform random over a cache-resident range.
+    let mut rng = Rng64::new(1);
+    let uniform = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(4096)).collect());
+    group.bench_function("uniform_4096_bins", |b| {
+        b.iter(|| drive_scatter(&cfg, &uniform, false).cycles)
+    });
+
+    // Fetch-op variant (the §3.3 extension) on one counter.
+    let fetch = ScatterKernel::histogram(0, vec![0; 512]);
+    group.bench_function("fetch_and_add_queue_alloc", |b| {
+        b.iter(|| drive_scatter(&cfg, &fetch, true).fetched.len())
+    });
+
+    group.finish();
+}
+
+fn combining_store_sizes(c: &mut Criterion) {
+    let mut rng = Rng64::new(2);
+    let n = 1024usize;
+    let indices: Vec<u64> = (0..n).map(|_| rng.below(8192)).collect();
+    let kernel = ScatterKernel::histogram(0, indices);
+    let mut group = c.benchmark_group("combining_store_size");
+    group.sample_size(10);
+    for cs in [2usize, 8, 32] {
+        let mut cfg = MachineConfig::merrimac();
+        cfg.sa.cs_entries = cs;
+        group.bench_with_input(BenchmarkId::from_parameter(cs), &cfg, |b, cfg| {
+            b.iter(|| drive_scatter(cfg, &kernel, false).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, unit_patterns, combining_store_sizes);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benches of the software scatter-add building blocks (functional layer):
+//! bitonic sort, segmented scan, the batched pipeline, coloring, and
+//! privatization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_core::ScatterKernel;
+use sa_sim::{Rng64, ScalarKind};
+use sa_sw::{
+    bitonic_sort_pairs, color_assignment, inclusive_scan_add, privatization_result, segment_heads,
+    segmented_scan_add, sort_scan_result,
+};
+
+fn sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitonic_sort");
+    for size in [256usize, 1024, 4096] {
+        let mut rng = Rng64::new(size as u64);
+        let keys: Vec<u64> = (0..size).map(|_| rng.below(1 << 20)).collect();
+        let vals: Vec<u64> = (0..size as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut v = vals.clone();
+                bitonic_sort_pairs(&mut k, &mut v)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn scans(c: &mut Criterion) {
+    let mut rng = Rng64::new(7);
+    let n = 16_384;
+    let xs: Vec<u64> = (0..n).map(|_| rng.below(100)).collect();
+    let mut keys: Vec<u64> = (0..n as u64).map(|_| rng.below(512)).collect();
+    keys.sort_unstable();
+    let heads = segment_heads(&keys);
+    let mut group = c.benchmark_group("scan");
+    group.bench_function("inclusive_scan_16k", |b| {
+        b.iter(|| inclusive_scan_add(&xs, ScalarKind::I64))
+    });
+    group.bench_function("segmented_scan_16k", |b| {
+        b.iter(|| segmented_scan_add(&xs, &heads, ScalarKind::I64))
+    });
+    group.finish();
+}
+
+fn batched_pipeline(c: &mut Criterion) {
+    let mut rng = Rng64::new(9);
+    let n = 8192;
+    let kernel = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(2048)).collect());
+    let mut group = c.benchmark_group("sort_scan_functional");
+    group.sample_size(20);
+    for batch in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| sort_scan_result(&kernel, 2048, batch))
+        });
+    }
+    group.finish();
+}
+
+fn other_baselines(c: &mut Criterion) {
+    let mut rng = Rng64::new(11);
+    let n = 8192;
+    let indices: Vec<u64> = (0..n).map(|_| rng.below(512)).collect();
+    let kernel = ScatterKernel::histogram(0, indices.clone());
+    let mut group = c.benchmark_group("baselines");
+    group.bench_function("color_assignment_8k", |b| {
+        b.iter(|| color_assignment(&indices))
+    });
+    group.bench_function("privatization_8k_512bins", |b| {
+        b.iter(|| privatization_result(&kernel, 512, 32))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sorting, scans, batched_pipeline, other_baselines);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! A dependency-free `--key value` argument parser for the `explore` CLI.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parse failure: which flag and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgError {
+    /// The flag in question (without dashes).
+    pub flag: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "--{}: {}", self.flag, self.reason)
+    }
+}
+
+impl std::error::Error for ParseArgError {}
+
+/// Parsed `--key value` / `--switch` arguments plus positional words.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (excluding the program
+    /// name). A token starting with `--` that is followed by a non-flag
+    /// token becomes a key/value pair; a trailing or flag-followed `--x`
+    /// becomes a switch; everything else is positional.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Args {
+        let tokens: Vec<String> = raw.into_iter().collect();
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(flag) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    out.values.insert(flag.to_owned(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.switches.push(flag.to_owned());
+                    i += 1;
+                }
+            } else {
+                out.positional.push(t.clone());
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Parse from the process environment.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// The positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Whether `--flag` was given (with or without a value).
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag) || self.values.contains_key(flag)
+    }
+
+    /// The raw value of `--flag`, if present.
+    pub fn raw(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// Parse `--flag`'s value as `T`, or return `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseArgError`] when the flag is present but does not
+    /// parse as `T`.
+    pub fn get_or<T: FromStr>(&self, flag: &str, default: T) -> Result<T, ParseArgError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParseArgError {
+                flag: flag.to_owned(),
+                reason: format!("could not parse {v:?}"),
+            }),
+        }
+    }
+
+    /// Require `--flag` to be one of `options`; returns `default` when
+    /// absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseArgError`] naming the valid options otherwise.
+    pub fn choice<'a>(
+        &'a self,
+        flag: &str,
+        options: &[&'a str],
+        default: &'a str,
+    ) -> Result<&'a str, ParseArgError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => options
+                .iter()
+                .find(|&&o| o == v)
+                .copied()
+                .ok_or_else(|| ParseArgError {
+                    flag: flag.to_owned(),
+                    reason: format!("{v:?} is not one of {options:?}"),
+                }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn key_values_and_positionals() {
+        let a = parse("histogram --n 1024 --range 64 --quick");
+        assert_eq!(a.positional(), ["histogram"]);
+        assert_eq!(a.get_or("n", 0usize).unwrap(), 1024);
+        assert_eq!(a.get_or("range", 0u64).unwrap(), 64);
+        assert!(a.has("quick"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("scan");
+        assert_eq!(a.get_or("n", 4096usize).unwrap(), 4096);
+    }
+
+    #[test]
+    fn bad_value_reports_flag() {
+        let a = parse("--n frog");
+        let err = a.get_or("n", 0usize).unwrap_err();
+        assert_eq!(err.flag, "n");
+        assert!(err.to_string().contains("frog"));
+    }
+
+    #[test]
+    fn choices_validate() {
+        let a = parse("--impl hw");
+        assert_eq!(a.choice("impl", &["hw", "sortscan"], "hw").unwrap(), "hw");
+        assert_eq!(a.choice("net", &["low", "high"], "high").unwrap(), "high");
+        let b = parse("--impl carrier-pigeon");
+        assert!(b.choice("impl", &["hw", "sortscan"], "hw").is_err());
+    }
+
+    #[test]
+    fn switch_followed_by_flag() {
+        let a = parse("--combining --nodes 4");
+        assert!(a.has("combining"));
+        assert_eq!(a.get_or("nodes", 1usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn raw_access() {
+        let a = parse("--seed 42");
+        assert_eq!(a.raw("seed"), Some("42"));
+        assert_eq!(a.raw("nope"), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! Trace analytics behind Figure 13: the locality statistics of the four
+//! reference traces, computed with `sa_apps::traces::TraceStats` — the
+//! quantities the paper invokes qualitatively ("high locality", "extremely
+//! low cache hit rate") when explaining the scalability curves.
+
+use sa_apps::md::WaterSystem;
+use sa_apps::mesh::Mesh;
+use sa_apps::spmv::Ebe;
+use sa_apps::traces::TraceStats;
+use sa_bench::{header, quick_mode, row};
+use sa_sim::{MachineConfig, Rng64};
+
+fn report(name: &str, trace: &[u64], cfg: &MachineConfig) {
+    let line_words = cfg.cache.words_per_line();
+    // Window = total combining-store capacity of one node.
+    let window = cfg.sa.cs_entries * cfg.cache.banks;
+    let s = TraceStats::analyze(trace, line_words, window);
+    row(
+        name,
+        &[
+            ("refs", format!("{}", s.len)),
+            ("unique", format!("{}", s.unique_words)),
+            ("footprint", format!("{}KB", s.footprint_bytes() >> 10)),
+            ("reuse@64", format!("{:.2}", s.window_reuse)),
+            (
+                "in-cache",
+                format!("{}", s.fits_cache(cfg.cache.total_bytes)),
+            ),
+        ],
+    );
+}
+
+fn main() {
+    let cfg = MachineConfig::merrimac();
+    let quick = quick_mode();
+    header(
+        "Trace analytics (explains Figure 13)",
+        "reuse@64 = fraction of references merged by a 64-entry combining window",
+    );
+    let hist_n = if quick { 8192 } else { 65_536 };
+    let mut rng = Rng64::new(0xA11A);
+    let narrow: Vec<u64> = (0..hist_n).map(|_| rng.below(256)).collect();
+    let wide: Vec<u64> = (0..hist_n).map(|_| rng.below(1 << 20)).collect();
+    report("narrow histogram", &narrow, &cfg);
+    report("wide histogram", &wide, &cfg);
+
+    let sys = if quick {
+        WaterSystem::generate(150, 1)
+    } else {
+        WaterSystem::paper_scale(1)
+    };
+    report("mole (MD forces)", &sys.scatter_trace(), &cfg);
+
+    let mesh = if quick {
+        Mesh::generate(200, 20, 1040, 2)
+    } else {
+        Mesh::paper_scale(2)
+    };
+    report("spas (EBE SpMV)", &Ebe::new(&mesh).scatter_trace(), &cfg);
+
+    println!(
+        "\nhigh reuse + in-cache footprint → combining pays (narrow, mole); \
+         low reuse + overflowing footprint → it does not (wide)"
+    );
+}

@@ -1,0 +1,73 @@
+//! Table 1: machine parameters of the simulated base configuration.
+
+use sa_bench::{header, row};
+use sa_sim::MachineConfig;
+
+fn main() {
+    let m = MachineConfig::merrimac();
+    header(
+        "Table 1",
+        "Machine parameters (paper values in parentheses where fixed by Table 1)",
+    );
+    row(
+        "stream cache banks",
+        &[("value", format!("{} (8)", m.cache.banks))],
+    );
+    row("scatter-add units/bank", &[("value", "1 (1)".into())]);
+    row(
+        "scatter-add FU latency",
+        &[("cycles", format!("{} (4)", m.sa.fu_latency))],
+    );
+    row(
+        "combining store entries",
+        &[("value", format!("{} (8)", m.sa.cs_entries))],
+    );
+    row(
+        "DRAM interface channels",
+        &[("value", format!("{} (16)", m.dram.channels))],
+    );
+    row(
+        "address generators",
+        &[("value", format!("{} (2)", m.ag.count))],
+    );
+    row("operating frequency", &[("GHz", format!("{} (1)", m.ghz))]);
+    row(
+        "peak DRAM bandwidth",
+        &[("GB/s", format!("{:.1} (38.4)", m.dram_gbps()))],
+    );
+    row(
+        "stream cache bandwidth",
+        &[("GB/s", format!("{:.1} (64)", m.cache_gbps()))],
+    );
+    row(
+        "clusters",
+        &[("value", format!("{} (16)", m.compute.clusters))],
+    );
+    row(
+        "peak FP ops per cycle",
+        &[("value", format!("{} (128)", m.compute.peak_flops_per_cycle))],
+    );
+    row(
+        "SRF bandwidth",
+        &[(
+            "GB/s",
+            format!("{} (512)", m.compute.srf_words_per_cycle as u64 * 8),
+        )],
+    );
+    row(
+        "SRF size",
+        &[("MB", format!("{} (1)", m.compute.srf_bytes >> 20))],
+    );
+    row(
+        "stream cache size",
+        &[("MB", format!("{} (1)", m.cache.total_bytes >> 20))],
+    );
+    println!(
+        "\nArea model (Section 3.2): {} scatter-add units x {:.1} mm^2 = {:.1} mm^2 \
+         = {:.1}% of a 10mm x 10mm die (paper: <2%)",
+        m.cache.banks,
+        sa_core::area::SA_UNIT_AREA_MM2,
+        sa_core::area::total_area_mm2(m.cache.banks),
+        100.0 * sa_core::area::die_fraction(m.cache.banks, sa_core::area::REFERENCE_DIE_MM2),
+    );
+}

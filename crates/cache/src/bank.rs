@@ -1,0 +1,916 @@
+//! One address-interleaved bank of the stream cache.
+
+use std::collections::VecDeque;
+
+use sa_mem::{DramCommand, DramKind, DramResponse};
+use sa_sim::{Addr, BoundedQueue, CacheConfig, Cycle, MemResponse, Origin, ReqId, WORD_BYTES};
+
+/// What a cache access does. See the crate docs for the policies.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum AccessKind {
+    /// Fetch one word. With `zero_alloc` (combining mode) a miss allocates a
+    /// zero-filled line instead of fetching from memory.
+    Read {
+        /// Allocate-with-zero on miss instead of filling from DRAM.
+        zero_alloc: bool,
+    },
+    /// Store one word. With `partial_sum` (combining mode) the line is marked
+    /// as holding partial sums, so its eviction becomes a [`SumBack`].
+    Write {
+        /// Raw bits to store.
+        bits: u64,
+        /// Mark the target line as a partial-sum line.
+        partial_sum: bool,
+    },
+}
+
+/// A single-word access presented to a cache bank.
+#[derive(Copy, Clone, Debug)]
+pub struct CacheAccess {
+    /// Echoed in the data response (reads only).
+    pub id: ReqId,
+    /// Word-aligned target address; must map to this bank.
+    pub addr: Addr,
+    /// Read or write, with combining-mode flags.
+    pub kind: AccessKind,
+    /// Issuer, echoed in the data response.
+    pub origin: Origin,
+}
+
+/// An evicted partial-sum line on its way to the home node, where each word
+/// is applied as a scatter-add (§3.2 multi-node optimization).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SumBack {
+    /// First byte address of the line.
+    pub base: Addr,
+    /// The partial sums accumulated in the line (words_per_line values).
+    pub data: Vec<u64>,
+}
+
+/// Counters for one bank.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads that hit a resident line.
+    pub read_hits: u64,
+    /// Reads that required a DRAM fill.
+    pub read_misses: u64,
+    /// Reads absorbed by an already-pending fill (hit-under-miss).
+    pub read_merges: u64,
+    /// Writes that hit a resident line.
+    pub write_hits: u64,
+    /// Writes forwarded directly to DRAM (write-around).
+    pub write_arounds: u64,
+    /// Writes merged into a pending fill.
+    pub write_merges: u64,
+    /// Zero-allocated lines (combining mode).
+    pub zero_allocs: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Dirty lines written back to DRAM.
+    pub write_backs: u64,
+    /// Partial-sum lines emitted as sum-backs.
+    pub sum_backs: u64,
+    /// Accesses rejected for lack of a resource (caller retries).
+    pub blocked: u64,
+}
+
+impl CacheStats {
+    /// Read hit fraction (0 when no reads happened).
+    pub fn read_hit_rate(&self) -> f64 {
+        let n = self.read_hits + self.read_misses + self.read_merges;
+        if n == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / n as f64
+        }
+    }
+
+    /// Merge another bank's counters.
+    pub fn merge(&mut self, o: CacheStats) {
+        self.read_hits += o.read_hits;
+        self.read_misses += o.read_misses;
+        self.read_merges += o.read_merges;
+        self.write_hits += o.write_hits;
+        self.write_arounds += o.write_arounds;
+        self.write_merges += o.write_merges;
+        self.zero_allocs += o.zero_allocs;
+        self.evictions += o.evictions;
+        self.write_backs += o.write_backs;
+        self.sum_backs += o.sum_backs;
+        self.blocked += o.blocked;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    partial_sum: bool,
+    tag: u64,
+    lru: u64,
+    data: Vec<u64>,
+}
+
+/// One deferred access waiting on a line fill. Targets replay strictly in
+/// arrival order when the fill returns, so a read issued before a write to
+/// the same word observes the pre-write value (hit-under-miss ordering).
+#[derive(Copy, Clone, Debug)]
+enum MshrTarget {
+    Read(ReqId, usize, Origin),
+    Write(usize, u64, bool),
+}
+
+#[derive(Debug)]
+struct Mshr {
+    line_base: Addr,
+    targets: Vec<MshrTarget>,
+}
+
+impl Mshr {
+    fn occupancy(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// One bank of the stream cache (see crate docs for policies).
+#[derive(Debug)]
+pub struct CacheBank {
+    cfg: CacheConfig,
+    node: usize,
+    bank_index: usize,
+    sets: Vec<Vec<Line>>,
+    mshrs: Vec<Mshr>,
+    mem_out: BoundedQueue<DramCommand>,
+    pending_fills: VecDeque<DramResponse>,
+    ready: VecDeque<MemResponse>,
+    sum_backs: VecDeque<SumBack>,
+    lru_tick: u64,
+    next_cmd_id: ReqId,
+    stats: CacheStats,
+}
+
+impl CacheBank {
+    /// Create bank `bank_index` of node `node` with geometry from `cfg`.
+    pub fn new(cfg: CacheConfig, node: usize, bank_index: usize) -> CacheBank {
+        assert!(bank_index < cfg.banks, "bank index out of range");
+        let ways = cfg.ways;
+        let words = cfg.words_per_line() as usize;
+        let sets = (0..cfg.sets_per_bank())
+            .map(|_| {
+                (0..ways)
+                    .map(|_| Line {
+                        valid: false,
+                        dirty: false,
+                        partial_sum: false,
+                        tag: 0,
+                        lru: 0,
+                        data: vec![0; words],
+                    })
+                    .collect()
+            })
+            .collect();
+        CacheBank {
+            node,
+            bank_index,
+            sets,
+            mshrs: Vec::with_capacity(cfg.mshrs_per_bank),
+            mem_out: BoundedQueue::new(cfg.mshrs_per_bank * 2),
+            pending_fills: VecDeque::new(),
+            ready: VecDeque::new(),
+            sum_backs: VecDeque::new(),
+            lru_tick: 0,
+            next_cmd_id: 0,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// Map an address to (set, tag, word offset). The tag is the *full*
+    /// global line index: the bank-selection hash is not invertible, so
+    /// banks store complete line identities.
+    fn locate(&self, addr: Addr) -> (usize, u64, usize) {
+        let line_index = addr.line_index(self.cfg.line_bytes);
+        debug_assert_eq!(
+            self.cfg.bank_of_line(line_index),
+            self.bank_index,
+            "address {addr} does not map to bank {}",
+            self.bank_index
+        );
+        let set = ((line_index / self.cfg.banks as u64) % self.cfg.sets_per_bank()) as usize;
+        let tag = line_index;
+        let offset = ((addr.0 % self.cfg.line_bytes) / WORD_BYTES) as usize;
+        (set, tag, offset)
+    }
+
+    fn line_base_of(&self, addr: Addr) -> Addr {
+        addr.line_base(self.cfg.line_bytes)
+    }
+
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        self.sets[set].iter().position(|l| l.valid && l.tag == tag)
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.lru_tick += 1;
+        self.sets[set][way].lru = self.lru_tick;
+    }
+
+    fn line_base_from_parts(&self, _set: usize, tag: u64) -> Addr {
+        Addr(tag * self.cfg.line_bytes)
+    }
+
+    /// Pick a victim way and evict it if needed. Returns the way on success,
+    /// or `None` when eviction is blocked (the write-back queue is full).
+    fn make_room(&mut self, set: usize) -> Option<usize> {
+        if let Some(way) = self.sets[set].iter().position(|l| !l.valid) {
+            return Some(way);
+        }
+        let way = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        let (dirty, partial) = {
+            let l = &self.sets[set][way];
+            (l.dirty, l.partial_sum)
+        };
+        if dirty {
+            let tag = self.sets[set][way].tag;
+            let base = self.line_base_from_parts(set, tag);
+            if partial {
+                let data = self.sets[set][way].data.clone();
+                self.sum_backs.push_back(SumBack { base, data });
+                self.stats.sum_backs += 1;
+            } else {
+                if !self.mem_out.can_accept() {
+                    return None;
+                }
+                self.next_cmd_id += 1;
+                let data = self.sets[set][way].data.clone();
+                let cmd = DramCommand {
+                    id: self.next_cmd_id,
+                    base,
+                    words: self.cfg.words_per_line() as u32,
+                    kind: DramKind::Write(data),
+                    origin: Origin::CacheBank {
+                        node: self.node,
+                        bank: self.bank_index,
+                    },
+                };
+                self.mem_out.try_push(cmd).expect("capacity checked");
+                self.stats.write_backs += 1;
+            }
+        }
+        self.stats.evictions += 1;
+        let l = &mut self.sets[set][way];
+        l.valid = false;
+        l.dirty = false;
+        l.partial_sum = false;
+        Some(way)
+    }
+
+    /// Present one access to the bank (at most one per cycle in the base
+    /// machine — the caller enforces the port limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns the access back when a resource is exhausted (MSHR file,
+    /// MSHR target slots, memory command queue, or an eviction that cannot
+    /// proceed); the caller retries next cycle — this is the back-pressure
+    /// path of the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the address does not map to this bank.
+    pub fn try_access(&mut self, access: CacheAccess, now: Cycle) -> Result<(), CacheAccess> {
+        let (set, tag, offset) = self.locate(access.addr);
+        let line_base = self.line_base_of(access.addr);
+        let hit_way = self.find_way(set, tag);
+        match access.kind {
+            AccessKind::Read { zero_alloc } => {
+                if let Some(way) = hit_way {
+                    let bits = self.sets[set][way].data[offset];
+                    self.touch(set, way);
+                    self.stats.read_hits += 1;
+                    self.push_ready(access, bits, now);
+                    return Ok(());
+                }
+                if let Some(m) = self.mshrs.iter_mut().find(|m| m.line_base == line_base) {
+                    if zero_alloc {
+                        // A zero-alloc read racing a real fill would fork the
+                        // line's value; wait for the fill instead.
+                        self.stats.blocked += 1;
+                        return Err(access);
+                    }
+                    if m.occupancy() >= self.cfg.targets_per_mshr {
+                        self.stats.blocked += 1;
+                        return Err(access);
+                    }
+                    m.targets
+                        .push(MshrTarget::Read(access.id, offset, access.origin));
+                    self.stats.read_merges += 1;
+                    return Ok(());
+                }
+                if zero_alloc {
+                    let Some(way) = self.make_room(set) else {
+                        self.stats.blocked += 1;
+                        return Err(access);
+                    };
+                    let words = self.cfg.words_per_line() as usize;
+                    let l = &mut self.sets[set][way];
+                    l.valid = true;
+                    l.dirty = false;
+                    l.partial_sum = false;
+                    l.tag = tag;
+                    l.data = vec![0; words];
+                    self.touch(set, way);
+                    self.stats.zero_allocs += 1;
+                    self.push_ready(access, 0, now);
+                    return Ok(());
+                }
+                if self.mshrs.len() >= self.cfg.mshrs_per_bank || !self.mem_out.can_accept() {
+                    self.stats.blocked += 1;
+                    return Err(access);
+                }
+                self.next_cmd_id += 1;
+                let cmd = DramCommand {
+                    id: self.next_cmd_id,
+                    base: line_base,
+                    words: self.cfg.words_per_line() as u32,
+                    kind: DramKind::Read,
+                    origin: Origin::CacheBank {
+                        node: self.node,
+                        bank: self.bank_index,
+                    },
+                };
+                self.mem_out.try_push(cmd).expect("capacity checked");
+                self.mshrs.push(Mshr {
+                    line_base,
+                    targets: vec![MshrTarget::Read(access.id, offset, access.origin)],
+                });
+                self.stats.read_misses += 1;
+                Ok(())
+            }
+            AccessKind::Write { bits, partial_sum } => {
+                if let Some(way) = hit_way {
+                    let l = &mut self.sets[set][way];
+                    l.data[offset] = bits;
+                    l.dirty = true;
+                    l.partial_sum |= partial_sum;
+                    self.touch(set, way);
+                    self.stats.write_hits += 1;
+                    return Ok(());
+                }
+                if let Some(m) = self.mshrs.iter_mut().find(|m| m.line_base == line_base) {
+                    if m.occupancy() >= self.cfg.targets_per_mshr {
+                        self.stats.blocked += 1;
+                        return Err(access);
+                    }
+                    m.targets.push(MshrTarget::Write(offset, bits, partial_sum));
+                    self.stats.write_merges += 1;
+                    return Ok(());
+                }
+                if partial_sum {
+                    // Combining mode always zero-allocates before summing, so
+                    // a partial-sum write miss allocates its line locally.
+                    let Some(way) = self.make_room(set) else {
+                        self.stats.blocked += 1;
+                        return Err(access);
+                    };
+                    let words = self.cfg.words_per_line() as usize;
+                    let l = &mut self.sets[set][way];
+                    l.valid = true;
+                    l.dirty = true;
+                    l.partial_sum = true;
+                    l.tag = tag;
+                    l.data = vec![0; words];
+                    l.data[offset] = bits;
+                    self.touch(set, way);
+                    self.stats.zero_allocs += 1;
+                    return Ok(());
+                }
+                // Write-around: forward the word write to DRAM.
+                if !self.mem_out.can_accept() {
+                    self.stats.blocked += 1;
+                    return Err(access);
+                }
+                self.next_cmd_id += 1;
+                let cmd = DramCommand {
+                    id: self.next_cmd_id,
+                    base: access.addr,
+                    words: 1,
+                    kind: DramKind::Write(vec![bits]),
+                    origin: Origin::CacheBank {
+                        node: self.node,
+                        bank: self.bank_index,
+                    },
+                };
+                self.mem_out.try_push(cmd).expect("capacity checked");
+                self.stats.write_arounds += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn push_ready(&mut self, access: CacheAccess, bits: u64, now: Cycle) {
+        self.ready.push_back(MemResponse {
+            id: access.id,
+            addr: access.addr,
+            bits,
+            origin: access.origin,
+            at: now + u64::from(self.cfg.hit_latency),
+        });
+    }
+
+    /// Hand a DRAM response (a line fill or a write acknowledgement) to the
+    /// bank. Fills are installed by [`CacheBank::tick`].
+    pub fn on_mem_response(&mut self, resp: DramResponse) {
+        if resp.data.is_empty() {
+            return; // write-back / write-around acknowledgement
+        }
+        self.pending_fills.push_back(resp);
+    }
+
+    /// Advance one cycle: install at most one pending fill.
+    pub fn tick(&mut self, now: Cycle) {
+        let Some(resp) = self.pending_fills.front() else {
+            return;
+        };
+        let base = resp.base;
+        let (set, tag, _) = self.locate(base);
+        let Some(way) = self.make_room(set) else {
+            return; // eviction blocked on the command queue; retry next cycle
+        };
+        let resp = self.pending_fills.pop_front().expect("front checked");
+        let mshr_idx = self
+            .mshrs
+            .iter()
+            .position(|m| m.line_base == base)
+            .expect("fill without MSHR");
+        let mshr = self.mshrs.swap_remove(mshr_idx);
+        {
+            let l = &mut self.sets[set][way];
+            l.valid = true;
+            l.dirty = false;
+            l.partial_sum = false;
+            l.tag = tag;
+            l.data = resp.data;
+        }
+        self.touch(set, way);
+        // Replay deferred accesses in arrival order so reads observe
+        // exactly the writes that preceded them.
+        for target in mshr.targets {
+            match target {
+                MshrTarget::Read(id, offset, origin) => {
+                    let bits = self.sets[set][way].data[offset];
+                    self.ready.push_back(MemResponse {
+                        id,
+                        addr: Addr(base.0 + (offset as u64) * WORD_BYTES),
+                        bits,
+                        origin,
+                        at: now + u64::from(self.cfg.hit_latency),
+                    });
+                }
+                MshrTarget::Write(offset, bits, partial) => {
+                    let l = &mut self.sets[set][way];
+                    l.data[offset] = bits;
+                    l.dirty = true;
+                    l.partial_sum |= partial;
+                }
+            }
+        }
+    }
+
+    /// Next outgoing DRAM command, if any (the node routes it to a channel).
+    pub fn pop_mem_cmd(&mut self) -> Option<DramCommand> {
+        self.mem_out.pop()
+    }
+
+    /// Peek whether an outgoing DRAM command is waiting.
+    pub fn has_mem_cmd(&self) -> bool {
+        !self.mem_out.is_empty()
+    }
+
+    /// Peek the next outgoing DRAM command without removing it (so the node
+    /// can check the target channel's queue before committing).
+    pub fn peek_mem_cmd(&self) -> Option<&DramCommand> {
+        self.mem_out.front()
+    }
+
+    /// Next read completion whose latency has elapsed.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<MemResponse> {
+        if self.ready.front().is_some_and(|r| r.at <= now) {
+            self.ready.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Next evicted partial-sum line (combining mode; the node's network
+    /// interface forwards it to the home node).
+    pub fn pop_sum_back(&mut self) -> Option<SumBack> {
+        self.sum_backs.pop_front()
+    }
+
+    /// Evict every remaining partial-sum line — the flush-with-sum-back
+    /// synchronization step at the end of a multi-node scatter-add (§3.2).
+    pub fn flush_sum_backs(&mut self) -> Vec<SumBack> {
+        let mut out = Vec::new();
+        for set in 0..self.sets.len() {
+            for way in 0..self.cfg.ways {
+                let (valid, partial) = {
+                    let l = &self.sets[set][way];
+                    (l.valid, l.partial_sum && l.dirty)
+                };
+                if valid && partial {
+                    let tag = self.sets[set][way].tag;
+                    let base = self.line_base_from_parts(set, tag);
+                    let data = self.sets[set][way].data.clone();
+                    out.push(SumBack { base, data });
+                    self.stats.sum_backs += 1;
+                    let l = &mut self.sets[set][way];
+                    l.valid = false;
+                    l.dirty = false;
+                    l.partial_sum = false;
+                }
+            }
+        }
+        out
+    }
+
+    /// Invalidate every line, returning the dirty (non-partial-sum) ones so
+    /// the caller can apply them to backing memory — a functional flush used
+    /// at the end of a run to materialize the coherent memory image.
+    /// Partial-sum lines are left untouched (flush those with
+    /// [`CacheBank::flush_sum_backs`], which applies scatter-add semantics).
+    pub fn flush_dirty(&mut self) -> Vec<(Addr, Vec<u64>)> {
+        let mut out = Vec::new();
+        for set in 0..self.sets.len() {
+            for way in 0..self.cfg.ways {
+                let l = &self.sets[set][way];
+                if !l.valid || l.partial_sum {
+                    continue;
+                }
+                let base = self.line_base_from_parts(set, l.tag);
+                if l.dirty {
+                    out.push((base, l.data.clone()));
+                }
+                let l = &mut self.sets[set][way];
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+        out
+    }
+
+    /// Whether the bank has no pending fills, queued commands, waiting
+    /// responses, or queued sum-backs.
+    pub fn is_idle(&self) -> bool {
+        self.mshrs.is_empty()
+            && self.pending_fills.is_empty()
+            && self.ready.is_empty()
+            && self.mem_out.is_empty()
+            && self.sum_backs.is_empty()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Read-only probe of a resident word (for tests); `None` on miss.
+    pub fn probe(&self, addr: Addr) -> Option<u64> {
+        let (set, tag, offset) = self.locate(addr);
+        self.find_way(set, tag)
+            .map(|way| self.sets[set][way].data[offset])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_mem::BackingStore;
+    use sa_sim::CacheConfig;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::default()
+    }
+
+    /// A tiny config so eviction paths are easy to exercise.
+    fn tiny() -> CacheConfig {
+        CacheConfig {
+            banks: 1,
+            total_bytes: 256, // 8 lines of 32 B
+            line_bytes: 32,
+            ways: 2,
+            mshrs_per_bank: 2,
+            targets_per_mshr: 2,
+            hit_latency: 1,
+        }
+    }
+
+    fn orig() -> Origin {
+        Origin::AddrGen { node: 0, ag: 0 }
+    }
+
+    fn read(id: ReqId, addr: u64) -> CacheAccess {
+        CacheAccess {
+            id,
+            addr: Addr(addr),
+            kind: AccessKind::Read { zero_alloc: false },
+            origin: orig(),
+        }
+    }
+
+    fn write(id: ReqId, addr: u64, bits: u64) -> CacheAccess {
+        CacheAccess {
+            id,
+            addr: Addr(addr),
+            kind: AccessKind::Write {
+                bits,
+                partial_sum: false,
+            },
+            origin: orig(),
+        }
+    }
+
+    /// Run the bank against a directly-attached functional memory until idle.
+    fn drain(
+        bank: &mut CacheBank,
+        store: &mut BackingStore,
+        mut now: Cycle,
+    ) -> (Vec<MemResponse>, Cycle) {
+        let mut dram: VecDeque<(Cycle, DramCommand)> = VecDeque::new();
+        let mut out = Vec::new();
+        let lat = 20u64;
+        for _ in 0..100_000 {
+            now += 1;
+            bank.tick(now);
+            while let Some(cmd) = bank.pop_mem_cmd() {
+                dram.push_back((now + lat, cmd));
+            }
+            while dram.front().is_some_and(|(t, _)| *t <= now) {
+                let (_, cmd) = dram.pop_front().unwrap();
+                let data = match cmd.kind {
+                    DramKind::Read => store.read_line(cmd.base, u64::from(cmd.words)),
+                    DramKind::Write(ref d) => {
+                        store.write_line(cmd.base, d);
+                        Vec::new()
+                    }
+                };
+                bank.on_mem_response(DramResponse {
+                    id: cmd.id,
+                    base: cmd.base,
+                    data,
+                    origin: cmd.origin,
+                    at: now,
+                });
+            }
+            while let Some(r) = bank.pop_ready(now) {
+                out.push(r);
+            }
+            if bank.is_idle() && dram.is_empty() {
+                return (out, now);
+            }
+        }
+        panic!("bank did not drain");
+    }
+
+    #[test]
+    fn read_miss_fills_then_hits() {
+        let mut store = BackingStore::new();
+        store.write_word(Addr(8), 42);
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(read(1, 8), Cycle(0)).unwrap();
+        let (resp, now) = drain(&mut bank, &mut store, Cycle(0));
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].bits, 42);
+        assert_eq!(bank.stats().read_misses, 1);
+        // Second read is a hit.
+        bank.try_access(read(2, 8), now).unwrap();
+        let r = bank.pop_ready(now + 10).unwrap();
+        assert_eq!(r.bits, 42);
+        assert_eq!(bank.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_misses_merge_into_one_mshr() {
+        let mut store = BackingStore::new();
+        store.write_line(Addr(0), &[1, 2, 3, 4]);
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(read(1, 0), Cycle(0)).unwrap();
+        bank.try_access(read(2, 16), Cycle(0)).unwrap(); // same line, word 2
+        assert_eq!(bank.stats().read_merges, 1);
+        let (resp, _) = drain(&mut bank, &mut store, Cycle(0));
+        assert_eq!(resp.len(), 2);
+        assert_eq!(resp[0].bits, 1);
+        assert_eq!(resp[1].bits, 3);
+        // Only one fill went to memory.
+        assert_eq!(bank.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn mshr_target_cap_blocks() {
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(read(1, 0), Cycle(0)).unwrap();
+        bank.try_access(read(2, 8), Cycle(0)).unwrap();
+        // targets_per_mshr = 2; the third access to the line must block.
+        assert!(bank.try_access(read(3, 16), Cycle(0)).is_err());
+        assert_eq!(bank.stats().blocked, 1);
+    }
+
+    #[test]
+    fn mshr_file_exhaustion_blocks() {
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(read(1, 0), Cycle(0)).unwrap();
+        bank.try_access(read(2, 32), Cycle(0)).unwrap();
+        assert!(bank.try_access(read(3, 64), Cycle(0)).is_err());
+    }
+
+    #[test]
+    fn write_hit_updates_line_and_write_back_on_evict() {
+        let mut store = BackingStore::new();
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        // Fill line 0.
+        bank.try_access(read(1, 0), Cycle(0)).unwrap();
+        let (_, now) = drain(&mut bank, &mut store, Cycle(0));
+        // Dirty it.
+        bank.try_access(write(2, 0, 99), now).unwrap();
+        assert_eq!(bank.stats().write_hits, 1);
+        assert_eq!(bank.probe(Addr(0)), Some(99));
+        // Evict it by filling both ways of set 0 (tiny: 4 sets, 2 ways;
+        // set stride = 32 B × 4 sets = 128 B).
+        bank.try_access(read(3, 128), now).unwrap();
+        let (_, now) = drain(&mut bank, &mut store, now);
+        bank.try_access(read(4, 256), now).unwrap();
+        let (_, now) = drain(&mut bank, &mut store, now);
+        assert_eq!(bank.stats().write_backs, 1);
+        assert_eq!(store.read_word(Addr(0)), 99, "write-back reached memory");
+        let _ = now;
+    }
+
+    #[test]
+    fn write_miss_goes_around() {
+        let mut store = BackingStore::new();
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(write(1, 8, 7), Cycle(0)).unwrap();
+        assert_eq!(bank.stats().write_arounds, 1);
+        let (_, _) = drain(&mut bank, &mut store, Cycle(0));
+        assert_eq!(store.read_word(Addr(8)), 7);
+        assert_eq!(bank.probe(Addr(8)), None, "write-around does not allocate");
+    }
+
+    #[test]
+    fn write_under_miss_merges_and_applies_after_fill() {
+        let mut store = BackingStore::new();
+        store.write_line(Addr(0), &[1, 2, 3, 4]);
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(read(1, 0), Cycle(0)).unwrap();
+        bank.try_access(write(2, 8, 77), Cycle(0)).unwrap();
+        assert_eq!(bank.stats().write_merges, 1);
+        let (_, now) = drain(&mut bank, &mut store, Cycle(0));
+        assert_eq!(
+            bank.probe(Addr(8)),
+            Some(77),
+            "pending write applied on fill"
+        );
+        // The line is dirty; evicting must write 77 back.
+        bank.try_access(read(3, 128), now).unwrap();
+        let (_, now) = drain(&mut bank, &mut store, now);
+        bank.try_access(read(4, 256), now).unwrap();
+        let (_, _) = drain(&mut bank, &mut store, now);
+        assert_eq!(store.read_word(Addr(8)), 77);
+    }
+
+    #[test]
+    fn zero_alloc_read_returns_zero_without_memory_traffic() {
+        let mut store = BackingStore::new();
+        store.write_word(Addr(0), 1234); // memory value must NOT be fetched
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        let acc = CacheAccess {
+            id: 1,
+            addr: Addr(0),
+            kind: AccessKind::Read { zero_alloc: true },
+            origin: orig(),
+        };
+        bank.try_access(acc, Cycle(0)).unwrap();
+        let r = bank.pop_ready(Cycle(10)).unwrap();
+        assert_eq!(r.bits, 0);
+        assert_eq!(bank.stats().zero_allocs, 1);
+        assert!(!bank.has_mem_cmd(), "no fill issued");
+    }
+
+    #[test]
+    fn partial_sum_eviction_becomes_sum_back() {
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        let w = CacheAccess {
+            id: 1,
+            addr: Addr(0),
+            kind: AccessKind::Write {
+                bits: 5,
+                partial_sum: true,
+            },
+            origin: orig(),
+        };
+        bank.try_access(w, Cycle(0)).unwrap();
+        // Force eviction of set 0 by allocating two more partial lines.
+        for (i, a) in [(2u64, 128u64), (3, 256)] {
+            let w = CacheAccess {
+                id: i,
+                addr: Addr(a),
+                kind: AccessKind::Write {
+                    bits: 1,
+                    partial_sum: true,
+                },
+                origin: orig(),
+            };
+            bank.try_access(w, Cycle(0)).unwrap();
+        }
+        let sb = bank.pop_sum_back().expect("eviction produced a sum-back");
+        assert_eq!(sb.base, Addr(0));
+        assert_eq!(sb.data, vec![5, 0, 0, 0]);
+        assert_eq!(bank.stats().sum_backs, 1);
+        assert!(!bank.has_mem_cmd(), "sum-back is not a DRAM write-back");
+    }
+
+    #[test]
+    fn flush_sum_backs_drains_all_partial_lines() {
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        for (i, a) in [(1u64, 0u64), (2, 32), (3, 64)] {
+            let w = CacheAccess {
+                id: i,
+                addr: Addr(a),
+                kind: AccessKind::Write {
+                    bits: i,
+                    partial_sum: true,
+                },
+                origin: orig(),
+            };
+            bank.try_access(w, Cycle(0)).unwrap();
+        }
+        let mut flushed = bank.flush_sum_backs();
+        flushed.sort_by_key(|s| s.base);
+        assert_eq!(flushed.len(), 3);
+        assert_eq!(flushed[0].base, Addr(0));
+        assert_eq!(flushed[0].data[0], 1);
+        assert!(bank.flush_sum_backs().is_empty(), "flush is idempotent");
+        assert_eq!(bank.probe(Addr(0)), None, "flushed lines are invalid");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut store = BackingStore::new();
+        store.write_word(Addr(0), 10);
+        store.write_word(Addr(128), 20);
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        // Fill both ways of set 0.
+        bank.try_access(read(1, 0), Cycle(0)).unwrap();
+        let (_, now) = drain(&mut bank, &mut store, Cycle(0));
+        bank.try_access(read(2, 128), now).unwrap();
+        let (_, now) = drain(&mut bank, &mut store, now);
+        // Touch line 0 so line 128 is LRU.
+        bank.try_access(read(3, 0), now).unwrap();
+        let _ = bank.pop_ready(now + 10);
+        // Allocate a third line in set 0; 128 must be the victim.
+        bank.try_access(read(4, 256), now).unwrap();
+        let (_, _) = drain(&mut bank, &mut store, now);
+        assert!(bank.probe(Addr(0)).is_some(), "recently used line kept");
+        assert!(bank.probe(Addr(128)).is_none(), "LRU line evicted");
+    }
+
+    #[test]
+    fn hit_latency_delays_response() {
+        let c = cfg(); // hit_latency = 4
+        let mut store = BackingStore::new();
+        store.write_word(Addr(0), 9);
+        let mut bank = CacheBank::new(c, 0, 0);
+        bank.try_access(read(1, 0), Cycle(0)).unwrap();
+        let (_, now) = drain(&mut bank, &mut store, Cycle(0));
+        bank.try_access(read(2, 0), now).unwrap();
+        assert!(bank.pop_ready(now).is_none());
+        assert!(bank.pop_ready(now + 3).is_none());
+        assert!(bank.pop_ready(now + 4).is_some());
+    }
+
+    #[test]
+    fn default_config_addresses_interleave() {
+        // With 8 banks, line i maps to bank i % 8; bank 3 owns lines 3, 11, ...
+        let c = cfg();
+        let mut bank = CacheBank::new(c, 0, 3);
+        let addr = Addr(3 * c.line_bytes); // line 3
+        bank.try_access(read(1, addr.0), Cycle(0)).unwrap();
+        assert_eq!(bank.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn read_hit_rate_reporting() {
+        let s = CacheStats {
+            read_hits: 3,
+            read_misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.read_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().read_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! The banked stream data cache of the simulated machine.
+//!
+//! The paper's base machine (Table 1) has an address-interleaved, 1 MB,
+//! 8-bank stream cache acting as a bandwidth amplifier in front of the DRAM
+//! channels. One scatter-add unit sits in front of each bank (Figure 4a);
+//! this crate provides the bank itself, the scatter-add unit lives in
+//! `sa-core`.
+//!
+//! Each [`CacheBank`] is set-associative with LRU replacement and a small
+//! file of miss-status handling registers (MSHRs). Policy choices, chosen to
+//! match a streaming memory system:
+//!
+//! * **Reads** allocate on miss (fill from DRAM, merging concurrent misses
+//!   to the same line into one MSHR).
+//! * **Plain writes** are *write-around*: a write that hits updates the line,
+//!   a write that misses is forwarded to DRAM as a single-word write without
+//!   allocating — streaming stores have no reuse, and allocation would double
+//!   their traffic. A write that misses while a fill to its line is in flight
+//!   merges into the MSHR and is applied after the fill (hit-under-miss).
+//! * **Combining mode** (the multi-node optimization of §3.2): a read flagged
+//!   `zero_alloc` that misses allocates the line *filled with zeros* instead
+//!   of fetching it, and writes flagged `partial_sum` mark the line as a
+//!   partial-sum line. Evicting a partial-sum line emits a [`SumBack`]
+//!   (§3.2: "a sum-back is similar to a cache write-back except that the
+//!   remote write-request appears as a scatter-add on the node owning the
+//!   memory address"); [`CacheBank::flush_sum_backs`] implements the final
+//!   flush-with-sum-back synchronization step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+
+pub use bank::{AccessKind, CacheAccess, CacheBank, CacheStats, SumBack};

@@ -1,0 +1,66 @@
+//! The standard-cell area model of §3.2.
+//!
+//! The paper's feasibility argument: "a 64-bit floating-point functional
+//! unit ... in today's 90 nm technology requires only 0.3 mm²"; a complete
+//! scatter-add unit (FU + combining store + control) is estimated at
+//! 0.2 mm² (the FU shares area with the combining store in the standard-cell
+//! layout derived from the Imagine ALU), so 8 units occupy 1.6 mm² — "only
+//! 2% of a 10 mm × 10 mm chip in 90 nm technology".
+
+/// Area of one 64-bit floating-point functional unit in 90 nm (mm²).
+pub const FPU_AREA_MM2: f64 = 0.3;
+
+/// Area of one complete scatter-add unit (FU, combining store, combining
+/// controller, muxes) in 90 nm (mm²), per the paper's estimate.
+pub const SA_UNIT_AREA_MM2: f64 = 0.2;
+
+/// Die area of the reference chip (10 mm × 10 mm) in mm².
+pub const REFERENCE_DIE_MM2: f64 = 100.0;
+
+/// Latency target of the Imagine-derived ALU implementation: four 1 ns
+/// cycles (Table 1's FU latency of 4 at 1 GHz).
+pub const FU_LATENCY_CYCLES: u32 = 4;
+
+/// Total area of `units` scatter-add units (mm²).
+///
+/// ```
+/// assert_eq!(sa_core::area::total_area_mm2(8), 1.6);
+/// ```
+pub fn total_area_mm2(units: usize) -> f64 {
+    units as f64 * SA_UNIT_AREA_MM2
+}
+
+/// Fraction of a `die_mm2` die consumed by `units` scatter-add units.
+pub fn die_fraction(units: usize, die_mm2: f64) -> f64 {
+    total_area_mm2(units) / die_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_units_stay_under_two_percent() {
+        // The paper's headline feasibility claim.
+        let frac = die_fraction(8, REFERENCE_DIE_MM2);
+        assert!(frac < 0.02, "8 units consume {frac:.3} of the die");
+        assert!((total_area_mm2(8) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_is_cheaper_than_standalone_fpu_plus_overhead() {
+        let (unit, fpu) = (SA_UNIT_AREA_MM2, FPU_AREA_MM2);
+        assert!(
+            unit < fpu,
+            "unit {unit} should undercut a standalone FPU {fpu}"
+        );
+    }
+
+    #[test]
+    fn latency_matches_table1() {
+        assert_eq!(
+            FU_LATENCY_CYCLES,
+            sa_sim::SaUnitConfig::default().fu_latency
+        );
+    }
+}

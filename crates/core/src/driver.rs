@@ -1,0 +1,304 @@
+//! A minimal driver that runs one scatter kernel on a [`NodeMemSys`].
+//!
+//! The full stream-program executor (gather → kernel → scatter pipelines,
+//! address generators, compute overlap) lives in the `sa-proc` crate; this
+//! driver issues a bare scatter-add stream at address-generator bandwidth
+//! and measures its completion, which is exactly what the scatter-add-only
+//! experiments (§4.4, §4.5) need, and what unit/property tests use to check
+//! atomicity end to end.
+
+use std::collections::VecDeque;
+
+use sa_sim::{Addr, Clock, Cycle, MachineConfig, MemOp, MemRequest, Origin, ScalarKind, ScatterOp};
+
+use crate::node::{NodeMemSys, NodeStats};
+
+/// A data-parallel scatter operation: `a[b[i]] ∘= c[i]` for all `i`
+/// (the paper's `scatterAdd(a, b, c)` with `a` starting at `base_word`).
+#[derive(Clone, Debug)]
+pub struct ScatterKernel {
+    /// First word index of the target array `a`.
+    pub base_word: u64,
+    /// The index array `b` (word offsets into `a`).
+    pub indices: Vec<u64>,
+    /// The value array `c` as raw bits; must be the same length as
+    /// `indices`.
+    pub values: Vec<u64>,
+    /// Interpretation of the words.
+    pub kind: ScalarKind,
+    /// Reduction to apply (the paper's scatter-add is [`ScatterOp::Add`]).
+    pub op: ScatterOp,
+}
+
+impl ScatterKernel {
+    /// A histogram kernel: every index contributes `+1` (integer).
+    pub fn histogram(base_word: u64, indices: Vec<u64>) -> ScatterKernel {
+        let n = indices.len();
+        ScatterKernel {
+            base_word,
+            indices,
+            values: vec![1u64; n],
+            kind: ScalarKind::I64,
+            op: ScatterOp::Add,
+        }
+    }
+
+    /// A floating-point accumulation kernel (superposition): `a[b[i]] += c[i]`.
+    pub fn superposition(base_word: u64, indices: Vec<u64>, values: &[f64]) -> ScatterKernel {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        ScatterKernel {
+            base_word,
+            indices,
+            values: values.iter().map(|v| v.to_bits()).collect(),
+            kind: ScalarKind::F64,
+            op: ScatterOp::Add,
+        }
+    }
+}
+
+/// Outcome of [`drive_scatter`].
+#[derive(Debug)]
+pub struct RunResult {
+    /// Cycles until the last scatter request was acknowledged by a
+    /// scatter-add unit (the paper's completion point — the processor may
+    /// proceed once all acks arrive).
+    pub cycles: u64,
+    /// Cycles until every final sum reached memory (drain time).
+    pub drain_cycles: u64,
+    /// Aggregated machine statistics.
+    pub stats: NodeStats,
+    /// Old values returned by fetch-ops, in completion order
+    /// (empty unless `fetch` was set).
+    pub fetched: Vec<(u64, u64)>,
+    /// The node, for inspecting the final memory image.
+    pub node: NodeMemSys,
+    /// Base word of the result array (copied from the kernel).
+    pub base_word: u64,
+}
+
+impl RunResult {
+    /// The result array as `n` integers.
+    pub fn result_i64(&self, n: usize) -> Vec<i64> {
+        self.node
+            .store()
+            .extract_i64(Addr::from_word_index(self.base_word), n)
+    }
+
+    /// The result array as `n` doubles.
+    pub fn result_f64(&self, n: usize) -> Vec<f64> {
+        self.node
+            .store()
+            .extract_f64(Addr::from_word_index(self.base_word), n)
+    }
+
+    /// Execution time in microseconds at 1 GHz.
+    pub fn micros(&self) -> f64 {
+        Cycle(self.cycles).as_micros(1.0)
+    }
+}
+
+/// Sequential reference semantics of a [`ScatterKernel`] — what a scalar
+/// loop would compute. Hardware reordering must produce the same integer
+/// results and, for floating point, the same value up to reassociation.
+pub fn scatter_reference(kernel: &ScatterKernel, result_len: usize) -> Vec<u64> {
+    let mut out = vec![0u64; result_len];
+    for (i, &idx) in kernel.indices.iter().enumerate() {
+        let slot = &mut out[idx as usize];
+        *slot = sa_sim::combine(*slot, kernel.values[i], kernel.kind, kernel.op);
+    }
+    out
+}
+
+/// Run `kernel` on a fresh [`NodeMemSys`] with configuration `cfg`,
+/// issuing requests at full address-generator bandwidth
+/// (`ag.count × ag.width` per cycle), and measure completion.
+///
+/// With `fetch` set, every request is a fetch-op and the pre-op values are
+/// collected in [`RunResult::fetched`] (the §3.3 extension).
+///
+/// # Panics
+///
+/// Panics if `indices` and `values` lengths differ.
+pub fn drive_scatter(cfg: &MachineConfig, kernel: &ScatterKernel, fetch: bool) -> RunResult {
+    assert_eq!(
+        kernel.indices.len(),
+        kernel.values.len(),
+        "index/value length mismatch"
+    );
+    let mut node = NodeMemSys::new(*cfg, 0, false);
+    let mut clock = Clock::with_limit(4_000_000_000);
+    let n = kernel.indices.len();
+    let issue_per_cycle = (cfg.ag.count as u32 * cfg.ag.width) as usize;
+
+    let mut pending: VecDeque<MemRequest> = kernel
+        .indices
+        .iter()
+        .zip(&kernel.values)
+        .enumerate()
+        .map(|(i, (&idx, &bits))| MemRequest {
+            id: i as u64,
+            addr: Addr::from_word_index(kernel.base_word + idx),
+            op: MemOp::Scatter {
+                bits,
+                kind: kernel.kind,
+                op: kernel.op,
+                fetch,
+            },
+            origin: Origin::AddrGen {
+                node: 0,
+                ag: i % cfg.ag.count,
+            },
+        })
+        .collect();
+
+    let mut acked = 0usize;
+    let mut fetched = Vec::new();
+    let mut ack_time = 0u64;
+
+    loop {
+        let now = clock.advance();
+        let mut issued = 0;
+        while issued < issue_per_cycle {
+            let Some(req) = pending.pop_front() else {
+                break;
+            };
+            match node.inject(req) {
+                Ok(()) => issued += 1,
+                Err(req) => {
+                    pending.push_front(req);
+                    break;
+                }
+            }
+        }
+        node.tick(now);
+        while let Some(c) = node.pop_completion() {
+            acked += 1;
+            if fetch {
+                fetched.push((c.id, c.bits));
+            }
+            if acked == n {
+                ack_time = now.raw();
+            }
+        }
+        if pending.is_empty() && node.is_idle() {
+            break;
+        }
+    }
+
+    // Materialize the coherent memory image for result extraction.
+    node.flush_to_store();
+
+    let startup = u64::from(cfg.ag.startup_cycles);
+    RunResult {
+        cycles: ack_time + startup,
+        drain_cycles: clock.now().raw() + startup,
+        stats: node.stats(),
+        fetched,
+        base_word: kernel.base_word,
+        node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merrimac() -> MachineConfig {
+        MachineConfig::merrimac()
+    }
+
+    #[test]
+    fn histogram_matches_reference() {
+        let mut rng = sa_sim::Rng64::new(42);
+        let indices: Vec<u64> = (0..500).map(|_| rng.below(128)).collect();
+        let kernel = ScatterKernel::histogram(0, indices);
+        let run = drive_scatter(&merrimac(), &kernel, false);
+        let reference = scatter_reference(&kernel, 128);
+        let got = run.result_i64(128);
+        let expect: Vec<i64> = reference.iter().map(|&b| b as i64).collect();
+        assert_eq!(got, expect);
+        assert!(run.cycles > 0 && run.drain_cycles >= run.cycles);
+    }
+
+    #[test]
+    fn superposition_f64_sums_match_to_reassociation() {
+        let mut rng = sa_sim::Rng64::new(7);
+        let n = 300;
+        let indices: Vec<u64> = (0..n).map(|_| rng.below(32)).collect();
+        let values: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let kernel = ScatterKernel::superposition(64, indices, &values);
+        let run = drive_scatter(&merrimac(), &kernel, false);
+        let got = run.result_f64(32);
+        let reference: Vec<f64> = scatter_reference(&kernel, 32)
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect();
+        for (g, r) in got.iter().zip(&reference) {
+            assert!(
+                (g - r).abs() < 1e-9 * (1.0 + r.abs()),
+                "reordered sum {g} deviates from reference {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_mode_returns_unique_slots() {
+        // Parallel queue allocation: fetch-add of 1 on one counter hands out
+        // distinct, dense slot numbers.
+        let kernel = ScatterKernel {
+            base_word: 0,
+            indices: vec![0; 40],
+            values: vec![1; 40],
+            kind: ScalarKind::I64,
+            op: ScatterOp::Add,
+        };
+        let run = drive_scatter(&merrimac(), &kernel, true);
+        let mut slots: Vec<i64> = run.fetched.iter().map(|&(_, b)| b as i64).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..40).collect::<Vec<i64>>());
+        assert_eq!(run.result_i64(1), vec![40]);
+    }
+
+    #[test]
+    fn narrow_range_is_slower_than_wide_range() {
+        // The Figure 7 hot-bank/serialization effect at small index ranges.
+        let mut rng = sa_sim::Rng64::new(3);
+        let n = 2048;
+        let narrow: Vec<u64> = (0..n).map(|_| rng.below(2)).collect();
+        let wide: Vec<u64> = (0..n).map(|_| rng.below(4096)).collect();
+        let run_n = drive_scatter(&merrimac(), &ScatterKernel::histogram(0, narrow), false);
+        let run_w = drive_scatter(&merrimac(), &ScatterKernel::histogram(0, wide), false);
+        assert!(
+            run_n.cycles > 2 * run_w.cycles,
+            "2 bins ({}) must be slower than 4096 bins ({})",
+            run_n.cycles,
+            run_w.cycles
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // §3.3: the hardware ordering "is consistent in the hardware and
+        // repeatable for each run of the program".
+        let mut rng = sa_sim::Rng64::new(9);
+        let indices: Vec<u64> = (0..256).map(|_| rng.below(64)).collect();
+        let kernel = ScatterKernel::histogram(0, indices);
+        let a = drive_scatter(&merrimac(), &kernel, false);
+        let b = drive_scatter(&merrimac(), &kernel, false);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.result_i64(64), b.result_i64(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let kernel = ScatterKernel {
+            base_word: 0,
+            indices: vec![0, 1],
+            values: vec![1],
+            kind: ScalarKind::I64,
+            op: ScatterOp::Add,
+        };
+        let _ = drive_scatter(&merrimac(), &kernel, false);
+    }
+}

@@ -1,0 +1,714 @@
+//! One node's memory system: address-interleaved cache banks, a scatter-add
+//! unit in front of each bank (Figure 4a), and the DRAM channels behind them.
+
+use std::collections::VecDeque;
+
+use sa_cache::{AccessKind, CacheAccess, CacheBank, CacheStats, SumBack};
+use sa_mem::{BackingStore, DramChannel, DramStats};
+use sa_sim::{
+    Addr, BoundedQueue, Cycle, MachineConfig, MemOp, MemRequest, MemResponse, Origin, QueueStats,
+};
+
+use crate::unit::{SaStats, ScatterAddUnit, ToMem};
+
+/// Depth of each bank's input queue (requests from the address generators
+/// and, in multi-node runs, the network interface).
+const BANK_IN_DEPTH: usize = 8;
+
+/// Aggregated statistics of a [`NodeMemSys`] run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Merged scatter-add unit counters.
+    pub sa: SaStats,
+    /// Merged cache bank counters.
+    pub cache: CacheStats,
+    /// Merged DRAM channel counters.
+    pub dram: DramStats,
+    /// Merged bank input queue statistics.
+    pub bank_in: QueueStats,
+}
+
+impl NodeStats {
+    /// Total DRAM words moved (the "Mem References" the paper reports count
+    /// word accesses issued by the program; this counts actual DRAM traffic).
+    pub fn dram_words(&self) -> u64 {
+        self.dram.words_transferred
+    }
+}
+
+/// A single node of the clustered data-parallel machine (Figure 2): the
+/// memory-side of one stream processor.
+///
+/// Requests are injected per cycle by the address generators (or by the
+/// simple driver in [`drive_scatter`](crate::drive_scatter)); completions are
+/// drained with [`pop_completion`](Self::pop_completion). Scatter requests
+/// are acknowledged when their addition is performed inside the scatter-add
+/// unit; plain writes are posted (acknowledged on acceptance by the cache);
+/// reads complete when data returns.
+#[derive(Debug)]
+pub struct NodeMemSys {
+    cfg: MachineConfig,
+    node: usize,
+    combining: bool,
+    banks: Vec<CacheBank>,
+    sa: Vec<ScatterAddUnit>,
+    channels: Vec<DramChannel>,
+    store: BackingStore,
+    bank_in: Vec<BoundedQueue<MemRequest>>,
+    completions: VecDeque<MemResponse>,
+    rr_sa_first: Vec<bool>,
+    /// Node count when part of a multi-node machine (`None` = standalone).
+    /// With homing installed, combining mode only zero-allocates *remote*
+    /// lines — locally-homed scatter-adds (including arriving sum-backs)
+    /// read their true memory value (§3.2: "if a remote memory value has to
+    /// be brought into the cache, it is simply allocated with a value of
+    /// 0"). Without homing, a combining node treats every line as
+    /// combinable (the single-node testing configuration).
+    n_nodes: Option<usize>,
+}
+
+impl NodeMemSys {
+    /// Build the memory system of node `node` with configuration `cfg`.
+    ///
+    /// `combining` enables the multi-node cache-combining optimization of
+    /// §3.2: scatter-add targets are zero-allocated in the local cache and
+    /// evictions become [`SumBack`]s. Combining only supports
+    /// [`ScatterOp::Add`](sa_sim::ScatterOp::Add) (zero is its identity).
+    pub fn new(cfg: MachineConfig, node: usize, combining: bool) -> NodeMemSys {
+        let banks = (0..cfg.cache.banks)
+            .map(|b| CacheBank::new(cfg.cache, node, b))
+            .collect();
+        let sa = (0..cfg.cache.banks)
+            .map(|_| ScatterAddUnit::new(cfg.sa))
+            .collect();
+        let channels = (0..cfg.dram.channels)
+            .map(|_| DramChannel::new(cfg.dram))
+            .collect();
+        let bank_in = (0..cfg.cache.banks)
+            .map(|_| BoundedQueue::new(BANK_IN_DEPTH))
+            .collect();
+        NodeMemSys {
+            node,
+            combining,
+            banks,
+            sa,
+            channels,
+            store: BackingStore::new(),
+            bank_in,
+            completions: VecDeque::new(),
+            rr_sa_first: vec![false; cfg.cache.banks],
+            n_nodes: None,
+            cfg,
+        }
+    }
+
+    /// Declare this node part of an `n`-node machine with line-interleaved
+    /// address homing (`home = line mod n`). Affects which lines combining
+    /// mode treats as remote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the node index is out of range.
+    pub fn set_nodes(&mut self, n: usize) {
+        assert!(n > 0, "need at least one node");
+        assert!(self.node < n, "node index {} out of range {n}", self.node);
+        self.n_nodes = Some(n);
+    }
+
+    /// The home node of an address under line-interleaved homing
+    /// (this node when homing is not installed).
+    pub fn home_of(&self, addr: Addr) -> usize {
+        match self.n_nodes {
+            Some(n) => (addr.line_index(self.cfg.cache.line_bytes) % n as u64) as usize,
+            None => self.node,
+        }
+    }
+
+    /// Whether combining mode treats `addr` as remote (zero-allocate +
+    /// sum-back). A home-owned line is never combined: applying it through
+    /// the cache with a real fill is what lets arriving sum-backs terminate
+    /// (zero-allocating them would recurse through eviction forever).
+    fn combine_as_remote(&self, addr: Addr) -> bool {
+        self.combining
+            && match self.n_nodes {
+                None => true,
+                Some(_) => self.home_of(addr) != self.node,
+            }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// This node's index.
+    pub fn node_index(&self) -> usize {
+        self.node
+    }
+
+    /// The bank that serves `addr`.
+    pub fn bank_of(&self, addr: Addr) -> usize {
+        self.cfg
+            .cache
+            .bank_of_line(addr.line_index(self.cfg.cache.line_bytes))
+    }
+
+    /// Functional view of this node's memory (for loading inputs and
+    /// checking results).
+    pub fn store(&self) -> &BackingStore {
+        &self.store
+    }
+
+    /// Mutable functional view of this node's memory.
+    pub fn store_mut(&mut self) -> &mut BackingStore {
+        &mut self.store
+    }
+
+    /// Inject one request into its bank's input queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back when the bank queue is full (the address
+    /// generator stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scatter request uses a non-`Add` reduction while the node
+    /// is in combining mode (zero-allocate assumes the additive identity).
+    pub fn inject(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        if self.combining {
+            if let MemOp::Scatter { op, .. } = req.op {
+                assert_eq!(
+                    op,
+                    sa_sim::ScatterOp::Add,
+                    "cache combining requires the additive identity"
+                );
+            }
+        }
+        let bank = self.bank_of(req.addr);
+        self.bank_in[bank].try_push(req)
+    }
+
+    /// Whether bank `bank`'s input queue can take one more request.
+    pub fn can_inject(&self, addr: Addr) -> bool {
+        self.bank_in[self.bank_of(addr)].can_accept()
+    }
+
+    /// Free input-queue slots at the bank serving `addr` — all words of one
+    /// cache line share a bank, so a caller injecting a whole line (a
+    /// sum-back application) must check this against the word count.
+    pub fn inject_capacity(&self, addr: Addr) -> usize {
+        self.bank_in[self.bank_of(addr)].free()
+    }
+
+    /// Advance the whole memory system by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // 1. DRAM channels produce fills / acknowledgements.
+        for ch in &mut self.channels {
+            if let Some(resp) = ch.tick(now, &mut self.store) {
+                match resp.origin {
+                    Origin::CacheBank { bank, .. } => self.banks[bank].on_mem_response(resp),
+                    other => panic!("unexpected DRAM response origin {other:?}"),
+                }
+            }
+        }
+
+        for b in 0..self.banks.len() {
+            // 2. Install pending fills.
+            self.banks[b].tick(now);
+
+            // 3. Move one outgoing DRAM command toward its channel.
+            if let Some(cmd) = self.banks[b].peek_mem_cmd() {
+                let line = cmd.base.line_index(self.cfg.cache.line_bytes);
+                let ch = self.cfg.dram.channel_of_line(line);
+                if self.channels[ch].can_accept() {
+                    let cmd = self.banks[b].pop_mem_cmd().expect("peeked");
+                    self.channels[ch]
+                        .try_submit(cmd, now)
+                        .expect("capacity checked");
+                }
+            }
+
+            // 4. Ingest a scatter request into the scatter-add unit (does not
+            //    consume the cache port; Figure 4a places the unit in front
+            //    of the bank).
+            if let Some(req) = self.bank_in[b].front().copied() {
+                if req.op.is_scatter() && self.sa[b].try_submit(req).is_ok() {
+                    self.bank_in[b].pop();
+                }
+            }
+
+            // 5. One cache access per bank per cycle, round-robin between the
+            //    scatter-add unit's internal traffic and bypass traffic.
+            let sa_first = self.rr_sa_first[b];
+            let mut served = false;
+            for attempt in 0..2 {
+                let serve_sa = sa_first ^ (attempt == 1);
+                if serve_sa {
+                    if self.try_serve_sa(b, now) {
+                        served = true;
+                        break;
+                    }
+                } else if self.try_serve_bypass(b, now) {
+                    served = true;
+                    break;
+                }
+            }
+            if served {
+                self.rr_sa_first[b] = !sa_first;
+            }
+
+            // 6. Advance the scatter-add unit.
+            self.sa[b].tick(now);
+
+            // 7. Route cache data responses.
+            while let Some(r) = self.banks[b].pop_ready(now) {
+                match r.origin {
+                    Origin::SaUnit { bank, .. } => {
+                        debug_assert_eq!(bank, b);
+                        self.sa[b].on_value(r.addr, r.bits);
+                    }
+                    _ => self.completions.push_back(r),
+                }
+            }
+
+            // 8. Scatter acknowledgements complete their requests.
+            while let Some(a) = self.sa[b].pop_ack() {
+                self.completions.push_back(a);
+            }
+        }
+    }
+
+    /// Serve one of the scatter-add unit's memory operations at bank `b`'s
+    /// cache port. Returns whether the port was used.
+    fn try_serve_sa(&mut self, b: usize, now: Cycle) -> bool {
+        let Some(op) = self.sa[b].peek_to_mem().copied() else {
+            return false;
+        };
+        let access = match op {
+            ToMem::Read { id, addr } => CacheAccess {
+                id,
+                addr,
+                kind: AccessKind::Read {
+                    zero_alloc: self.combine_as_remote(addr),
+                },
+                origin: Origin::SaUnit {
+                    node: self.node,
+                    bank: b,
+                },
+            },
+            ToMem::Write { id, addr, bits } => CacheAccess {
+                id,
+                addr,
+                kind: AccessKind::Write {
+                    bits,
+                    partial_sum: self.combine_as_remote(addr),
+                },
+                origin: Origin::SaUnit {
+                    node: self.node,
+                    bank: b,
+                },
+            },
+        };
+        if self.banks[b].try_access(access, now).is_ok() {
+            let _ = self.sa[b].pop_to_mem();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Serve one bypass (non-scatter) request at bank `b`'s cache port.
+    /// Returns whether the port was used.
+    fn try_serve_bypass(&mut self, b: usize, now: Cycle) -> bool {
+        let Some(front) = self.bank_in[b].front() else {
+            return false;
+        };
+        if front.op.is_scatter() {
+            return false;
+        }
+        let req = *front;
+        let access = match req.op {
+            MemOp::Read => CacheAccess {
+                id: req.id,
+                addr: req.addr,
+                kind: AccessKind::Read { zero_alloc: false },
+                origin: req.origin,
+            },
+            MemOp::Write { bits } => CacheAccess {
+                id: req.id,
+                addr: req.addr,
+                kind: AccessKind::Write {
+                    bits,
+                    partial_sum: false,
+                },
+                origin: req.origin,
+            },
+            MemOp::Scatter { .. } => unreachable!("checked above"),
+        };
+        if self.banks[b].try_access(access, now).is_ok() {
+            let req = self.bank_in[b].pop().expect("front checked");
+            if matches!(req.op, MemOp::Write { .. }) {
+                // Posted write: acknowledged on acceptance.
+                self.completions.push_back(MemResponse {
+                    id: req.id,
+                    addr: req.addr,
+                    bits: 0,
+                    origin: req.origin,
+                    at: now,
+                });
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Next completed request (scatter ack, read data, or posted write ack).
+    pub fn pop_completion(&mut self) -> Option<MemResponse> {
+        self.completions.pop_front()
+    }
+
+    /// Next evicted partial-sum line from any bank (combining mode); the
+    /// multi-node system forwards these to the home node.
+    pub fn pop_sum_back(&mut self) -> Option<(usize, SumBack)> {
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            if let Some(sb) = bank.pop_sum_back() {
+                return Some((b, sb));
+            }
+        }
+        None
+    }
+
+    /// Flush every partial-sum line from every bank — the final
+    /// flush-with-sum-back synchronization step of §3.2.
+    pub fn flush_sum_backs(&mut self) -> Vec<SumBack> {
+        self.banks
+            .iter_mut()
+            .flat_map(|b| b.flush_sum_backs())
+            .collect()
+    }
+
+    /// Write every dirty cache line back into the functional store and
+    /// invalidate the cache — the zero-time verification flush used at the
+    /// end of a run so [`NodeMemSys::store`] shows the coherent image.
+    /// Partial-sum lines (combining mode) are *not* flushed here; use
+    /// [`NodeMemSys::flush_sum_backs`] for those.
+    pub fn flush_to_store(&mut self) {
+        for b in 0..self.banks.len() {
+            for (base, data) in self.banks[b].flush_dirty() {
+                self.store.write_line(base, &data);
+            }
+        }
+    }
+
+    /// Coherent read of one word: the cache copy if resident, else memory.
+    pub fn read_coherent(&self, addr: Addr) -> u64 {
+        let bank = self.bank_of(addr);
+        self.banks[bank]
+            .probe(addr)
+            .unwrap_or_else(|| self.store.read_word(addr))
+    }
+
+    /// Whether every queue, bank, unit, and channel is empty (completions
+    /// included — drain them first).
+    pub fn is_idle(&self) -> bool {
+        self.completions.is_empty()
+            && self.bank_in.iter().all(|q| q.is_empty())
+            && self.banks.iter().all(|b| b.is_idle())
+            && self.sa.iter().all(|u| u.is_idle())
+            && self.channels.iter().all(|c| c.is_idle())
+    }
+
+    /// Aggregate statistics over all banks, units, and channels.
+    pub fn stats(&self) -> NodeStats {
+        let mut s = NodeStats::default();
+        for u in &self.sa {
+            let us = u.stats();
+            s.sa.accepted += us.accepted;
+            s.sa.combined += us.combined;
+            s.sa.reads_issued += us.reads_issued;
+            s.sa.writes_issued += us.writes_issued;
+            s.sa.chained += us.chained;
+            s.sa.stalled_full += us.stalled_full;
+            s.sa.fetch_ops += us.fetch_ops;
+            s.sa.occupancy_integral += us.occupancy_integral;
+        }
+        for b in &self.banks {
+            s.cache.merge(b.stats());
+        }
+        for c in &self.channels {
+            s.dram.merge(c.stats());
+        }
+        for q in &self.bank_in {
+            s.bank_in.merge(q.stats());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sim::{ScalarKind, ScatterOp};
+
+    fn sa_req(id: u64, word: u64, val: i64) -> MemRequest {
+        MemRequest {
+            id,
+            addr: Addr::from_word_index(word),
+            op: MemOp::Scatter {
+                bits: val as u64,
+                kind: ScalarKind::I64,
+                op: ScatterOp::Add,
+                fetch: false,
+            },
+            origin: Origin::AddrGen { node: 0, ag: 0 },
+        }
+    }
+
+    fn run_until_idle(
+        node: &mut NodeMemSys,
+        start: Cycle,
+        limit: u64,
+    ) -> (Vec<MemResponse>, Cycle) {
+        let mut now = start;
+        let mut done = Vec::new();
+        for _ in 0..limit {
+            now += 1;
+            node.tick(now);
+            while let Some(c) = node.pop_completion() {
+                done.push(c);
+            }
+            if node.is_idle() {
+                return (done, now);
+            }
+        }
+        panic!("node did not drain in {limit} cycles");
+    }
+
+    #[test]
+    fn scatter_adds_land_in_memory() {
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, false);
+        // 16 adds spread over 4 words.
+        let mut id = 0;
+        let mut now = Cycle(0);
+        let mut pending: VecDeque<MemRequest> = (0..16)
+            .map(|i| {
+                id += 1;
+                sa_req(id, i % 4, 1)
+            })
+            .collect();
+        let mut completions = Vec::new();
+        for _ in 0..100_000 {
+            now += 1;
+            while let Some(req) = pending.pop_front() {
+                if let Err(req) = node.inject(req) {
+                    pending.push_front(req);
+                    break;
+                }
+            }
+            node.tick(now);
+            while let Some(c) = node.pop_completion() {
+                completions.push(c);
+            }
+            if pending.is_empty() && node.is_idle() {
+                break;
+            }
+        }
+        assert!(node.is_idle(), "node drained");
+        assert_eq!(completions.len(), 16, "one ack per scatter request");
+        node.flush_to_store();
+        assert_eq!(
+            node.store().extract_i64(Addr(0), 4),
+            vec![4, 4, 4, 4],
+            "all additions applied atomically"
+        );
+    }
+
+    #[test]
+    fn reads_and_writes_bypass_the_unit() {
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, false);
+        node.store_mut().write_i64(Addr::from_word_index(3), 42);
+        node.inject(MemRequest {
+            id: 1,
+            addr: Addr::from_word_index(3),
+            op: MemOp::Read,
+            origin: Origin::AddrGen { node: 0, ag: 0 },
+        })
+        .unwrap();
+        node.inject(MemRequest {
+            id: 2,
+            addr: Addr::from_word_index(100),
+            op: MemOp::Write { bits: 7 },
+            origin: Origin::AddrGen { node: 0, ag: 0 },
+        })
+        .unwrap();
+        let (done, _) = run_until_idle(&mut node, Cycle(0), 100_000);
+        assert_eq!(done.len(), 2);
+        let read = done.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(read.bits as i64, 42);
+        assert_eq!(node.store().read_word(Addr::from_word_index(100)), 7);
+        let s = node.stats();
+        assert_eq!(s.sa.accepted, 0, "no scatter traffic touched the unit");
+    }
+
+    #[test]
+    fn mixed_traffic_preserves_order_sensitive_results() {
+        // Scatter-adds followed by a read of the same word: the read is
+        // issued only after completions confirm the adds are done.
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, false);
+        for i in 0..8 {
+            node.inject(sa_req(i, 0, 1)).unwrap();
+        }
+        let (done, now) = run_until_idle(&mut node, Cycle(0), 100_000);
+        assert_eq!(done.len(), 8);
+        node.inject(MemRequest {
+            id: 100,
+            addr: Addr::from_word_index(0),
+            op: MemOp::Read,
+            origin: Origin::AddrGen { node: 0, ag: 0 },
+        })
+        .unwrap();
+        let (done, _) = run_until_idle(&mut node, now, 100_000);
+        assert_eq!(done[0].bits as i64, 8);
+    }
+
+    #[test]
+    fn hot_word_serializes_but_stays_correct() {
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, false);
+        let n = 64;
+        let mut pending: VecDeque<MemRequest> = (0..n).map(|i| sa_req(i, 7, 1)).collect();
+        let mut now = Cycle(0);
+        let mut acked = 0;
+        for _ in 0..1_000_000 {
+            now += 1;
+            while let Some(req) = pending.pop_front() {
+                if let Err(req) = node.inject(req) {
+                    pending.push_front(req);
+                    break;
+                }
+            }
+            node.tick(now);
+            while node.pop_completion().is_some() {
+                acked += 1;
+            }
+            if pending.is_empty() && node.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(acked, n);
+        node.flush_to_store();
+        assert_eq!(node.store().read_i64(Addr::from_word_index(7)), n as i64);
+        let s = node.stats();
+        assert_eq!(s.sa.reads_issued + s.sa.chained, n, "one read, n-1 chains");
+        assert!(
+            s.sa.reads_issued < 5,
+            "combining suppressed nearly all reads"
+        );
+    }
+
+    #[test]
+    fn combining_mode_zero_allocates_and_sums_back() {
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, true);
+        for i in 0..8 {
+            node.inject(sa_req(i, i % 2, 1)).unwrap();
+        }
+        let (_, _) = run_until_idle(&mut node, Cycle(0), 100_000);
+        // In combining mode nothing reaches DRAM; the sums sit in the cache
+        // as partial lines.
+        assert_eq!(node.stats().dram.reads, 0, "zero-alloc avoids fills");
+        let sums = node.flush_sum_backs();
+        assert_eq!(sums.len(), 1, "both words share one line");
+        assert_eq!(sums[0].data[0], 4);
+        assert_eq!(sums[0].data[1], 4);
+    }
+
+    #[test]
+    fn throughput_scales_with_banks() {
+        // Uniform random-ish addresses across many lines: 8 banks must beat
+        // a single hot bank by a wide margin.
+        let cfg = MachineConfig::merrimac();
+        let line_words = cfg.cache.words_per_line();
+        // Word addresses that all land in bank 0 (hot) vs consecutive lines
+        // (spread over all banks).
+        let hot_words: Vec<u64> = (0..)
+            .filter(|l| cfg.cache.bank_of_line(*l) == 0)
+            .take(16)
+            .map(|l| l * line_words)
+            .collect();
+        let spread_words: Vec<u64> = (0..16u64).map(|l| l * line_words).collect();
+        let run = |words: &[u64]| {
+            let mut node = NodeMemSys::new(cfg, 0, false);
+            let n = 256u64;
+            let mut pending: VecDeque<MemRequest> = (0..n)
+                .map(|i| sa_req(i, words[(i % 16) as usize], 1))
+                .collect();
+            let mut now = Cycle(0);
+            loop {
+                now += 1;
+                while let Some(req) = pending.pop_front() {
+                    if let Err(req) = node.inject(req) {
+                        pending.push_front(req);
+                        break;
+                    }
+                }
+                node.tick(now);
+                while node.pop_completion().is_some() {}
+                if pending.is_empty() && node.is_idle() {
+                    return now.raw();
+                }
+            }
+        };
+        let spread = run(&spread_words);
+        let hot = run(&hot_words);
+        assert!(
+            hot > spread * 3,
+            "hot bank ({hot} cycles) should be much slower than spread ({spread} cycles)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "additive identity")]
+    fn combining_rejects_non_add() {
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, true);
+        let req = MemRequest {
+            id: 1,
+            addr: Addr(0),
+            op: MemOp::Scatter {
+                bits: 0,
+                kind: ScalarKind::I64,
+                op: ScatterOp::Max,
+                fetch: false,
+            },
+            origin: Origin::AddrGen { node: 0, ag: 0 },
+        };
+        let _ = node.inject(req);
+    }
+
+    #[test]
+    fn back_pressure_rejects_when_bank_queue_full() {
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, false);
+        // All to one bank (same line), never ticking.
+        let mut rejected = false;
+        for i in 0..100 {
+            if node.inject(sa_req(i, 0, 1)).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "bank input queue must be bounded");
+    }
+
+    #[test]
+    fn stats_aggregate_across_banks() {
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, false);
+        for i in 0..32 {
+            node.inject(sa_req(i, i, 1)).unwrap();
+        }
+        let (_, _) = run_until_idle(&mut node, Cycle(0), 100_000);
+        let s = node.stats();
+        assert_eq!(s.sa.accepted, 32);
+        assert_eq!(s.sa.writes_issued, 32);
+        assert!(s.dram.reads > 0);
+    }
+}

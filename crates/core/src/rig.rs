@@ -1,0 +1,270 @@
+//! The §4.4 sensitivity rig: one scatter-add unit, no cache, uniform memory.
+
+use sa_mem::{BackingStore, SimpleMemory, SimpleMemoryStats};
+use sa_sim::{
+    Addr, Clock, Cycle, MemOp, MemRequest, Origin, SaUnitConfig, ScalarKind, ScatterOp,
+    SensitivityConfig,
+};
+
+use crate::unit::{SaStats, ScatterAddUnit, ToMem};
+
+fn op_id(op: &ToMem) -> sa_sim::ReqId {
+    match op {
+        ToMem::Read { id, .. } | ToMem::Write { id, .. } => *id,
+    }
+}
+
+/// Outcome of one sensitivity-rig run.
+#[derive(Clone, Debug)]
+pub struct SensitivityResult {
+    /// Cycles from first issue until the last sum was written to memory.
+    pub cycles: u64,
+    /// Scatter-add unit counters.
+    pub sa: SaStats,
+    /// Memory counters.
+    pub mem: SimpleMemoryStats,
+    /// Final contents of the result array.
+    pub bins: Vec<i64>,
+}
+
+impl SensitivityResult {
+    /// Execution time in microseconds at 1 GHz (the figures' y-axis).
+    pub fn micros(&self) -> f64 {
+        Cycle(self.cycles).as_micros(1.0)
+    }
+}
+
+/// The stripped-down machine of the §4.4 sensitivity experiments
+/// (Figures 11 and 12): a single address generator issuing one scatter-add
+/// per cycle into a single [`ScatterAddUnit`], backed by a uniform-latency,
+/// fixed-interval [`SimpleMemory`] with no cache.
+///
+/// ```
+/// use sa_core::SensitivityRig;
+/// use sa_sim::SensitivityConfig;
+///
+/// let rig = SensitivityRig::new(SensitivityConfig::default());
+/// let indices = vec![0, 1, 2, 3, 0, 1, 2, 3];
+/// let r = rig.run_histogram(&indices, 4);
+/// assert_eq!(r.bins, vec![2, 2, 2, 2]);
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct SensitivityRig {
+    cfg: SensitivityConfig,
+}
+
+impl SensitivityRig {
+    /// A rig with the given combining-store size, FU latency, memory latency
+    /// and memory interval.
+    pub fn new(cfg: SensitivityConfig) -> SensitivityRig {
+        SensitivityRig { cfg }
+    }
+
+    /// The rig's configuration.
+    pub fn config(&self) -> SensitivityConfig {
+        self.cfg
+    }
+
+    /// Run a histogram of `indices` over `range` bins (each element adds 1 to
+    /// its bin) and measure the cycles until everything has drained to
+    /// memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of `0..range`.
+    pub fn run_histogram(&self, indices: &[u64], range: u64) -> SensitivityResult {
+        for &i in indices {
+            assert!(i < range, "index {i} out of range {range}");
+        }
+        let mut sa = ScatterAddUnit::new(SaUnitConfig {
+            cs_entries: self.cfg.cs_entries,
+            fu_latency: self.cfg.fu_latency,
+        });
+        let mut mem = SimpleMemory::new(self.cfg.mem_latency, self.cfg.mem_interval);
+        let mut store = BackingStore::new();
+        let mut clock = Clock::with_limit(2_000_000_000);
+        let mut next = 0usize;
+        let mut read_ids = std::collections::HashSet::new();
+
+        while next < indices.len() || !sa.is_idle() || !mem.is_idle() {
+            let now = clock.advance();
+
+            // One scatter-add issued per cycle by the address generator.
+            if next < indices.len() {
+                let req = MemRequest {
+                    id: next as u64,
+                    addr: Addr::from_word_index(indices[next]),
+                    op: MemOp::Scatter {
+                        bits: 1,
+                        kind: ScalarKind::I64,
+                        op: ScatterOp::Add,
+                        fetch: false,
+                    },
+                    origin: Origin::AddrGen { node: 0, ag: 0 },
+                };
+                if sa.try_submit(req).is_ok() {
+                    next += 1;
+                }
+            }
+
+            sa.tick(now);
+
+            // The unit's reads/writes go straight to the uniform memory,
+            // throttled by its fixed access interval.
+            while let Some(op) = sa.peek_to_mem().copied() {
+                let req = match op {
+                    ToMem::Read { id, addr } => MemRequest {
+                        id,
+                        addr,
+                        op: MemOp::Read,
+                        origin: Origin::SaUnit { node: 0, bank: 0 },
+                    },
+                    ToMem::Write { id, addr, bits } => MemRequest {
+                        id,
+                        addr,
+                        op: MemOp::Write { bits },
+                        origin: Origin::SaUnit { node: 0, bank: 0 },
+                    },
+                };
+                let is_read = matches!(op, ToMem::Read { .. });
+                if mem.try_access(req, now, &mut store) {
+                    if is_read {
+                        read_ids.insert(op_id(&op));
+                    }
+                    let _ = sa.pop_to_mem();
+                } else {
+                    break;
+                }
+            }
+
+            if let Some(resp) = mem.tick(now) {
+                // Only reads carry a value back into the unit; write
+                // acknowledgements are dropped.
+                if read_ids.remove(&resp.id) {
+                    sa.on_value(resp.addr, resp.bits);
+                }
+            }
+
+            while sa.pop_ack().is_some() {}
+        }
+
+        SensitivityResult {
+            cycles: clock.now().raw(),
+            sa: sa.stats(),
+            mem: mem.stats(),
+            bins: store.extract_i64(Addr(0), range as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cs: usize, fu: u32, lat: u32, int: u32) -> SensitivityConfig {
+        SensitivityConfig {
+            cs_entries: cs,
+            fu_latency: fu,
+            mem_latency: lat,
+            mem_interval: int,
+        }
+    }
+
+    fn uniform_indices(n: usize, range: u64, seed: u64) -> Vec<u64> {
+        let mut rng = sa_sim::Rng64::new(seed);
+        (0..n).map(|_| rng.below(range)).collect()
+    }
+
+    #[test]
+    fn histogram_is_exact() {
+        let rig = SensitivityRig::new(cfg(8, 4, 16, 2));
+        let idx = uniform_indices(512, 64, 1);
+        let r = rig.run_histogram(&idx, 64);
+        let mut expect = vec![0i64; 64];
+        for &i in &idx {
+            expect[i as usize] += 1;
+        }
+        assert_eq!(r.bins, expect);
+        assert_eq!(r.sa.accepted, 512);
+    }
+
+    #[test]
+    fn more_entries_tolerate_latency() {
+        // Figure 11's main effect: with few combining-store entries, high
+        // memory latency dominates; with many entries it is hidden.
+        let idx = uniform_indices(512, 65_536, 2);
+        let slow_small = SensitivityRig::new(cfg(2, 4, 256, 2)).run_histogram(&idx, 65_536);
+        let slow_large = SensitivityRig::new(cfg(64, 4, 256, 2)).run_histogram(&idx, 65_536);
+        let fast_small = SensitivityRig::new(cfg(2, 4, 8, 2)).run_histogram(&idx, 65_536);
+        assert!(
+            slow_small.cycles > 4 * slow_large.cycles,
+            "64 entries should hide most of the 256-cycle latency: {} vs {}",
+            slow_small.cycles,
+            slow_large.cycles
+        );
+        assert!(
+            slow_small.cycles > 4 * fast_small.cycles,
+            "with 2 entries the run time tracks memory latency"
+        );
+    }
+
+    #[test]
+    fn large_store_hits_throughput_floor() {
+        // With 64 entries and latency hidden, the run is bound by memory
+        // throughput: ~2 accesses per element at `interval` cycles each.
+        let idx = uniform_indices(512, 65_536, 3);
+        let r = SensitivityRig::new(cfg(64, 4, 16, 2)).run_histogram(&idx, 65_536);
+        let floor = 2 * 2 * 512; // reads+writes × interval × n
+        assert!(
+            r.cycles >= floor as u64,
+            "cannot beat the memory throughput floor: {} < {floor}",
+            r.cycles
+        );
+        assert!(
+            r.cycles < floor as u64 + 1500,
+            "should be close to the floor"
+        );
+    }
+
+    #[test]
+    fn narrow_range_combines_in_store() {
+        // Figure 12's effect: with 16 bins and a large store, most requests
+        // are captured by the combining store and memory traffic collapses.
+        let idx = uniform_indices(512, 16, 4);
+        let r = SensitivityRig::new(cfg(64, 4, 16, 16)).run_histogram(&idx, 16);
+        let wide = uniform_indices(512, 65_536, 4);
+        let rw = SensitivityRig::new(cfg(64, 4, 16, 16)).run_histogram(&wide, 65_536);
+        assert!(
+            r.sa.combined > 400,
+            "narrow range should combine heavily: {}",
+            r.sa.combined
+        );
+        assert!(
+            r.cycles < rw.cycles / 4,
+            "narrow ({}) must be far faster than wide ({}) at low throughput",
+            r.cycles,
+            rw.cycles
+        );
+    }
+
+    #[test]
+    fn fu_latency_invisible_with_enough_entries() {
+        // Figure 11: "even with only 16 entries ... performance does not
+        // depend on ALU latency".
+        let idx = uniform_indices(512, 65_536, 5);
+        let fu2 = SensitivityRig::new(cfg(16, 2, 16, 2)).run_histogram(&idx, 65_536);
+        let fu16 = SensitivityRig::new(cfg(16, 16, 16, 2)).run_histogram(&idx, 65_536);
+        let ratio = fu16.cycles as f64 / fu2.cycles as f64;
+        assert!(
+            ratio < 1.1,
+            "FU latency should be hidden at 16 entries: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let rig = SensitivityRig::new(SensitivityConfig::default());
+        let _ = rig.run_histogram(&[5], 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! System-wide synchronization primitives built on the fetch-and-add
+//! extension — the second §5 future-work item: "implement system wide
+//! synchronization primitives for SIMD architectures".
+//!
+//! The NYU Ultracomputer (cited by the paper as the origin of
+//! fetch-and-add) showed that one atomic counter suffices for the classic
+//! coordination primitives. With the §3.3 data-parallel fetch-and-add these
+//! cost a *single* stream operation:
+//!
+//! * [`simulate_barrier`] — every participant fetch-adds 1 to an arrival
+//!   counter; the counter reaching the participant count *is* the barrier.
+//! * [`allocate_slots`] — parallel queue allocation: `n` lanes fetch-add 1
+//!   on a tail pointer and receive dense, unique slot indices.
+
+use sa_sim::{MachineConfig, ScalarKind, ScatterOp};
+
+use crate::driver::{drive_scatter, ScatterKernel};
+use crate::node::NodeStats;
+
+/// Outcome of a simulated barrier.
+#[derive(Debug)]
+pub struct BarrierResult {
+    /// Cycles until the last participant's arrival was acknowledged (the
+    /// point at which the counter shows full arrival).
+    pub cycles: u64,
+    /// Arrival order observed by the counter (old values 0..P-1, one per
+    /// participant, in completion order).
+    pub arrival_order: Vec<u64>,
+    /// Machine statistics.
+    pub stats: NodeStats,
+}
+
+/// Simulate `participants` SIMD lanes arriving at a barrier: one
+/// fetch-and-add each on a shared arrival counter at `counter_word`.
+///
+/// # Panics
+///
+/// Panics if `participants` is zero.
+pub fn simulate_barrier(
+    cfg: &MachineConfig,
+    counter_word: u64,
+    participants: usize,
+) -> BarrierResult {
+    assert!(participants > 0, "a barrier needs participants");
+    let kernel = ScatterKernel {
+        base_word: counter_word,
+        indices: vec![0; participants],
+        values: vec![1; participants],
+        kind: ScalarKind::I64,
+        op: ScatterOp::Add,
+    };
+    let run = drive_scatter(cfg, &kernel, true);
+    let arrival_order = run.fetched.iter().map(|&(_, old)| old).collect();
+    debug_assert_eq!(
+        run.result_i64(1)[0] as usize,
+        participants,
+        "counter shows full arrival"
+    );
+    BarrierResult {
+        cycles: run.cycles,
+        arrival_order,
+        stats: run.stats,
+    }
+}
+
+/// Outcome of a parallel queue allocation.
+#[derive(Debug)]
+pub struct SlotAllocation {
+    /// Cycles until every lane held its slot.
+    pub cycles: u64,
+    /// The slot handed to each request, indexed by request id (dense and
+    /// unique by construction of the chained fetch-and-add).
+    pub slots: Vec<u64>,
+}
+
+/// Allocate `n` dense queue slots in parallel: each lane fetch-adds 1 on the
+/// tail pointer at `tail_word` and receives the pre-increment value.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn allocate_slots(cfg: &MachineConfig, tail_word: u64, n: usize) -> SlotAllocation {
+    assert!(n > 0, "allocating zero slots is a bug");
+    let kernel = ScatterKernel {
+        base_word: tail_word,
+        indices: vec![0; n],
+        values: vec![1; n],
+        kind: ScalarKind::I64,
+        op: ScatterOp::Add,
+    };
+    let run = drive_scatter(cfg, &kernel, true);
+    let mut slots = vec![0u64; n];
+    for &(req, old) in &run.fetched {
+        slots[req as usize] = old;
+    }
+    SlotAllocation {
+        cycles: run.cycles,
+        slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::merrimac()
+    }
+
+    #[test]
+    fn barrier_sees_every_arrival_once() {
+        let r = simulate_barrier(&cfg(), 0, 64);
+        let mut order = r.arrival_order.clone();
+        order.sort_unstable();
+        assert_eq!(order, (0..64).collect::<Vec<u64>>());
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn barrier_cost_scales_with_serial_chain() {
+        // All arrivals hit one counter: the chain serializes at FU latency,
+        // so doubling participants roughly doubles the barrier time.
+        let small = simulate_barrier(&cfg(), 0, 64);
+        let large = simulate_barrier(&cfg(), 0, 128);
+        let ratio = large.cycles as f64 / small.cycles as f64;
+        assert!(
+            (1.5..3.0).contains(&ratio),
+            "barrier should scale ~linearly in arrivals: {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn slots_are_dense_and_unique() {
+        let a = allocate_slots(&cfg(), 10, 100);
+        let mut sorted = a.slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_participant_degenerates() {
+        let r = simulate_barrier(&cfg(), 0, 1);
+        assert_eq!(r.arrival_order, vec![0]);
+        let a = allocate_slots(&cfg(), 0, 1);
+        assert_eq!(a.slots, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs participants")]
+    fn empty_barrier_rejected() {
+        let _ = simulate_barrier(&cfg(), 0, 0);
+    }
+}

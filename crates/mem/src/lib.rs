@@ -1,0 +1,37 @@
+//! Memory models for the scatter-add reproduction.
+//!
+//! Two timing models share one functional model:
+//!
+//! * [`BackingStore`] — the functional contents of global memory (sparse,
+//!   word-granularity). Every timing model reads and writes through it, so
+//!   the final memory image of a simulation can be checked against a scalar
+//!   reference regardless of how requests were reordered.
+//! * [`DramChannel`] — the detailed model: per-channel command queues,
+//!   internal DRAM banks with open-row state, and a first-ready scheduler
+//!   approximating memory-access scheduling (Rixner et al., which the paper
+//!   relies on to keep DRAM latency variance small).
+//! * [`SimpleMemory`] — the §4.4 sensitivity-rig model: uniform latency and
+//!   a fixed minimum interval between successive word accesses.
+//!
+//! # Example
+//!
+//! ```
+//! use sa_mem::BackingStore;
+//! use sa_sim::Addr;
+//!
+//! let mut store = BackingStore::new();
+//! store.write_f64(Addr::from_word_index(4), 2.5);
+//! assert_eq!(store.read_f64(Addr::from_word_index(4)), 2.5);
+//! assert_eq!(store.read_f64(Addr::from_word_index(5)), 0.0, "memory zero-fills");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dram;
+mod simple;
+mod store;
+
+pub use dram::{drain_channels, DramChannel, DramCommand, DramKind, DramResponse, DramStats};
+pub use simple::{SimpleMemory, SimpleMemoryStats};
+pub use store::BackingStore;

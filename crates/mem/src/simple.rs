@@ -1,0 +1,237 @@
+//! The uniform-latency, fixed-throughput memory of the §4.4 sensitivity rig.
+//!
+//! "We run the experiments without a cache, and implement memory as a uniform
+//! bandwidth and latency structure. Throughput is modeled by a fixed cycle
+//! interval between successive memory word accesses, and latency by a fixed
+//! value which corresponds to the average expected memory delay."
+
+use std::collections::VecDeque;
+
+use sa_sim::{Cycle, MemOp, MemRequest, MemResponse};
+
+use crate::BackingStore;
+
+/// Counters for [`SimpleMemory`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimpleMemoryStats {
+    /// Accepted word accesses.
+    pub accesses: u64,
+    /// Accesses rejected because the interval had not elapsed.
+    pub throttled: u64,
+}
+
+/// Fixed-latency, fixed-interval word-granularity memory.
+///
+/// One word access is accepted at most every `interval` cycles; each access
+/// completes exactly `latency` cycles after acceptance. Writes and scatter
+/// ops take effect *in acceptance order*, so the functional result is
+/// deterministic.
+///
+/// ```
+/// use sa_mem::{BackingStore, SimpleMemory};
+/// use sa_sim::{Addr, Cycle, MemOp, MemRequest, Origin};
+///
+/// let mut m = SimpleMemory::new(10, 2);
+/// let mut store = BackingStore::new();
+/// store.write_i64(Addr(0), 7);
+/// let req = MemRequest {
+///     id: 1,
+///     addr: Addr(0),
+///     op: MemOp::Read,
+///     origin: Origin::AddrGen { node: 0, ag: 0 },
+/// };
+/// assert!(m.try_access(req, Cycle(0), &mut store));
+/// // Nothing completes before the latency elapses.
+/// assert!(m.tick(Cycle(5)).is_none());
+/// let resp = m.tick(Cycle(10)).expect("completes at latency");
+/// assert_eq!(resp.bits as i64, 7);
+/// ```
+#[derive(Debug)]
+pub struct SimpleMemory {
+    latency: u32,
+    interval: u32,
+    next_free: Cycle,
+    inflight: VecDeque<MemResponse>,
+    stats: SimpleMemoryStats,
+}
+
+impl SimpleMemory {
+    /// Memory with flat `latency` and a minimum of `interval` cycles between
+    /// successive word accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero (at most one access per cycle is the
+    /// fastest the rig supports, matching the paper's sweep of 1–16).
+    pub fn new(latency: u32, interval: u32) -> SimpleMemory {
+        assert!(interval > 0, "interval must be at least 1 cycle");
+        SimpleMemory {
+            latency,
+            interval,
+            next_free: Cycle::ZERO,
+            inflight: VecDeque::new(),
+            stats: SimpleMemoryStats::default(),
+        }
+    }
+
+    /// Whether an access would be accepted at time `now`.
+    pub fn can_accept(&self, now: Cycle) -> bool {
+        now >= self.next_free
+    }
+
+    /// Attempt a word access at time `now`; returns whether it was accepted.
+    ///
+    /// Functional effects (writes, scatter combines) are applied immediately
+    /// on acceptance; the response surfaces `latency` cycles later. The
+    /// response of a read carries the word value; a fetch-op response carries
+    /// the pre-op value.
+    pub fn try_access(&mut self, req: MemRequest, now: Cycle, store: &mut BackingStore) -> bool {
+        if !self.can_accept(now) {
+            self.stats.throttled += 1;
+            return false;
+        }
+        self.next_free = now + u64::from(self.interval);
+        self.stats.accesses += 1;
+        let bits = match req.op {
+            MemOp::Read => store.read_word(req.addr),
+            MemOp::Write { bits } => {
+                store.write_word(req.addr, bits);
+                0
+            }
+            MemOp::Scatter { bits, kind, op, .. } => {
+                store.scatter_combine(req.addr, bits, kind, op)
+            }
+        };
+        self.inflight.push_back(MemResponse {
+            id: req.id,
+            addr: req.addr,
+            bits,
+            origin: req.origin,
+            at: now + u64::from(self.latency),
+        });
+        true
+    }
+
+    /// Return the response completing at `now`, if any.
+    ///
+    /// Acceptance is serialized by the interval and latency is constant, so
+    /// at most one response completes per call when `interval >= 1`.
+    pub fn tick(&mut self, now: Cycle) -> Option<MemResponse> {
+        if self.inflight.front().is_some_and(|r| r.at <= now) {
+            self.inflight.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Whether all accepted accesses have completed.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SimpleMemoryStats {
+        self.stats
+    }
+
+    /// The configured flat latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// The configured minimum interval between accesses in cycles.
+    pub fn interval(&self) -> u32 {
+        self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sim::{Addr, Origin, ScalarKind, ScatterOp};
+
+    fn req(id: u64, word: u64, op: MemOp) -> MemRequest {
+        MemRequest {
+            id,
+            addr: Addr::from_word_index(word),
+            op,
+            origin: Origin::SaUnit { node: 0, bank: 0 },
+        }
+    }
+
+    #[test]
+    fn interval_throttles() {
+        let mut store = BackingStore::new();
+        let mut m = SimpleMemory::new(4, 3);
+        assert!(m.try_access(req(1, 0, MemOp::Read), Cycle(0), &mut store));
+        assert!(!m.try_access(req(2, 1, MemOp::Read), Cycle(1), &mut store));
+        assert!(!m.try_access(req(2, 1, MemOp::Read), Cycle(2), &mut store));
+        assert!(m.try_access(req(2, 1, MemOp::Read), Cycle(3), &mut store));
+        assert_eq!(m.stats().accesses, 2);
+        assert_eq!(m.stats().throttled, 2);
+    }
+
+    #[test]
+    fn latency_is_flat() {
+        let mut store = BackingStore::new();
+        let mut m = SimpleMemory::new(10, 1);
+        assert!(m.try_access(req(1, 0, MemOp::Read), Cycle(5), &mut store));
+        for c in 6..15 {
+            assert!(m.tick(Cycle(c)).is_none(), "no completion at {c}");
+        }
+        let r = m.tick(Cycle(15)).unwrap();
+        assert_eq!(r.id, 1);
+        assert_eq!(r.at, Cycle(15));
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn write_then_read_sees_value() {
+        let mut store = BackingStore::new();
+        let mut m = SimpleMemory::new(2, 1);
+        assert!(m.try_access(req(1, 7, MemOp::Write { bits: 99 }), Cycle(0), &mut store));
+        assert!(m.try_access(req(2, 7, MemOp::Read), Cycle(1), &mut store));
+        let _ack = m.tick(Cycle(2)).unwrap();
+        let r = m.tick(Cycle(3)).unwrap();
+        assert_eq!(r.bits, 99);
+    }
+
+    #[test]
+    fn scatter_is_atomic_and_returns_old() {
+        let mut store = BackingStore::new();
+        let mut m = SimpleMemory::new(1, 1);
+        let sa = |id, bits| {
+            req(
+                id,
+                0,
+                MemOp::Scatter {
+                    bits,
+                    kind: ScalarKind::I64,
+                    op: ScatterOp::Add,
+                    fetch: true,
+                },
+            )
+        };
+        assert!(m.try_access(sa(1, 5), Cycle(0), &mut store));
+        assert!(m.try_access(sa(2, 6), Cycle(1), &mut store));
+        let r1 = m.tick(Cycle(1)).unwrap();
+        let r2 = m.tick(Cycle(2)).unwrap();
+        assert_eq!(r1.bits as i64, 0, "fetch-op returns pre-op value");
+        assert_eq!(r2.bits as i64, 5);
+        assert_eq!(store.read_i64(Addr(0)), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be at least 1")]
+    fn zero_interval_panics() {
+        let _ = SimpleMemory::new(1, 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = SimpleMemory::new(8, 2);
+        assert_eq!(m.latency(), 8);
+        assert_eq!(m.interval(), 2);
+        assert!(m.can_accept(Cycle(0)));
+    }
+}

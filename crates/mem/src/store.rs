@@ -1,0 +1,218 @@
+//! The functional contents of global memory.
+
+use std::collections::HashMap;
+
+use sa_sim::{combine, Addr, ScalarKind, ScatterOp, WORD_BYTES};
+
+/// Sparse, word-granularity functional memory.
+///
+/// The store holds the *values* of the simulated global memory while the
+/// timing models decide *when* each access completes. Unwritten words read
+/// as zero, matching a zero-initialized result array.
+///
+/// ```
+/// use sa_mem::BackingStore;
+/// use sa_sim::{Addr, ScalarKind, ScatterOp};
+///
+/// let mut m = BackingStore::new();
+/// let a = Addr::from_word_index(10);
+/// m.scatter_combine(a, 3.0f64.to_bits(), ScalarKind::F64, ScatterOp::Add);
+/// m.scatter_combine(a, 4.0f64.to_bits(), ScalarKind::F64, ScatterOp::Add);
+/// assert_eq!(m.read_f64(a), 7.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BackingStore {
+    words: HashMap<u64, u64>,
+}
+
+impl BackingStore {
+    /// An empty (all-zero) memory.
+    pub fn new() -> BackingStore {
+        BackingStore::default()
+    }
+
+    /// Raw bits of the word at `addr` (zero if never written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned — the simulated machine only
+    /// issues word-granularity accesses and misalignment indicates a bug.
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        assert_eq!(addr.0 % WORD_BYTES, 0, "unaligned read at {addr}");
+        self.words.get(&addr.word_index()).copied().unwrap_or(0)
+    }
+
+    /// Store raw bits at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    pub fn write_word(&mut self, addr: Addr, bits: u64) {
+        assert_eq!(addr.0 % WORD_BYTES, 0, "unaligned write at {addr}");
+        if bits == 0 {
+            // Keep the map sparse: zero is the default.
+            self.words.remove(&addr.word_index());
+        } else {
+            self.words.insert(addr.word_index(), bits);
+        }
+    }
+
+    /// Read the word at `addr` as an `f64`.
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_word(addr))
+    }
+
+    /// Store an `f64` at `addr`.
+    pub fn write_f64(&mut self, addr: Addr, v: f64) {
+        self.write_word(addr, v.to_bits());
+    }
+
+    /// Read the word at `addr` as an `i64`.
+    pub fn read_i64(&self, addr: Addr) -> i64 {
+        self.read_word(addr) as i64
+    }
+
+    /// Store an `i64` at `addr`.
+    pub fn write_i64(&mut self, addr: Addr, v: i64) {
+        self.write_word(addr, v as u64);
+    }
+
+    /// Atomically (from the simulation's point of view) combine `bits` into
+    /// the word at `addr` and return the *old* value's bits.
+    pub fn scatter_combine(
+        &mut self,
+        addr: Addr,
+        bits: u64,
+        kind: ScalarKind,
+        op: ScatterOp,
+    ) -> u64 {
+        let old = self.read_word(addr);
+        self.write_word(addr, combine(old, bits, kind, op));
+        old
+    }
+
+    /// Read `words` consecutive words starting at `base` (a line fill).
+    pub fn read_line(&self, base: Addr, words: u64) -> Vec<u64> {
+        (0..words)
+            .map(|i| self.read_word(Addr(base.0 + i * WORD_BYTES)))
+            .collect()
+    }
+
+    /// Write `data` to consecutive words starting at `base` (a write-back).
+    pub fn write_line(&mut self, base: Addr, data: &[u64]) {
+        for (i, &bits) in data.iter().enumerate() {
+            self.write_word(Addr(base.0 + i as u64 * WORD_BYTES), bits);
+        }
+    }
+
+    /// Number of non-zero words currently stored (for tests and stats).
+    pub fn population(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Extract `n` consecutive `f64` values starting at `base` (for
+    /// comparing a simulated result array against a reference).
+    pub fn extract_f64(&self, base: Addr, n: usize) -> Vec<f64> {
+        (0..n as u64)
+            .map(|i| self.read_f64(Addr(base.0 + i * WORD_BYTES)))
+            .collect()
+    }
+
+    /// Extract `n` consecutive `i64` values starting at `base`.
+    pub fn extract_i64(&self, base: Addr, n: usize) -> Vec<i64> {
+        (0..n as u64)
+            .map(|i| self.read_i64(Addr(base.0 + i * WORD_BYTES)))
+            .collect()
+    }
+
+    /// Load `values` as `f64` words starting at `base`.
+    pub fn load_f64(&mut self, base: Addr, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f64(Addr(base.0 + i as u64 * WORD_BYTES), v);
+        }
+    }
+
+    /// Load `values` as `i64` words starting at `base`.
+    pub fn load_i64(&mut self, base: Addr, values: &[i64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_i64(Addr(base.0 + i as u64 * WORD_BYTES), v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = BackingStore::new();
+        assert_eq!(m.read_word(Addr(0)), 0);
+        assert_eq!(m.read_f64(Addr(8)), 0.0);
+        assert_eq!(m.read_i64(Addr(16)), 0);
+        assert_eq!(m.population(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = BackingStore::new();
+        m.write_f64(Addr(0), -1.5);
+        m.write_i64(Addr(8), -42);
+        assert_eq!(m.read_f64(Addr(0)), -1.5);
+        assert_eq!(m.read_i64(Addr(8)), -42);
+        assert_eq!(m.population(), 2);
+    }
+
+    #[test]
+    fn writing_zero_keeps_store_sparse() {
+        let mut m = BackingStore::new();
+        m.write_word(Addr(0), 7);
+        assert_eq!(m.population(), 1);
+        m.write_word(Addr(0), 0);
+        assert_eq!(m.population(), 0);
+        assert_eq!(m.read_word(Addr(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned read")]
+    fn unaligned_read_panics() {
+        BackingStore::new().read_word(Addr(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned write")]
+    fn unaligned_write_panics() {
+        BackingStore::new().write_word(Addr(5), 1);
+    }
+
+    #[test]
+    fn scatter_combine_returns_old() {
+        let mut m = BackingStore::new();
+        let a = Addr::from_word_index(2);
+        let old = m.scatter_combine(a, 5, ScalarKind::I64, ScatterOp::Add);
+        assert_eq!(old as i64, 0);
+        let old = m.scatter_combine(a, 3, ScalarKind::I64, ScatterOp::Add);
+        assert_eq!(old as i64, 5);
+        assert_eq!(m.read_i64(a), 8);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut m = BackingStore::new();
+        let base = Addr::from_word_index(8);
+        m.write_line(base, &[1, 2, 3, 4]);
+        assert_eq!(m.read_line(base, 4), vec![1, 2, 3, 4]);
+        // A partial overlap reads the stored values plus zero fill.
+        assert_eq!(m.read_line(Addr::from_word_index(10), 4), vec![3, 4, 0, 0]);
+    }
+
+    #[test]
+    fn bulk_load_and_extract() {
+        let mut m = BackingStore::new();
+        let base = Addr::from_word_index(100);
+        m.load_f64(base, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.extract_f64(base, 3), vec![1.0, 2.0, 3.0]);
+        m.load_i64(base, &[-1, -2, -3]);
+        assert_eq!(m.extract_i64(base, 3), vec![-1, -2, -3]);
+    }
+}

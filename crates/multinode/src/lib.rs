@@ -1,0 +1,669 @@
+//! Multi-node scatter-add (§3.2 "Multi-node Scatter-add", evaluated in
+//! §4.5 / Figure 13).
+//!
+//! A [`MultiNode`] machine is 1–8 single-node memory systems joined by the
+//! input-queued crossbar of `sa-net`. Global memory is line-interleaved
+//! across nodes (`home = line mod nodes`); "the atomicity of each individual
+//! addition is guaranteed by the fact that a node can only directly access
+//! its own part of the global memory".
+//!
+//! Two operating modes, matching the paper:
+//!
+//! * **Direct** (combining off): every scatter-add request to a remote line
+//!   crosses the network as a one-word message and is merged with local
+//!   requests at the home node's scatter-add units.
+//! * **Cache combining** (combining on): nodes first scatter-add into their
+//!   *local* cache — remote lines are zero-allocated rather than fetched —
+//!   and evicted partial-sum lines travel to their home node as *sum-backs*
+//!   where each word is applied as a scatter-add. When a node finishes its
+//!   share, a flush-with-sum-back synchronization step pushes out the
+//!   remaining partial lines.
+//!
+//! The experiment of Figure 13 replays application reference traces through
+//! this machine and reports scatter-add throughput; see
+//! [`MultiNode::run_trace`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use sa_cache::SumBack;
+use sa_core::{NodeMemSys, NodeStats};
+use sa_net::{Crossbar, Message, NetStats};
+use sa_sim::{
+    Addr, Clock, MachineConfig, MemOp, MemRequest, NetworkConfig, Origin, ReqId, ScalarKind,
+    ScatterOp, WORD_BYTES,
+};
+
+/// Messages exchanged between nodes.
+#[derive(Clone, Debug)]
+enum NetMsg {
+    /// A single scatter-add request headed for its home node (1 word).
+    Request(MemRequest),
+    /// An evicted partial-sum line headed for its home node
+    /// (`words_per_line` words).
+    SumBack(SumBack),
+}
+
+/// Outcome of a multi-node trace replay.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Total execution cycles (including the final flush/synchronization
+    /// for combining runs).
+    pub cycles: u64,
+    /// Application scatter-add operations performed (the trace length).
+    pub adds: u64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Sum-back lines that crossed the network (combining runs).
+    pub sum_back_lines: u64,
+    /// Flush synchronization rounds performed (≤ log₂ n + 1 for the
+    /// hypercube topology, ≤ 1 for flat).
+    pub flush_rounds: u32,
+    /// Per-node machine statistics.
+    pub node_stats: Vec<NodeStats>,
+    /// Network statistics.
+    pub net: NetStats,
+}
+
+impl TraceReport {
+    /// Scatter-add throughput in GB/s at `ghz` GHz — the y-axis of
+    /// Figure 13 (each addition moves one 8-byte word of payload).
+    pub fn throughput_gbps(&self, ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.adds as f64 * WORD_BYTES as f64 * ghz / self.cycles as f64
+    }
+
+    /// Additions retired per cycle.
+    pub fn adds_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.adds as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// How combining-mode sum-backs travel to their home node.
+///
+/// The paper's §5 closes with: "We are also considering an optimization to
+/// our multi-node cached algorithm that will arrange the nodes in a logical
+/// hierarchy and allow the combining across nodes to occur in logarithmic
+/// instead of linear complexity." [`Topology::Hypercube`] implements that
+/// future-work idea: sum-backs hop one address bit at a time toward home,
+/// merging into each intermediate node's combining cache, so a hot line's
+/// `n − 1` partials reach home as `log₂ n` merged lines instead of `n − 1`
+/// serial applications.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Sum-backs go straight to the home node (the paper's evaluated
+    /// design).
+    #[default]
+    Flat,
+    /// Sum-backs reduce along hypercube dimensions (the §5 extension).
+    /// Requires a power-of-two node count.
+    Hypercube,
+}
+
+/// A multi-node scatter-add machine (see crate docs).
+#[derive(Debug)]
+pub struct MultiNode {
+    machine: MachineConfig,
+    nodes: Vec<NodeMemSys>,
+    net: Crossbar<NetMsg>,
+    combining: bool,
+    topology: Topology,
+}
+
+impl MultiNode {
+    /// Build an `n`-node machine. Each node gets the full single-node
+    /// configuration of `machine` (Table 1); `network` picks the paper's
+    /// *low* (1 word/cycle/node) or *high* (8 words/cycle/node) fabric;
+    /// `combining` enables the cache-combining optimization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(
+        machine: MachineConfig,
+        n: usize,
+        network: NetworkConfig,
+        combining: bool,
+    ) -> MultiNode {
+        MultiNode::with_topology(machine, n, network, combining, Topology::Flat)
+    }
+
+    /// Build an `n`-node machine with an explicit sum-back [`Topology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or if [`Topology::Hypercube`] is requested
+    /// with a non-power-of-two node count.
+    pub fn with_topology(
+        machine: MachineConfig,
+        n: usize,
+        network: NetworkConfig,
+        combining: bool,
+        topology: Topology,
+    ) -> MultiNode {
+        assert!(n > 0, "need at least one node");
+        if topology == Topology::Hypercube {
+            assert!(
+                n.is_power_of_two(),
+                "hypercube needs a power-of-two node count"
+            );
+        }
+        let nodes = (0..n)
+            .map(|i| {
+                let mut node = NodeMemSys::new(machine, i, combining);
+                node.set_nodes(n);
+                node
+            })
+            .collect();
+        MultiNode {
+            machine,
+            nodes,
+            net: Crossbar::new(n, network),
+            combining,
+            topology,
+        }
+    }
+
+    /// The next hop of a sum-back travelling from `from` toward `home`:
+    /// flip the highest differing address bit (one hypercube dimension per
+    /// flush round).
+    fn next_hop(&self, from: usize, home: usize) -> usize {
+        match self.topology {
+            Topology::Flat => home,
+            Topology::Hypercube => {
+                if from == home {
+                    home
+                } else {
+                    let diff = from ^ home;
+                    let bit = usize::BITS - 1 - diff.leading_zeros();
+                    from ^ (1 << bit)
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The home node of a word address.
+    pub fn home_of(&self, addr: Addr) -> usize {
+        (addr.line_index(self.machine.cache.line_bytes) % self.nodes.len() as u64) as usize
+    }
+
+    /// Read the coherent global value of one word (for verification).
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        self.nodes[self.home_of(addr)].read_coherent(addr)
+    }
+
+    /// Replay a scatter-add reference trace: word index `trace[i]` receives
+    /// `+values[i]` (f64). The trace is block-partitioned across nodes, as
+    /// the paper's software would partition its data. Returns timing and
+    /// throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or the run deadlocks.
+    pub fn run_trace(&mut self, trace: &[u64], values: &[f64]) -> TraceReport {
+        assert_eq!(trace.len(), values.len(), "trace/value length mismatch");
+        let n = self.nodes.len();
+        let total = trace.len();
+        // Block partition: node i owns trace[lo_i..hi_i].
+        let mut injectors: Vec<Injector> = (0..n)
+            .map(|i| {
+                let lo = total * i / n;
+                let hi = total * (i + 1) / n;
+                Injector {
+                    items: (lo..hi).map(|j| (trace[j], values[j])).collect(),
+                    cursor: 0,
+                }
+            })
+            .collect();
+
+        let issue_width = (self.machine.ag.count as u32 * self.machine.ag.width) as usize;
+        let line_words = self.machine.cache.words_per_line() as u32;
+        let line_bytes = self.machine.cache.line_bytes;
+        let mut clock = Clock::with_limit(4_000_000_000);
+        let mut next_id: ReqId = 1;
+        let mut app_acks = 0usize;
+        let mut apply_pending = 0usize; // sum-back word applications in flight
+        let mut sum_back_lines = 0u64;
+        let mut outbox: Vec<VecDeque<Message<NetMsg>>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut flush_rounds = 0u32;
+
+        loop {
+            let now = clock.advance();
+            self.net.tick(now);
+
+            for i in 0..n {
+                // Deliver network messages while the node can take them.
+                while let Some(msg) = self.net.peek_delivered(i) {
+                    match &msg.payload {
+                        NetMsg::Request(req) => {
+                            let req = *req;
+                            if self.nodes[i].inject(req).is_ok() {
+                                let _ = self.net.pop_delivered(i);
+                            } else {
+                                break;
+                            }
+                        }
+                        NetMsg::SumBack(sb) => {
+                            // Apply each word of the line as a scatter-add.
+                            // At the home node this goes through the normal
+                            // cached path; at a hypercube intermediate node
+                            // the combining cache zero-allocates and merges
+                            // it (the address is still remote there). All
+                            // words of a line share one bank queue, so free
+                            // capacity must cover every non-zero word.
+                            let sb = sb.clone();
+                            let needed = sb.data.iter().filter(|&&b| b != 0).count();
+                            if self.nodes[i].inject_capacity(sb.base) < needed {
+                                break;
+                            }
+                            let _ = self.net.pop_delivered(i);
+                            for (w, &bits) in sb.data.iter().enumerate() {
+                                if bits == 0 {
+                                    continue; // additive identity: no work
+                                }
+                                next_id += 1;
+                                let req = MemRequest {
+                                    id: next_id,
+                                    addr: Addr(sb.base.0 + w as u64 * WORD_BYTES),
+                                    op: MemOp::Scatter {
+                                        bits,
+                                        kind: ScalarKind::F64,
+                                        op: ScatterOp::Add,
+                                        fetch: false,
+                                    },
+                                    origin: Origin::Remote { node: i },
+                                };
+                                self.nodes[i].inject(req).expect("room checked");
+                                apply_pending += 1;
+                            }
+                        }
+                    }
+                }
+
+                // Inject this node's share of the trace.
+                let inj = &mut injectors[i];
+                for _ in 0..issue_width {
+                    let Some(&(word, value)) = inj.items.get(inj.cursor) else {
+                        break;
+                    };
+                    let addr = Addr::from_word_index(word);
+                    let home = self.home_of(addr);
+                    next_id += 1;
+                    let req = MemRequest {
+                        id: next_id,
+                        addr,
+                        op: MemOp::Scatter {
+                            bits: value.to_bits(),
+                            kind: ScalarKind::F64,
+                            op: ScatterOp::Add,
+                            fetch: false,
+                        },
+                        origin: Origin::AddrGen { node: i, ag: 0 },
+                    };
+                    if self.combining || home == i {
+                        match self.nodes[i].inject(req) {
+                            Ok(()) => inj.cursor += 1,
+                            Err(_) => break,
+                        }
+                    } else {
+                        // One word of payload (the paper's low-bandwidth
+                        // network carries one word per cycle per node).
+                        if self.net.can_inject(i) {
+                            self.net
+                                .try_inject(Message::new(i, home, 1, NetMsg::Request(req)))
+                                .expect("capacity checked");
+                            inj.cursor += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+
+                // Forward evicted partial-sum lines toward their homes
+                // (one hypercube hop at a time under that topology).
+                while let Some((_, sb)) = self.nodes[i].pop_sum_back() {
+                    let dst = self.next_hop(i, self.home_of(sb.base));
+                    sum_back_lines += 1;
+                    outbox[i].push_back(Message::new(i, dst, line_words, NetMsg::SumBack(sb)));
+                }
+                while let Some(msg) = outbox[i].pop_front() {
+                    if msg.dst == i {
+                        // Locally-homed sum-back (possible right after the
+                        // flush): apply without crossing the fabric.
+                        outbox[i].push_front(msg);
+                        break;
+                    }
+                    match self.net.try_inject(msg) {
+                        Ok(()) => {}
+                        Err(m) => {
+                            outbox[i].push_front(m);
+                            break;
+                        }
+                    }
+                }
+                // Apply locally-homed sum-backs directly.
+                while outbox[i].front().is_some_and(|m| m.dst == i) {
+                    let msg = outbox[i].pop_front().expect("front checked");
+                    let Message {
+                        payload: NetMsg::SumBack(sb),
+                        ..
+                    } = msg
+                    else {
+                        unreachable!("only sum-backs are self-addressed");
+                    };
+                    let needed = sb.data.iter().filter(|&&b| b != 0).count();
+                    if self.nodes[i].inject_capacity(sb.base) < needed {
+                        outbox[i].push_front(Message::new(i, i, line_words, NetMsg::SumBack(sb)));
+                        break;
+                    }
+                    for (w, &bits) in sb.data.iter().enumerate() {
+                        if bits == 0 {
+                            continue;
+                        }
+                        next_id += 1;
+                        let req = MemRequest {
+                            id: next_id,
+                            addr: Addr(sb.base.0 + w as u64 * WORD_BYTES),
+                            op: MemOp::Scatter {
+                                bits,
+                                kind: ScalarKind::F64,
+                                op: ScatterOp::Add,
+                                fetch: false,
+                            },
+                            origin: Origin::Remote { node: i },
+                        };
+                        self.nodes[i].inject(req).expect("room checked");
+                        apply_pending += 1;
+                    }
+                }
+
+                self.nodes[i].tick(now);
+
+                while let Some(c) = self.nodes[i].pop_completion() {
+                    match c.origin {
+                        Origin::AddrGen { .. } => app_acks += 1,
+                        Origin::Remote { .. } => apply_pending -= 1,
+                        _ => {}
+                    }
+                }
+            }
+
+            let injected_all = injectors.iter().all(|j| j.cursor == j.items.len());
+            let quiescent = injected_all
+                && app_acks == total
+                && apply_pending == 0
+                && self.net.is_idle()
+                && outbox.iter().all(VecDeque::is_empty)
+                && self.nodes.iter().all(NodeMemSys::is_idle);
+
+            if quiescent {
+                // Flush-with-sum-back synchronization (§3.2): every node
+                // evicts its remaining partial lines toward their homes.
+                // Under the hypercube topology partials move one dimension
+                // per round and merge at intermediate nodes, so rounds
+                // repeat until no node holds partial lines (≤ log₂ n + 1).
+                let topology = self.topology;
+                let mut produced = false;
+                for (i, (node, out)) in self.nodes.iter_mut().zip(outbox.iter_mut()).enumerate() {
+                    for sb in node.flush_sum_backs() {
+                        let home = (sb.base.line_index(line_bytes) % n as u64) as usize;
+                        let dst = match topology {
+                            Topology::Flat => home,
+                            Topology::Hypercube if i == home => home,
+                            Topology::Hypercube => {
+                                let diff = i ^ home;
+                                let bit = usize::BITS - 1 - diff.leading_zeros();
+                                i ^ (1 << bit)
+                            }
+                        };
+                        sum_back_lines += 1;
+                        produced = true;
+                        out.push_back(Message::new(i, dst, line_words, NetMsg::SumBack(sb)));
+                    }
+                }
+                if !produced {
+                    break;
+                }
+                flush_rounds += 1;
+            }
+        }
+
+        // Materialize coherent per-node memory for verification reads.
+        for node in &mut self.nodes {
+            node.flush_to_store();
+        }
+
+        TraceReport {
+            cycles: clock.now().raw(),
+            adds: total as u64,
+            nodes: n,
+            sum_back_lines,
+            flush_rounds,
+            node_stats: self.nodes.iter().map(NodeMemSys::stats).collect(),
+            net: self.net.stats(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Injector {
+    items: Vec<(u64, f64)>,
+    cursor: usize,
+}
+
+/// Sequential reference: the expected value of every touched word.
+pub fn trace_reference(trace: &[u64], values: &[f64]) -> std::collections::HashMap<u64, f64> {
+    let mut out = std::collections::HashMap::new();
+    for (&w, &v) in trace.iter().zip(values) {
+        *out.entry(w).or_insert(0.0) += v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sim::Rng64;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::merrimac()
+    }
+
+    fn uniform_trace(n: usize, range: u64, seed: u64) -> (Vec<u64>, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        let trace: Vec<u64> = (0..n).map(|_| rng.below(range)).collect();
+        let values = vec![1.0; n];
+        (trace, values)
+    }
+
+    fn verify(mn: &MultiNode, trace: &[u64], values: &[f64]) {
+        let reference = trace_reference(trace, values);
+        for (&w, &expect) in &reference {
+            let got = f64::from_bits(mn.read_word(Addr::from_word_index(w)));
+            assert!(
+                (got - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+                "word {w}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_direct_is_correct() {
+        let (trace, values) = uniform_trace(2000, 256, 1);
+        let mut mn = MultiNode::new(machine(), 1, NetworkConfig::high(), false);
+        let r = mn.run_trace(&trace, &values);
+        verify(&mn, &trace, &values);
+        assert_eq!(r.adds, 2000);
+        assert!(r.throughput_gbps(1.0) > 0.0);
+    }
+
+    #[test]
+    fn four_nodes_direct_is_correct() {
+        let (trace, values) = uniform_trace(4000, 4096, 2);
+        let mut mn = MultiNode::new(machine(), 4, NetworkConfig::high(), false);
+        let r = mn.run_trace(&trace, &values);
+        verify(&mn, &trace, &values);
+        assert_eq!(r.sum_back_lines, 0, "no combining, no sum-backs");
+        assert!(r.net.delivered > 0, "remote requests crossed the fabric");
+    }
+
+    #[test]
+    fn four_nodes_combining_is_correct() {
+        let (trace, values) = uniform_trace(4000, 256, 3);
+        let mut mn = MultiNode::new(machine(), 4, NetworkConfig::low(), true);
+        let r = mn.run_trace(&trace, &values);
+        verify(&mn, &trace, &values);
+        assert!(r.sum_back_lines > 0, "combining produces sum-backs");
+    }
+
+    #[test]
+    fn wide_high_scales_with_nodes() {
+        // Figure 13: the wide histogram with a high-bandwidth network is
+        // memory-bandwidth limited and scales nearly perfectly.
+        let (trace, values) = uniform_trace(16_384, 1 << 17, 4);
+        let run = |n: usize| {
+            let mut mn = MultiNode::new(machine(), n, NetworkConfig::high(), false);
+            mn.run_trace(&trace, &values).throughput_gbps(1.0)
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert!(
+            t4 > 2.5 * t1,
+            "4 nodes should give near-linear speedup: {t1:.2} → {t4:.2} GB/s"
+        );
+    }
+
+    #[test]
+    fn narrow_low_does_not_scale_without_combining() {
+        // Figure 13: "no scaling is achieved in the case of the
+        // low-bandwidth network" for the narrow histogram.
+        let (trace, values) = uniform_trace(8192, 256, 5);
+        let run = |n: usize, combining: bool| {
+            let mut mn = MultiNode::new(machine(), n, NetworkConfig::low(), combining);
+            mn.run_trace(&trace, &values).throughput_gbps(1.0)
+        };
+        let t1 = run(1, false);
+        let t4 = run(4, false);
+        assert!(
+            t4 < 1.8 * t1,
+            "low-bandwidth narrow histogram should not scale: {t1:.2} → {t4:.2}"
+        );
+        // "Employing the multi-node optimization ... provided a significant
+        // speedup": combining must beat direct on the same configuration.
+        let t4c = run(4, true);
+        assert!(
+            t4c > t4,
+            "combining ({t4c:.2} GB/s) should beat direct ({t4:.2} GB/s) on a slow network"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (trace, values) = uniform_trace(1000, 128, 6);
+        let r1 =
+            MultiNode::new(machine(), 2, NetworkConfig::low(), true).run_trace(&trace, &values);
+        let r2 =
+            MultiNode::new(machine(), 2, NetworkConfig::low(), true).run_trace(&trace, &values);
+        assert_eq!(r1.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn report_metrics() {
+        let (trace, values) = uniform_trace(100, 16, 7);
+        let mut mn = MultiNode::new(machine(), 2, NetworkConfig::high(), false);
+        let r = mn.run_trace(&trace, &values);
+        assert_eq!(r.nodes, 2);
+        assert!(r.adds_per_cycle() > 0.0);
+        assert_eq!(r.node_stats.len(), 2);
+        let gbps = r.throughput_gbps(1.0);
+        assert!((gbps - r.adds_per_cycle() * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_rejected() {
+        let mut mn = MultiNode::new(machine(), 1, NetworkConfig::high(), false);
+        let _ = mn.run_trace(&[1, 2], &[1.0]);
+    }
+
+    #[test]
+    fn hypercube_combining_is_correct() {
+        let (trace, values) = uniform_trace(4000, 256, 8);
+        let mut mn = MultiNode::with_topology(
+            machine(),
+            8,
+            NetworkConfig::low(),
+            true,
+            Topology::Hypercube,
+        );
+        let r = mn.run_trace(&trace, &values);
+        verify(&mn, &trace, &values);
+        assert!(
+            r.flush_rounds <= 4,
+            "8-node hypercube needs at most log2(8)+1 rounds, took {}",
+            r.flush_rounds
+        );
+        assert!(
+            r.flush_rounds >= 2,
+            "intermediate merges imply several rounds"
+        );
+    }
+
+    #[test]
+    fn hypercube_reduces_home_ingestion_on_hot_traces() {
+        // Every node holds partials for every one of the hot lines; flat
+        // combining sends n-1 lines per hot line straight to its home, the
+        // hypercube merges en route so homes receive only ~log n.
+        let (trace, values) = uniform_trace(8192, 32, 9); // 32 bins = 8 lines
+        let run = |topo: Topology| {
+            let mut mn = MultiNode::with_topology(machine(), 8, NetworkConfig::low(), true, topo);
+            let r = mn.run_trace(&trace, &values);
+            verify(&mn, &trace, &values);
+            r
+        };
+        let flat = run(Topology::Flat);
+        let hyper = run(Topology::Hypercube);
+        assert!(
+            hyper.cycles <= flat.cycles * 2,
+            "hypercube should be competitive: {} vs {}",
+            hyper.cycles,
+            flat.cycles
+        );
+        assert!(hyper.flush_rounds > flat.flush_rounds);
+    }
+
+    #[test]
+    fn hypercube_flat_equivalence_on_random_traces() {
+        let (trace, values) = uniform_trace(2000, 1024, 10);
+        for topo in [Topology::Flat, Topology::Hypercube] {
+            let mut mn = MultiNode::with_topology(machine(), 4, NetworkConfig::high(), true, topo);
+            mn.run_trace(&trace, &values);
+            verify(&mn, &trace, &values);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_rejects_non_power_of_two() {
+        let _ = MultiNode::with_topology(
+            machine(),
+            3,
+            NetworkConfig::low(),
+            true,
+            Topology::Hypercube,
+        );
+    }
+}

@@ -1,0 +1,474 @@
+//! The inter-node network of §4.5: "an input-queued crossbar with
+//! back-pressure".
+//!
+//! Each node has an injection port and an ejection port, both limited to the
+//! configured per-node bandwidth (the paper evaluates 1 word/cycle — *low* —
+//! and 8 words/cycle — *high*). A message of `w` words therefore occupies its
+//! source port for `ceil(w / bw)` cycles, traverses the crossbar with a fixed
+//! hop latency, and occupies the destination port for another
+//! `ceil(w / bw)` cycles. Delivery queues are bounded; a full queue
+//! back-pressures the ejection port, which back-pressures the fabric and
+//! eventually the sender.
+//!
+//! ```
+//! use sa_net::{Crossbar, Message};
+//! use sa_sim::{Cycle, NetworkConfig};
+//!
+//! let mut net: Crossbar<&'static str> = Crossbar::new(2, NetworkConfig::high());
+//! net.try_inject(Message::new(0, 1, 1, "hello")).unwrap();
+//! let mut now = Cycle(0);
+//! loop {
+//!     now += 1;
+//!     net.tick(now);
+//!     if let Some(m) = net.pop_delivered(1) {
+//!         assert_eq!(m.payload, "hello");
+//!         break;
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use sa_sim::{BoundedQueue, Cycle, NetworkConfig, QueueStats};
+
+/// A message travelling between nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message<T> {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Payload size in words (data + address overhead as the caller sees
+    /// fit); determines port occupancy.
+    pub words: u32,
+    /// The carried payload.
+    pub payload: T,
+}
+
+impl<T> Message<T> {
+    /// Create a message of `words` words from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn new(src: usize, dst: usize, words: u32, payload: T) -> Message<T> {
+        assert!(words > 0, "zero-word message");
+        Message {
+            src,
+            dst,
+            words,
+            payload,
+        }
+    }
+}
+
+/// Counters for the whole fabric.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Total words moved.
+    pub words: u64,
+    /// Sum of source-queue-to-delivery latencies.
+    pub total_latency: u64,
+    /// Cycles an ejection port was stalled by a full delivery queue.
+    pub eject_stalls: u64,
+}
+
+#[derive(Debug)]
+struct PortTx<T> {
+    msg: Message<T>,
+    entered: Cycle,
+    words_left: u32,
+}
+
+/// The input-queued crossbar (see crate docs).
+#[derive(Debug)]
+pub struct Crossbar<T> {
+    cfg: NetworkConfig,
+    n: usize,
+    in_q: Vec<BoundedQueue<(Message<T>, Cycle)>>,
+    tx: Vec<Option<PortTx<T>>>,
+    flight: VecDeque<(Cycle, Cycle, Message<T>)>, // (arrive_at, entered, msg)
+    rx_wait: Vec<VecDeque<(Cycle, Message<T>)>>,
+    rx: Vec<Option<PortTx<T>>>,
+    out_q: Vec<BoundedQueue<(Message<T>, Cycle)>>,
+    stats: NetStats,
+}
+
+impl<T> Crossbar<T> {
+    /// A crossbar connecting `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the configured bandwidth is zero.
+    pub fn new(n: usize, cfg: NetworkConfig) -> Crossbar<T> {
+        assert!(n > 0, "need at least one node");
+        assert!(cfg.node_words_per_cycle > 0, "zero network bandwidth");
+        Crossbar {
+            n,
+            in_q: (0..n).map(|_| BoundedQueue::new(cfg.queue_depth)).collect(),
+            tx: (0..n).map(|_| None).collect(),
+            flight: VecDeque::new(),
+            rx_wait: (0..n).map(|_| VecDeque::new()).collect(),
+            rx: (0..n).map(|_| None).collect(),
+            out_q: (0..n).map(|_| BoundedQueue::new(cfg.queue_depth)).collect(),
+            stats: NetStats::default(),
+            cfg,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Whether node `src`'s injection queue can take one more message.
+    pub fn can_inject(&self, src: usize) -> bool {
+        self.in_q[src].can_accept()
+    }
+
+    /// Queue a message at its source port.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back when the source queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range.
+    pub fn try_inject(&mut self, msg: Message<T>) -> Result<(), Message<T>> {
+        assert!(msg.src < self.n && msg.dst < self.n, "port out of range");
+        let src = msg.src;
+        self.in_q[src]
+            .try_push((msg, Cycle::ZERO))
+            .map_err(|(m, _)| m)
+    }
+
+    /// Advance the fabric one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        let bw = self.cfg.node_words_per_cycle;
+
+        // Ejection: move up to `bw` words per port into the delivery queue;
+        // several small messages may complete in one cycle on a wide port.
+        for d in 0..self.n {
+            let mut budget = bw;
+            while budget > 0 {
+                if self.rx[d].is_none() {
+                    // Anything in rx_wait has already arrived (the flight
+                    // stage gates on arrival time).
+                    match self.rx_wait[d].pop_front() {
+                        Some((entered, msg)) => {
+                            self.rx[d] = Some(PortTx {
+                                entered,
+                                words_left: msg.words,
+                                msg,
+                            });
+                        }
+                        None => break,
+                    }
+                }
+                let p = self.rx[d].as_mut().expect("filled above");
+                let spend = p.words_left.min(budget);
+                p.words_left -= spend;
+                budget -= spend;
+                if p.words_left > 0 {
+                    break;
+                }
+                if self.out_q[d].can_accept() {
+                    let p = self.rx[d].take().expect("present");
+                    self.stats.delivered += 1;
+                    self.stats.words += u64::from(p.msg.words);
+                    self.stats.total_latency += now.since(p.entered);
+                    self.out_q[d]
+                        .try_push((p.msg, now))
+                        .ok()
+                        .expect("capacity checked");
+                } else {
+                    self.stats.eject_stalls += 1;
+                    break;
+                }
+            }
+        }
+
+        // Flight: release arrivals to their destination wait queues.
+        while self
+            .flight
+            .front()
+            .is_some_and(|(arrive, _, _)| *arrive <= now)
+        {
+            let (_, entered, msg) = self.flight.pop_front().expect("front checked");
+            let d = msg.dst;
+            self.rx_wait[d].push_back((entered, msg));
+        }
+
+        // Injection: move up to `bw` words per source port.
+        for s in 0..self.n {
+            let mut budget = bw;
+            while budget > 0 {
+                if self.tx[s].is_none() {
+                    match self.in_q[s].pop() {
+                        Some((msg, _)) => {
+                            self.tx[s] = Some(PortTx {
+                                entered: now,
+                                words_left: msg.words,
+                                msg,
+                            });
+                        }
+                        None => break,
+                    }
+                }
+                let p = self.tx[s].as_mut().expect("filled above");
+                let spend = p.words_left.min(budget);
+                p.words_left -= spend;
+                budget -= spend;
+                if p.words_left > 0 {
+                    break;
+                }
+                let p = self.tx[s].take().expect("present");
+                self.flight
+                    .push_back((now + u64::from(self.cfg.hop_latency), p.entered, p.msg));
+            }
+        }
+    }
+
+    /// Next message delivered at node `dst`, if any.
+    pub fn pop_delivered(&mut self, dst: usize) -> Option<Message<T>> {
+        self.out_q[dst].pop().map(|(m, _)| m)
+    }
+
+    /// Peek the next delivered message at `dst` without consuming it, so the
+    /// receiver can check its own resources first (leaving it queued
+    /// back-pressures the fabric).
+    pub fn peek_delivered(&self, dst: usize) -> Option<&Message<T>> {
+        self.out_q[dst].front().map(|(m, _)| m)
+    }
+
+    /// Whether nothing is queued or in flight anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.in_q.iter().all(|q| q.is_empty())
+            && self.tx.iter().all(|t| t.is_none())
+            && self.flight.is_empty()
+            && self.rx_wait.iter().all(|q| q.is_empty())
+            && self.rx.iter().all(|t| t.is_none())
+            && self.out_q.iter().all(|q| q.is_empty())
+    }
+
+    /// Fabric counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Merged injection-queue statistics (for stall diagnosis).
+    pub fn inject_queue_stats(&self) -> QueueStats {
+        let mut s = QueueStats::default();
+        for q in &self.in_q {
+            s.merge(q.stats());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low() -> NetworkConfig {
+        NetworkConfig::low()
+    }
+
+    fn high() -> NetworkConfig {
+        NetworkConfig::high()
+    }
+
+    fn run_until_delivered<T>(
+        net: &mut Crossbar<T>,
+        dst: usize,
+        start: Cycle,
+        limit: u64,
+    ) -> (Message<T>, Cycle) {
+        let mut now = start;
+        for _ in 0..limit {
+            now += 1;
+            net.tick(now);
+            if let Some(m) = net.pop_delivered(dst) {
+                return (m, now);
+            }
+        }
+        panic!("no delivery within {limit} cycles");
+    }
+
+    #[test]
+    fn delivers_in_order_per_pair() {
+        let mut net: Crossbar<u32> = Crossbar::new(4, high());
+        for i in 0..5 {
+            net.try_inject(Message::new(0, 2, 1, i)).unwrap();
+        }
+        let mut got = Vec::new();
+        let mut now = Cycle(0);
+        while got.len() < 5 {
+            now += 1;
+            net.tick(now);
+            while let Some(m) = net.pop_delivered(2) {
+                got.push(m.payload);
+            }
+            assert!(now.raw() < 10_000);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn latency_includes_hop_and_serialization() {
+        let cfg = low(); // 1 word/cycle, hop 50
+        let mut net: Crossbar<()> = Crossbar::new(2, cfg);
+        net.try_inject(Message::new(0, 1, 4, ())).unwrap();
+        let (_, at) = run_until_delivered(&mut net, 1, Cycle(0), 10_000);
+        // 4 cycles tx + 50 hop + 4 cycles rx, ±accounting edges.
+        assert!(at.raw() >= 56, "too fast: {at}");
+        assert!(at.raw() <= 62, "too slow: {at}");
+    }
+
+    #[test]
+    fn low_bandwidth_serializes_wide_messages() {
+        // 64 words at 1 word/cycle must take ≥ 64 cycles of port time;
+        // at 8 words/cycle it takes 8.
+        let t_low = {
+            let mut net: Crossbar<()> = Crossbar::new(2, low());
+            net.try_inject(Message::new(0, 1, 64, ())).unwrap();
+            run_until_delivered(&mut net, 1, Cycle(0), 10_000).1
+        };
+        let t_high = {
+            let mut net: Crossbar<()> = Crossbar::new(2, high());
+            net.try_inject(Message::new(0, 1, 64, ())).unwrap();
+            run_until_delivered(&mut net, 1, Cycle(0), 10_000).1
+        };
+        assert!(
+            t_low.raw() >= t_high.raw() + 100,
+            "low {t_low} should be ≥ high {t_high} + 2×56"
+        );
+    }
+
+    #[test]
+    fn throughput_respects_per_node_limit() {
+        // Saturate one destination from three sources at 1 word/cycle: the
+        // ejection port limits aggregate throughput to ~1 word/cycle.
+        let mut net: Crossbar<u64> = Crossbar::new(4, low());
+        let mut delivered_words = 0u64;
+        let total = 3_000u64;
+        let mut now = Cycle(0);
+        let mut sent = 0u64;
+        while delivered_words < total {
+            now += 1;
+            for s in 0..3 {
+                if sent < total && net.can_inject(s) {
+                    net.try_inject(Message::new(s, 3, 1, sent)).unwrap();
+                    sent += 1;
+                }
+            }
+            net.tick(now);
+            while let Some(m) = net.pop_delivered(3) {
+                delivered_words += u64::from(m.words);
+            }
+            assert!(now.raw() < 100_000);
+        }
+        let rate = delivered_words as f64 / now.raw() as f64;
+        assert!(rate <= 1.0 + 1e-9, "ejection exceeded 1 word/cycle: {rate}");
+        assert!(rate > 0.8, "should approach the port limit: {rate}");
+    }
+
+    #[test]
+    fn back_pressure_on_full_delivery_queue() {
+        let cfg = NetworkConfig {
+            node_words_per_cycle: 8,
+            hop_latency: 1,
+            queue_depth: 2,
+        };
+        let mut net: Crossbar<u32> = Crossbar::new(2, cfg);
+        // Keep injecting while ticking but never drain: the delivery queue
+        // (depth 2) fills and the fabric stalls rather than dropping.
+        let mut now = Cycle(0);
+        let mut sent = 0;
+        for _ in 0..100 {
+            now += 1;
+            while sent < 6 && net.can_inject(0) {
+                net.try_inject(Message::new(0, 1, 1, sent)).unwrap();
+                sent += 1;
+            }
+            net.tick(now);
+        }
+        assert_eq!(sent, 6);
+        assert!(net.stats().eject_stalls > 0, "ejection must have stalled");
+        // Drain: every message eventually arrives, in order.
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            now += 1;
+            net.tick(now);
+            while let Some(m) = net.pop_delivered(1) {
+                got.push(m.payload);
+            }
+        }
+        assert_eq!(got.len(), 6, "nothing was dropped");
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn injection_queue_rejects_when_full() {
+        let cfg = NetworkConfig {
+            node_words_per_cycle: 1,
+            hop_latency: 10,
+            queue_depth: 2,
+        };
+        let mut net: Crossbar<u32> = Crossbar::new(2, cfg);
+        assert!(net.try_inject(Message::new(0, 1, 8, 0)).is_ok());
+        assert!(net.try_inject(Message::new(0, 1, 8, 1)).is_ok());
+        assert!(net.try_inject(Message::new(0, 1, 8, 2)).is_err());
+        assert!(net.inject_queue_stats().rejected > 0);
+    }
+
+    #[test]
+    fn distinct_pairs_transfer_concurrently() {
+        // 0→1 and 2→3 do not share ports: both complete as fast as one.
+        let solo = {
+            let mut net: Crossbar<()> = Crossbar::new(4, low());
+            net.try_inject(Message::new(0, 1, 32, ())).unwrap();
+            run_until_delivered(&mut net, 1, Cycle(0), 10_000).1
+        };
+        let mut net: Crossbar<()> = Crossbar::new(4, low());
+        net.try_inject(Message::new(0, 1, 32, ())).unwrap();
+        net.try_inject(Message::new(2, 3, 32, ())).unwrap();
+        let mut now = Cycle(0);
+        let mut done = 0;
+        while done < 2 {
+            now += 1;
+            net.tick(now);
+            if net.pop_delivered(1).is_some() {
+                done += 1;
+            }
+            if net.pop_delivered(3).is_some() {
+                done += 1;
+            }
+            assert!(now.raw() < 10_000);
+        }
+        assert!(
+            now.raw() <= solo.raw() + 2,
+            "parallel pairs ({now}) as fast as solo ({solo})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-word message")]
+    fn zero_word_message_rejected() {
+        let _ = Message::new(0, 1, 0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "port out of range")]
+    fn out_of_range_port_rejected() {
+        let mut net: Crossbar<()> = Crossbar::new(2, high());
+        let _ = net.try_inject(Message::new(0, 5, 1, ()));
+    }
+}

@@ -1,0 +1,57 @@
+//! The stream-processor model: programs of gathers, kernels and scatters,
+//! executed with compute/memory overlap on the simulated machine.
+//!
+//! §3.1 of the paper describes the canonical execution model of a SIMD data
+//! parallel architecture — *gather*, *compute*, *scatter* — with memory
+//! operations expressed as whole streams so the memory system can pipeline
+//! them. This crate models exactly that level of abstraction:
+//!
+//! * a [`StreamProgram`] is a DAG of [`StreamOp`]s (stream loads/stores/
+//!   scatter-adds and kernels characterized by their per-element operation
+//!   counts);
+//! * the [`Executor`] runs a program against a
+//!   [`NodeMemSys`](sa_core::NodeMemSys): memory ops occupy one of the
+//!   machine's address generators and issue word requests at AG bandwidth,
+//!   kernels occupy the cluster array, and independent ops overlap.
+//!
+//! Kernels are modeled by *rate*, not by instruction: a kernel over `n`
+//! elements at `ops_per_element` ALU operations retires
+//! `ceil(n / clusters)` element groups at the per-cluster issue rate. This
+//! preserves the compute/memory balance the paper's experiments probe
+//! without reimplementing the Merrimac ISA (see DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use sa_proc::{AccessPattern, Executor, StreamOp, StreamProgram};
+//! use sa_core::NodeMemSys;
+//! use sa_sim::MachineConfig;
+//!
+//! let cfg = MachineConfig::merrimac();
+//! let mut prog = StreamProgram::new();
+//! let load = prog.add(
+//!     StreamOp::gather(AccessPattern::Sequential { base_word: 0, n: 1024 }),
+//!     &[],
+//! );
+//! let k = prog.add(StreamOp::kernel("square", 1024, 1, 2, 1), &[load]);
+//! prog.add(
+//!     StreamOp::scatter(
+//!         AccessPattern::Sequential { base_word: 4096, n: 1024 },
+//!         vec![0u64; 1024],
+//!     ),
+//!     &[k],
+//! );
+//! let mut node = NodeMemSys::new(cfg, 0, false);
+//! let report = Executor::new(cfg).run(&prog, &mut node);
+//! assert!(report.cycles > 0);
+//! assert_eq!(report.mem_refs, 2048);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod program;
+
+pub use exec::{ExecReport, Executor, OpSpan};
+pub use program::{AccessPattern, OpId, StreamOp, StreamProgram};

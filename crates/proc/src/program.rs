@@ -1,0 +1,369 @@
+//! Stream programs: a DAG of stream memory operations and kernels.
+
+use sa_sim::{Addr, ScalarKind, ScatterOp};
+
+/// Identifies an operation within a [`StreamProgram`].
+pub type OpId = usize;
+
+/// The memory footprint of a stream memory operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccessPattern {
+    /// `n` consecutive words starting at `base_word` (a strided stream with
+    /// unit stride — the common case for loading packed streams).
+    Sequential {
+        /// First word index.
+        base_word: u64,
+        /// Number of words.
+        n: u64,
+    },
+    /// Arbitrary word offsets relative to `base_word` (an indexed gather or
+    /// scatter).
+    Indexed {
+        /// Base word index added to every element of `indices`.
+        base_word: u64,
+        /// Word offsets.
+        indices: Vec<u64>,
+    },
+}
+
+impl AccessPattern {
+    /// Number of word accesses this pattern performs.
+    pub fn len(&self) -> u64 {
+        match self {
+            AccessPattern::Sequential { n, .. } => *n,
+            AccessPattern::Indexed { indices, .. } => indices.len() as u64,
+        }
+    }
+
+    /// Whether the pattern touches no words.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The address of the `i`-th access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn addr(&self, i: u64) -> Addr {
+        match self {
+            AccessPattern::Sequential { base_word, n } => {
+                assert!(i < *n, "pattern index out of range");
+                Addr::from_word_index(base_word + i)
+            }
+            AccessPattern::Indexed { base_word, indices } => {
+                Addr::from_word_index(base_word + indices[i as usize])
+            }
+        }
+    }
+}
+
+/// One operation of a stream program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamOp {
+    /// Load a stream from memory into the SRF.
+    Gather {
+        /// Words to fetch.
+        pattern: AccessPattern,
+    },
+    /// Store a stream from the SRF to memory (plain writes; bypasses the
+    /// scatter-add units).
+    Scatter {
+        /// Words to write.
+        pattern: AccessPattern,
+        /// Value bits per access (same length as the pattern).
+        values: Vec<u64>,
+    },
+    /// Scatter-add a stream: each value is atomically combined into its
+    /// target word by the hardware scatter-add units.
+    ScatterAdd {
+        /// Words to combine into.
+        pattern: AccessPattern,
+        /// Value bits per access (same length as the pattern).
+        values: Vec<u64>,
+        /// Word interpretation.
+        kind: ScalarKind,
+        /// Reduction (the paper's operation is `Add`).
+        op: ScatterOp,
+    },
+    /// A computational kernel over `elements` stream elements.
+    Kernel {
+        /// Human-readable name (for reports).
+        name: String,
+        /// Number of stream elements processed.
+        elements: u64,
+        /// Floating-point operations per element — the "FP Operations"
+        /// metric of Figures 9 and 10.
+        flops_per_element: u64,
+        /// Total ALU operations per element (flops + integer/compare ops);
+        /// determines execution time.
+        ops_per_element: u64,
+        /// SRF words read+written per element; kernels can also be
+        /// bandwidth-bound (Table 1: 512 GB/s SRF).
+        srf_words_per_element: u64,
+    },
+}
+
+impl StreamOp {
+    /// Convenience constructor for a gather.
+    pub fn gather(pattern: AccessPattern) -> StreamOp {
+        StreamOp::Gather { pattern }
+    }
+
+    /// Convenience constructor for a plain scatter (store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` length differs from the pattern length.
+    pub fn scatter(pattern: AccessPattern, values: Vec<u64>) -> StreamOp {
+        assert_eq!(
+            pattern.len(),
+            values.len() as u64,
+            "scatter value count must match pattern"
+        );
+        StreamOp::Scatter { pattern, values }
+    }
+
+    /// Convenience constructor for a floating-point scatter-add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` length differs from the pattern length.
+    pub fn scatter_add_f64(pattern: AccessPattern, values: &[f64]) -> StreamOp {
+        assert_eq!(
+            pattern.len(),
+            values.len() as u64,
+            "scatter-add value count must match pattern"
+        );
+        StreamOp::ScatterAdd {
+            pattern,
+            values: values.iter().map(|v| v.to_bits()).collect(),
+            kind: ScalarKind::F64,
+            op: ScatterOp::Add,
+        }
+    }
+
+    /// Convenience constructor for an integer scatter-add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` length differs from the pattern length.
+    pub fn scatter_add_i64(pattern: AccessPattern, values: &[i64]) -> StreamOp {
+        assert_eq!(
+            pattern.len(),
+            values.len() as u64,
+            "scatter-add value count must match pattern"
+        );
+        StreamOp::ScatterAdd {
+            pattern,
+            values: values.iter().map(|&v| v as u64).collect(),
+            kind: ScalarKind::I64,
+            op: ScatterOp::Add,
+        }
+    }
+
+    /// Convenience constructor for a kernel.
+    pub fn kernel(
+        name: &str,
+        elements: u64,
+        flops_per_element: u64,
+        ops_per_element: u64,
+        srf_words_per_element: u64,
+    ) -> StreamOp {
+        StreamOp::Kernel {
+            name: name.to_owned(),
+            elements,
+            flops_per_element,
+            ops_per_element,
+            srf_words_per_element,
+        }
+    }
+
+    /// Memory words this op accesses (0 for kernels).
+    pub fn mem_refs(&self) -> u64 {
+        match self {
+            StreamOp::Gather { pattern } => pattern.len(),
+            StreamOp::Scatter { pattern, .. } => pattern.len(),
+            StreamOp::ScatterAdd { pattern, .. } => pattern.len(),
+            StreamOp::Kernel { .. } => 0,
+        }
+    }
+
+    /// Floating-point operations this op performs (0 for memory ops — the
+    /// additions done by the scatter-add units happen in the memory system,
+    /// not the clusters, matching how Figures 9/10 account FP operations).
+    pub fn flops(&self) -> u64 {
+        match self {
+            StreamOp::Kernel {
+                elements,
+                flops_per_element,
+                ..
+            } => elements * flops_per_element,
+            _ => 0,
+        }
+    }
+}
+
+/// A DAG of stream operations with explicit dependencies.
+///
+/// Operations with no path between them may execute concurrently (subject to
+/// resource limits), modeling the software-pipelined overlap of stream loads
+/// with kernel execution.
+#[derive(Clone, Debug, Default)]
+pub struct StreamProgram {
+    ops: Vec<(StreamOp, Vec<OpId>)>,
+}
+
+impl StreamProgram {
+    /// An empty program.
+    pub fn new() -> StreamProgram {
+        StreamProgram::default()
+    }
+
+    /// Append `op`, which may start once every op in `deps` has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency refers to a not-yet-added op (cycles are
+    /// therefore impossible by construction).
+    pub fn add(&mut self, op: StreamOp, deps: &[OpId]) -> OpId {
+        let id = self.ops.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} not yet defined");
+        }
+        self.ops.push((op, deps.to_vec()));
+        id
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation and dependency list at `id`.
+    pub fn op(&self, id: OpId) -> (&StreamOp, &[OpId]) {
+        let (op, deps) = &self.ops[id];
+        (op, deps)
+    }
+
+    /// Iterate over `(id, op, deps)`.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &StreamOp, &[OpId])> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, (op, deps))| (i, op, deps.as_slice()))
+    }
+
+    /// Total memory words accessed — the "Mem References" metric.
+    pub fn total_mem_refs(&self) -> u64 {
+        self.ops.iter().map(|(op, _)| op.mem_refs()).sum()
+    }
+
+    /// Total floating-point operations — the "FP Operations" metric.
+    pub fn total_flops(&self) -> u64 {
+        self.ops.iter().map(|(op, _)| op.flops()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_lengths_and_addresses() {
+        let s = AccessPattern::Sequential {
+            base_word: 10,
+            n: 4,
+        };
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.addr(0), Addr::from_word_index(10));
+        assert_eq!(s.addr(3), Addr::from_word_index(13));
+        let i = AccessPattern::Indexed {
+            base_word: 100,
+            indices: vec![5, 0, 5],
+        };
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.addr(2), Addr::from_word_index(105));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sequential_addr_bounds_checked() {
+        let s = AccessPattern::Sequential { base_word: 0, n: 2 };
+        let _ = s.addr(2);
+    }
+
+    #[test]
+    fn metrics_sum_over_ops() {
+        let mut p = StreamProgram::new();
+        let g = p.add(
+            StreamOp::gather(AccessPattern::Sequential {
+                base_word: 0,
+                n: 100,
+            }),
+            &[],
+        );
+        let k = p.add(StreamOp::kernel("k", 100, 3, 5, 2), &[g]);
+        p.add(
+            StreamOp::scatter(
+                AccessPattern::Sequential {
+                    base_word: 200,
+                    n: 100,
+                },
+                vec![0; 100],
+            ),
+            &[k],
+        );
+        assert_eq!(p.total_mem_refs(), 200);
+        assert_eq!(p.total_flops(), 300);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_dependency_rejected() {
+        let mut p = StreamProgram::new();
+        p.add(StreamOp::kernel("k", 1, 1, 1, 1), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count must match")]
+    fn scatter_length_mismatch_rejected() {
+        let _ = StreamOp::scatter(AccessPattern::Sequential { base_word: 0, n: 3 }, vec![1, 2]);
+    }
+
+    #[test]
+    fn scatter_add_constructors() {
+        let f = StreamOp::scatter_add_f64(
+            AccessPattern::Indexed {
+                base_word: 0,
+                indices: vec![1, 2],
+            },
+            &[1.5, 2.5],
+        );
+        match f {
+            StreamOp::ScatterAdd {
+                kind, op, values, ..
+            } => {
+                assert_eq!(kind, ScalarKind::F64);
+                assert_eq!(op, ScatterOp::Add);
+                assert_eq!(f64::from_bits(values[1]), 2.5);
+            }
+            _ => panic!("wrong variant"),
+        }
+        let i =
+            StreamOp::scatter_add_i64(AccessPattern::Sequential { base_word: 0, n: 2 }, &[-1, 7]);
+        assert_eq!(i.mem_refs(), 2);
+        assert_eq!(
+            i.flops(),
+            0,
+            "scatter-add FP work happens in the memory system"
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Memory request/response types and scatter-op value semantics.
+//!
+//! Every component of the simulated memory system — address generators, cache
+//! banks, scatter-add units, DRAM channels, and the multi-node network —
+//! exchanges [`MemRequest`] and [`MemResponse`] values. The scatter-add unit
+//! applies [`combine`] to merge an incoming value with the value currently in
+//! memory, exactly as the paper's functional unit does (Figure 4b).
+
+use std::fmt;
+
+use crate::Cycle;
+
+/// Bytes per machine word. Merrimac is a 64-bit machine; all scatter-add
+/// traffic in the paper is in 64-bit words.
+pub const WORD_BYTES: u64 = 8;
+
+/// Unique id of an in-flight memory request.
+pub type ReqId = u64;
+
+/// A byte address in the simulated global memory. Always word-aligned for
+/// word-granularity operations.
+///
+/// ```
+/// use sa_sim::{Addr, WORD_BYTES};
+/// let a = Addr::from_word_index(3);
+/// assert_eq!(a.0, 3 * WORD_BYTES);
+/// assert_eq!(a.word_index(), 3);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Address of the `i`-th 64-bit word.
+    #[inline]
+    pub fn from_word_index(i: u64) -> Addr {
+        Addr(i * WORD_BYTES)
+    }
+
+    /// Index of the 64-bit word containing this address.
+    #[inline]
+    pub fn word_index(self) -> u64 {
+        self.0 / WORD_BYTES
+    }
+
+    /// The first address of the cache line of size `line_bytes` containing
+    /// this address.
+    #[inline]
+    pub fn line_base(self, line_bytes: u64) -> Addr {
+        Addr(self.0 / line_bytes * line_bytes)
+    }
+
+    /// Index of the cache line of size `line_bytes` containing this address.
+    #[inline]
+    pub fn line_index(self, line_bytes: u64) -> u64 {
+        self.0 / line_bytes
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// How the 64 bits of a memory word are interpreted by the scatter-add
+/// functional unit.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum ScalarKind {
+    /// IEEE-754 double precision.
+    F64,
+    /// Two's-complement 64-bit integer.
+    I64,
+}
+
+/// The reduction performed by a scatter-op request.
+///
+/// The paper's mechanism is addition; §3.3 notes that "a simple extension is
+/// to expand the set of operations ... to include other commutative and
+/// associative operations such as min/max and multiplication", which we
+/// implement as well.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum ScatterOp {
+    /// `mem += value` — the operation the paper is built around.
+    Add,
+    /// `mem = min(mem, value)`.
+    Min,
+    /// `mem = max(mem, value)`.
+    Max,
+    /// `mem *= value`.
+    Mul,
+}
+
+/// The identity element of `op` over `kind`, used when a combining cache
+/// allocates a line without fetching it from the home node (§3.2,
+/// multi-node local phase: "it is simply allocated with a value of 0").
+///
+/// ```
+/// use sa_sim::{identity_bits, ScalarKind, ScatterOp};
+/// assert_eq!(identity_bits(ScalarKind::F64, ScatterOp::Add), 0.0f64.to_bits());
+/// assert_eq!(identity_bits(ScalarKind::I64, ScatterOp::Mul), 1u64);
+/// ```
+pub fn identity_bits(kind: ScalarKind, op: ScatterOp) -> u64 {
+    match (kind, op) {
+        (ScalarKind::F64, ScatterOp::Add) => 0.0f64.to_bits(),
+        (ScalarKind::I64, ScatterOp::Add) => 0,
+        (ScalarKind::F64, ScatterOp::Mul) => 1.0f64.to_bits(),
+        (ScalarKind::I64, ScatterOp::Mul) => 1,
+        (ScalarKind::F64, ScatterOp::Min) => f64::INFINITY.to_bits(),
+        (ScalarKind::I64, ScatterOp::Min) => i64::MAX as u64,
+        (ScalarKind::F64, ScatterOp::Max) => f64::NEG_INFINITY.to_bits(),
+        (ScalarKind::I64, ScatterOp::Max) => i64::MIN as u64,
+    }
+}
+
+/// Apply scatter-op `op` over interpretation `kind`: returns the bits of
+/// `old ∘ val`.
+///
+/// This is the single source of truth for value semantics; the functional
+/// unit model, the cache-combining path, and the software baselines all call
+/// it, so functional equivalence between hardware and software scatter-add is
+/// checked against one definition.
+#[inline]
+pub fn combine(old_bits: u64, val_bits: u64, kind: ScalarKind, op: ScatterOp) -> u64 {
+    match kind {
+        ScalarKind::F64 => {
+            let a = f64::from_bits(old_bits);
+            let b = f64::from_bits(val_bits);
+            let r = match op {
+                ScatterOp::Add => a + b,
+                ScatterOp::Min => a.min(b),
+                ScatterOp::Max => a.max(b),
+                ScatterOp::Mul => a * b,
+            };
+            r.to_bits()
+        }
+        ScalarKind::I64 => {
+            let a = old_bits as i64;
+            let b = val_bits as i64;
+            let r = match op {
+                ScatterOp::Add => a.wrapping_add(b),
+                ScatterOp::Min => a.min(b),
+                ScatterOp::Max => a.max(b),
+                ScatterOp::Mul => a.wrapping_mul(b),
+            };
+            r as u64
+        }
+    }
+}
+
+/// What a memory request asks the memory system to do with one word.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum MemOp {
+    /// Fetch the word (a gather element).
+    Read,
+    /// Overwrite the word (a plain scatter element). Bypasses the scatter-add
+    /// unit (Figure 5: "if ... a regular memory-write, it bypasses the
+    /// scatter-add").
+    Write {
+        /// Raw bits to store.
+        bits: u64,
+    },
+    /// Atomically combine `bits` into the word (the paper's scatter-add, or
+    /// one of its §3.3 extensions).
+    Scatter {
+        /// Raw bits of the value to combine.
+        bits: u64,
+        /// Interpretation of the word.
+        kind: ScalarKind,
+        /// Reduction to apply.
+        op: ScatterOp,
+        /// When `true`, the response carries the *old* value — the
+        /// data-parallel fetch-and-op extension of §3.3.
+        fetch: bool,
+    },
+}
+
+impl MemOp {
+    /// Whether this operation is handled by the scatter-add unit (as opposed
+    /// to bypassing it).
+    #[inline]
+    pub fn is_scatter(&self) -> bool {
+        matches!(self, MemOp::Scatter { .. })
+    }
+
+    /// Whether the issuer expects a data response (reads and fetch-ops).
+    #[inline]
+    pub fn wants_data(&self) -> bool {
+        match self {
+            MemOp::Read => true,
+            MemOp::Write { .. } => false,
+            MemOp::Scatter { fetch, .. } => *fetch,
+        }
+    }
+}
+
+/// Who issued a request — used to route completions back.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Origin {
+    /// Address generator `ag` of node `node`.
+    AddrGen {
+        /// Node index (0 for single-node runs).
+        node: usize,
+        /// Address generator index within the node.
+        ag: usize,
+    },
+    /// Internal traffic of the scatter-add unit attached to cache bank
+    /// `bank` of node `node` (its fills and write-backs).
+    SaUnit {
+        /// Node index.
+        node: usize,
+        /// Cache bank / scatter-add unit index.
+        bank: usize,
+    },
+    /// A cache bank's fill/write-back traffic to the DRAM channels.
+    CacheBank {
+        /// Node index.
+        node: usize,
+        /// Bank index.
+        bank: usize,
+    },
+    /// A remote node's network interface (multi-node traffic); `node` is the
+    /// *requesting* node.
+    Remote {
+        /// Requesting node index.
+        node: usize,
+    },
+}
+
+/// A single-word memory request flowing through the simulated machine.
+#[derive(Copy, Clone, Debug)]
+pub struct MemRequest {
+    /// Unique id; responses echo it.
+    pub id: ReqId,
+    /// Target word address.
+    pub addr: Addr,
+    /// Operation to perform.
+    pub op: MemOp,
+    /// Issuing component, for response routing.
+    pub origin: Origin,
+}
+
+/// Completion of a [`MemRequest`].
+#[derive(Copy, Clone, Debug)]
+pub struct MemResponse {
+    /// Id of the completed request.
+    pub id: ReqId,
+    /// Address the request targeted.
+    pub addr: Addr,
+    /// Data carried back: the fetched word for reads, the pre-op value for
+    /// fetch-ops, zero for plain acknowledgements.
+    pub bits: u64,
+    /// Component the completed request originated from.
+    pub origin: Origin,
+    /// Simulated time of completion.
+    pub at: Cycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_word_and_line_math() {
+        let a = Addr(100);
+        assert_eq!(a.word_index(), 12);
+        assert_eq!(a.line_base(32), Addr(96));
+        assert_eq!(a.line_index(32), 3);
+        assert_eq!(Addr::from_word_index(5), Addr(40));
+        assert_eq!(Addr(64).to_string(), "0x40");
+    }
+
+    #[test]
+    fn combine_f64_add() {
+        let r = combine(
+            1.25f64.to_bits(),
+            2.5f64.to_bits(),
+            ScalarKind::F64,
+            ScatterOp::Add,
+        );
+        assert_eq!(f64::from_bits(r), 3.75);
+    }
+
+    #[test]
+    fn combine_i64_ops() {
+        let five = 5i64 as u64;
+        let neg2 = (-2i64) as u64;
+        assert_eq!(
+            combine(five, neg2, ScalarKind::I64, ScatterOp::Add) as i64,
+            3
+        );
+        assert_eq!(
+            combine(five, neg2, ScalarKind::I64, ScatterOp::Min) as i64,
+            -2
+        );
+        assert_eq!(
+            combine(five, neg2, ScalarKind::I64, ScatterOp::Max) as i64,
+            5
+        );
+        assert_eq!(
+            combine(five, neg2, ScalarKind::I64, ScatterOp::Mul) as i64,
+            -10
+        );
+    }
+
+    #[test]
+    fn combine_f64_min_max_mul() {
+        let a = 3.0f64.to_bits();
+        let b = (-7.0f64).to_bits();
+        assert_eq!(
+            f64::from_bits(combine(a, b, ScalarKind::F64, ScatterOp::Min)),
+            -7.0
+        );
+        assert_eq!(
+            f64::from_bits(combine(a, b, ScalarKind::F64, ScatterOp::Max)),
+            3.0
+        );
+        assert_eq!(
+            f64::from_bits(combine(a, b, ScalarKind::F64, ScatterOp::Mul)),
+            -21.0
+        );
+    }
+
+    #[test]
+    fn combine_i64_wraps_instead_of_panicking() {
+        let max = i64::MAX as u64;
+        let one = 1i64 as u64;
+        assert_eq!(
+            combine(max, one, ScalarKind::I64, ScatterOp::Add) as i64,
+            i64::MIN
+        );
+    }
+
+    #[test]
+    fn identities_are_identities() {
+        for kind in [ScalarKind::F64, ScalarKind::I64] {
+            for op in [
+                ScatterOp::Add,
+                ScatterOp::Min,
+                ScatterOp::Max,
+                ScatterOp::Mul,
+            ] {
+                let id = identity_bits(kind, op);
+                for raw in [0u64, 1, 42, (-3i64) as u64] {
+                    let v = match kind {
+                        ScalarKind::F64 => (raw as i64 as f64).to_bits(),
+                        ScalarKind::I64 => raw,
+                    };
+                    assert_eq!(
+                        combine(id, v, kind, op),
+                        v,
+                        "identity failed for {kind:?} {op:?} value {raw}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memop_classification() {
+        assert!(!MemOp::Read.is_scatter());
+        assert!(MemOp::Read.wants_data());
+        assert!(!MemOp::Write { bits: 0 }.is_scatter());
+        assert!(!MemOp::Write { bits: 0 }.wants_data());
+        let sa = MemOp::Scatter {
+            bits: 0,
+            kind: ScalarKind::F64,
+            op: ScatterOp::Add,
+            fetch: false,
+        };
+        assert!(sa.is_scatter());
+        assert!(!sa.wants_data());
+        let fa = MemOp::Scatter {
+            bits: 0,
+            kind: ScalarKind::I64,
+            op: ScatterOp::Add,
+            fetch: true,
+        };
+        assert!(fa.wants_data());
+    }
+}

@@ -1,0 +1,155 @@
+//! A small deterministic PRNG for workload generation inside the simulator.
+//!
+//! The simulator crates avoid external dependencies; experiments that need
+//! richer distributions (the applications crate) use `rand` instead. This
+//! generator is SplitMix64, which passes BigCrush and is more than adequate
+//! for generating uniform histogram inputs and request traces.
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+///
+/// ```
+/// use sa_sim::Rng64;
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// let x = a.below(10);
+/// assert!(x < 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Create a generator from a seed. Distinct seeds yield independent
+    /// streams for practical purposes.
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 {
+            // Avoid the all-zero fixed point bias by mixing the seed once.
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift with rejection to remove modulo bias.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng64::new(3);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng64::new(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 per bin; 5% tolerance is generous for n=80k.
+            assert!((9_500..10_500).contains(&c), "count {c} out of tolerance");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        Rng64::new(0).below(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::new(5);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+        let y = r.range_f64(-2.0, 2.0);
+        assert!((-2.0..2.0).contains(&y));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng64::new(9);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

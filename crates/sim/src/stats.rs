@@ -1,0 +1,123 @@
+//! Lightweight statistics primitives used by every simulated component.
+
+/// A saturating event counter.
+///
+/// ```
+/// use sa_sim::Counter;
+/// let mut c = Counter::default();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Occupancy statistics for a [`BoundedQueue`](crate::BoundedQueue).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items successfully enqueued over the queue's lifetime.
+    pub enqueued: u64,
+    /// Push attempts rejected because the queue was full (stall events).
+    pub rejected: u64,
+    /// Highest occupancy ever observed.
+    pub peak_occupancy: u64,
+}
+
+impl QueueStats {
+    /// Fraction of push attempts that stalled, in `[0, 1]`.
+    ///
+    /// Returns `0.0` when no pushes were attempted.
+    pub fn stall_ratio(&self) -> f64 {
+        let attempts = self.enqueued + self.rejected;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / attempts as f64
+        }
+    }
+
+    /// Merge another queue's statistics into this one (for aggregating over
+    /// banks or channels).
+    pub fn merge(&mut self, other: QueueStats) {
+        self.enqueued += other.enqueued;
+        self.rejected += other.rejected;
+        self.peak_occupancy = self.peak_occupancy.max(other.peak_occupancy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::default();
+        c.add(u64::MAX);
+        c.incr();
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn stall_ratio_handles_empty() {
+        let s = QueueStats::default();
+        assert_eq!(s.stall_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stall_ratio_computes() {
+        let s = QueueStats {
+            enqueued: 3,
+            rejected: 1,
+            peak_occupancy: 2,
+        };
+        assert!((s.stall_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = QueueStats {
+            enqueued: 1,
+            rejected: 2,
+            peak_occupancy: 3,
+        };
+        let b = QueueStats {
+            enqueued: 10,
+            rejected: 20,
+            peak_occupancy: 2,
+        };
+        a.merge(b);
+        assert_eq!(a.enqueued, 11);
+        assert_eq!(a.rejected, 22);
+        assert_eq!(a.peak_occupancy, 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Scan primitives (Chatterjee, Blelloch & Zagha — cited by the paper as the
+//! standard software machinery for computing per-address sums after a sort).
+
+use sa_sim::{combine, ScalarKind, ScatterOp};
+
+/// Inclusive scan with the `+` of the given kind: `out[i] = Σ_{j≤i} x[j]`.
+pub fn inclusive_scan_add(xs: &[u64], kind: ScalarKind) -> Vec<u64> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc: Option<u64> = None;
+    for &x in xs {
+        let next = match acc {
+            None => x,
+            Some(a) => combine(a, x, kind, ScatterOp::Add),
+        };
+        out.push(next);
+        acc = Some(next);
+    }
+    out
+}
+
+/// Exclusive scan: `out[i] = Σ_{j<i} x[j]`, with `out[0]` the additive
+/// identity.
+pub fn exclusive_scan_add(xs: &[u64], kind: ScalarKind) -> Vec<u64> {
+    let id = sa_sim::identity_bits(kind, ScatterOp::Add);
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = id;
+    for &x in xs {
+        out.push(acc);
+        acc = combine(acc, x, kind, ScatterOp::Add);
+    }
+    out
+}
+
+/// Segment head flags of a sorted key array: `heads[i]` is true where a new
+/// key begins.
+pub fn segment_heads(sorted_keys: &[u64]) -> Vec<bool> {
+    sorted_keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| i == 0 || sorted_keys[i - 1] != k)
+        .collect()
+}
+
+/// Segmented inclusive scan: within each segment (delimited by `heads`),
+/// `out[i]` is the running sum from the segment start.
+///
+/// The last element of each segment is the segment's total — exactly what
+/// the sort-based software scatter-add needs per unique address.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `heads[0]` is false for a non-empty input.
+pub fn segmented_scan_add(xs: &[u64], heads: &[bool], kind: ScalarKind) -> Vec<u64> {
+    assert_eq!(xs.len(), heads.len(), "length mismatch");
+    if !xs.is_empty() {
+        assert!(heads[0], "first element must start a segment");
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = sa_sim::identity_bits(kind, ScatterOp::Add);
+    for (i, &x) in xs.iter().enumerate() {
+        acc = if heads[i] {
+            x
+        } else {
+            combine(acc, x, kind, ScatterOp::Add)
+        };
+        out.push(acc);
+    }
+    out
+}
+
+/// Per-segment totals of a sorted (key, value) sequence: one `(key, total)`
+/// per unique key, in ascending key order. This is the compaction step after
+/// the segmented scan.
+pub fn segment_totals(sorted_keys: &[u64], vals: &[u64], kind: ScalarKind) -> Vec<(u64, u64)> {
+    assert_eq!(sorted_keys.len(), vals.len(), "length mismatch");
+    let heads = segment_heads(sorted_keys);
+    let scanned = segmented_scan_add(vals, &heads, kind);
+    let mut out = Vec::new();
+    for i in 0..sorted_keys.len() {
+        let last_of_segment = i + 1 == sorted_keys.len() || heads[i + 1];
+        if last_of_segment {
+            out.push((sorted_keys[i], scanned[i]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i64s(xs: &[i64]) -> Vec<u64> {
+        xs.iter().map(|&x| x as u64).collect()
+    }
+
+    #[test]
+    fn inclusive_scan_basic() {
+        let out = inclusive_scan_add(&i64s(&[1, 2, 3, 4]), ScalarKind::I64);
+        assert_eq!(out, i64s(&[1, 3, 6, 10]));
+        assert!(inclusive_scan_add(&[], ScalarKind::I64).is_empty());
+    }
+
+    #[test]
+    fn exclusive_scan_basic() {
+        let out = exclusive_scan_add(&i64s(&[1, 2, 3, 4]), ScalarKind::I64);
+        assert_eq!(out, i64s(&[0, 1, 3, 6]));
+    }
+
+    #[test]
+    fn scans_relate() {
+        let xs = i64s(&[5, -2, 7, 0, 3]);
+        let inc = inclusive_scan_add(&xs, ScalarKind::I64);
+        let exc = exclusive_scan_add(&xs, ScalarKind::I64);
+        for i in 0..xs.len() {
+            assert_eq!(
+                inc[i] as i64,
+                exc[i] as i64 + xs[i] as i64,
+                "inclusive = exclusive + x at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn heads_mark_key_changes() {
+        let heads = segment_heads(&[1, 1, 2, 5, 5, 5]);
+        assert_eq!(heads, vec![true, false, true, true, false, false]);
+        assert!(segment_heads(&[]).is_empty());
+    }
+
+    #[test]
+    fn segmented_scan_resets_at_heads() {
+        let xs = i64s(&[1, 1, 1, 2, 2, 10]);
+        let heads = vec![true, false, false, true, false, true];
+        let out = segmented_scan_add(&xs, &heads, ScalarKind::I64);
+        assert_eq!(out, i64s(&[1, 2, 3, 2, 4, 10]));
+    }
+
+    #[test]
+    fn segment_totals_per_unique_key() {
+        let keys = [3u64, 3, 3, 7, 9, 9];
+        let vals = i64s(&[1, 1, 1, 5, 2, 2]);
+        let totals = segment_totals(&keys, &vals, ScalarKind::I64);
+        assert_eq!(totals, vec![(3, 3u64), (7, 5), (9, 4)]);
+    }
+
+    #[test]
+    fn f64_segmented_scan() {
+        let xs: Vec<u64> = [0.5f64, 0.25, 1.0].iter().map(|v| v.to_bits()).collect();
+        let heads = vec![true, false, true];
+        let out = segmented_scan_add(&xs, &heads, ScalarKind::F64);
+        assert_eq!(f64::from_bits(out[1]), 0.75);
+        assert_eq!(f64::from_bits(out[2]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "first element must start a segment")]
+    fn bad_heads_rejected() {
+        let _ = segmented_scan_add(&[1, 2], &[false, true], ScalarKind::I64);
+    }
+}

@@ -1,0 +1,217 @@
+//! Data-parallel sorting of (key, value) pairs.
+//!
+//! The paper's software scatter-add sorts each batch by target address
+//! "using a combination of a bitonic and merge sorting phases" (§4.1). Both
+//! phases are implemented here with explicit operation counting so the
+//! stream-program builders can charge the clusters for the work.
+
+/// Work counters of a sort.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SortStats {
+    /// Compare-exchange operations performed.
+    pub compare_exchanges: u64,
+    /// Data-parallel passes over the array (each pass is one kernel
+    /// invocation worth of work on a stream machine).
+    pub passes: u64,
+}
+
+/// Bitonic sort of `keys` (with `vals` permuted alongside), ascending.
+///
+/// The bitonic network is the canonical data-parallel sort: every pass
+/// performs `n/2` independent compare-exchanges, which a SIMD machine
+/// executes at full width. `log2(n)·(log2(n)+1)/2` passes are required.
+///
+/// # Panics
+///
+/// Panics unless `keys.len()` is a power of two (pad with `u64::MAX` keys to
+/// sort arbitrary sizes) or if `keys` and `vals` lengths differ.
+pub fn bitonic_sort_pairs(keys: &mut [u64], vals: &mut [u64]) -> SortStats {
+    assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
+    let n = keys.len();
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort needs a power-of-two size"
+    );
+    let mut stats = SortStats::default();
+    if n < 2 {
+        return stats;
+    }
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            stats.passes += 1;
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
+                    let ascending = (i & k) == 0;
+                    stats.compare_exchanges += 1;
+                    if (keys[i] > keys[partner]) == ascending {
+                        keys.swap(i, partner);
+                        vals.swap(i, partner);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    stats
+}
+
+/// Merge `runs` of already-sorted (key, value) pairs into one sorted vector
+/// — the merge phase used when a batch is assembled from bitonic-sorted
+/// sub-blocks.
+///
+/// # Panics
+///
+/// Panics if any run is not sorted by key.
+pub fn merge_sorted_runs(runs: &[Vec<(u64, u64)>]) -> (Vec<(u64, u64)>, SortStats) {
+    for r in runs {
+        assert!(
+            r.windows(2).all(|w| w[0].0 <= w[1].0),
+            "merge input run not sorted"
+        );
+    }
+    let mut stats = SortStats::default();
+    let mut current: Vec<Vec<(u64, u64)>> = runs.to_vec();
+    while current.len() > 1 {
+        stats.passes += 1;
+        let mut next = Vec::with_capacity(current.len().div_ceil(2));
+        let mut iter = current.chunks(2);
+        for pair in &mut iter {
+            match pair {
+                [a, b] => {
+                    let mut out = Vec::with_capacity(a.len() + b.len());
+                    let (mut i, mut j) = (0, 0);
+                    while i < a.len() && j < b.len() {
+                        stats.compare_exchanges += 1;
+                        if a[i].0 <= b[j].0 {
+                            out.push(a[i]);
+                            i += 1;
+                        } else {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                    }
+                    out.extend_from_slice(&a[i..]);
+                    out.extend_from_slice(&b[j..]);
+                    next.push(out);
+                }
+                [a] => next.push(a.clone()),
+                _ => unreachable!("chunks(2)"),
+            }
+        }
+        current = next;
+    }
+    (current.pop().unwrap_or_default(), stats)
+}
+
+/// Sort arbitrary-length (key, value) pairs: bitonic on the padded
+/// power-of-two size — the form the batched software scatter-add uses.
+pub fn sort_pairs_by_key(keys: &[u64], vals: &[u64]) -> (Vec<u64>, Vec<u64>, SortStats) {
+    assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
+    let n = keys.len();
+    let padded = n.next_power_of_two().max(1);
+    let mut k: Vec<u64> = keys.to_vec();
+    let mut v: Vec<u64> = vals.to_vec();
+    k.resize(padded, u64::MAX);
+    v.resize(padded, 0);
+    let stats = bitonic_sort_pairs(&mut k, &mut v);
+    k.truncate(n);
+    v.truncate(n);
+    (k, v, stats)
+}
+
+/// Whether `keys` is non-decreasing.
+pub fn is_sorted_by_key(keys: &[u64]) -> bool {
+    keys.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sim::Rng64;
+
+    #[test]
+    fn bitonic_sorts_random_input() {
+        let mut rng = Rng64::new(1);
+        for size in [1usize, 2, 4, 16, 64, 256] {
+            let mut keys: Vec<u64> = (0..size).map(|_| rng.below(50)).collect();
+            let mut vals: Vec<u64> = (0..size as u64).collect();
+            let orig: Vec<(u64, u64)> = keys.iter().copied().zip(vals.iter().copied()).collect();
+            bitonic_sort_pairs(&mut keys, &mut vals);
+            assert!(is_sorted_by_key(&keys), "size {size} not sorted");
+            // Permutation check: the multiset of pairs is preserved.
+            let mut got: Vec<(u64, u64)> = keys.into_iter().zip(vals).collect();
+            let mut want = orig;
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn bitonic_pass_count_matches_theory() {
+        let n = 256usize;
+        let mut keys: Vec<u64> = (0..n as u64).rev().collect();
+        let mut vals = vec![0u64; n];
+        let stats = bitonic_sort_pairs(&mut keys, &mut vals);
+        let log = n.trailing_zeros() as u64; // 8
+        assert_eq!(stats.passes, log * (log + 1) / 2);
+        assert_eq!(stats.compare_exchanges, stats.passes * (n as u64 / 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bitonic_rejects_non_power_of_two() {
+        let mut k = vec![3, 1, 2];
+        let mut v = vec![0, 0, 0];
+        bitonic_sort_pairs(&mut k, &mut v);
+    }
+
+    #[test]
+    fn sort_pairs_handles_any_length() {
+        let mut rng = Rng64::new(2);
+        for size in [0usize, 1, 3, 100, 257] {
+            let keys: Vec<u64> = (0..size).map(|_| rng.below(1000)).collect();
+            let vals: Vec<u64> = (0..size as u64).map(|i| i * 10).collect();
+            let (k, v, _) = sort_pairs_by_key(&keys, &vals);
+            assert_eq!(k.len(), size);
+            assert!(is_sorted_by_key(&k));
+            let mut got: Vec<(u64, u64)> = k.into_iter().zip(v).collect();
+            let mut want: Vec<(u64, u64)> = keys.into_iter().zip(vals).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let runs = vec![
+            vec![(1u64, 10u64), (4, 40)],
+            vec![(2, 20), (3, 30)],
+            vec![(0, 0), (5, 50)],
+        ];
+        let (merged, stats) = merge_sorted_runs(&runs);
+        let keys: Vec<u64> = merged.iter().map(|p| p.0).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 5]);
+        assert!(stats.passes >= 2, "three runs need two merge passes");
+    }
+
+    #[test]
+    fn merge_empty_and_single() {
+        let (m, _) = merge_sorted_runs(&[]);
+        assert!(m.is_empty());
+        let (m, s) = merge_sorted_runs(&[vec![(1, 1)]]);
+        assert_eq!(m, vec![(1, 1)]);
+        assert_eq!(s.passes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn merge_rejects_unsorted_run() {
+        let _ = merge_sorted_runs(&[vec![(2, 0), (1, 0)]]);
+    }
+}

@@ -1,0 +1,1 @@
+//! Reproduction of "Scatter-Add in Data Parallel Architectures" (HPCA 2005).

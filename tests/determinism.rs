@@ -1,0 +1,103 @@
+//! §3.3: "while the ordering of computation does not reflect program order,
+//! it is consistent in the hardware and repeatable for each run of the
+//! program." Every simulation in this workspace must be bit-for-bit
+//! deterministic: same inputs → same cycle counts, same statistics, same
+//! memory image.
+
+use sa_apps::histogram::{run_hw, run_sort_scan_default, HistogramInput};
+use sa_apps::md::WaterSystem;
+use sa_apps::mesh::Mesh;
+use sa_apps::spmv::{run_ebe_hw, Csr};
+use sa_core::{drive_scatter, ScatterKernel, SensitivityRig};
+use sa_multinode::MultiNode;
+use sa_sim::{MachineConfig, NetworkConfig, Rng64, SensitivityConfig};
+
+fn machine() -> MachineConfig {
+    MachineConfig::merrimac()
+}
+
+#[test]
+fn driver_runs_repeat_exactly() {
+    let mut rng = Rng64::new(1);
+    let kernel = ScatterKernel::histogram(0, (0..800).map(|_| rng.below(128)).collect());
+    let a = drive_scatter(&machine(), &kernel, false);
+    let b = drive_scatter(&machine(), &kernel, false);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.drain_cycles, b.drain_cycles);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.result_i64(128), b.result_i64(128));
+}
+
+#[test]
+fn rig_runs_repeat_exactly() {
+    let mut rng = Rng64::new(2);
+    let indices: Vec<u64> = (0..512).map(|_| rng.below(1 << 14)).collect();
+    let rig = SensitivityRig::new(SensitivityConfig::default());
+    let a = rig.run_histogram(&indices, 1 << 14);
+    let b = rig.run_histogram(&indices, 1 << 14);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.sa, b.sa);
+    assert_eq!(a.bins, b.bins);
+}
+
+#[test]
+fn app_runs_repeat_exactly() {
+    let cfg = machine();
+    let input = HistogramInput::uniform(1200, 512, 3);
+    assert_eq!(
+        run_hw(&cfg, &input).report.cycles,
+        run_hw(&cfg, &input).report.cycles
+    );
+    assert_eq!(
+        run_sort_scan_default(&cfg, &input).report.cycles,
+        run_sort_scan_default(&cfg, &input).report.cycles
+    );
+}
+
+#[test]
+fn spmv_and_md_repeat_exactly() {
+    let cfg = machine();
+    let mesh = Mesh::generate(60, 10, 300, 4);
+    let x = mesh.test_vector(5);
+    let _ = Csr::from_mesh(&mesh); // assembly itself is deterministic
+    assert_eq!(
+        run_ebe_hw(&cfg, &mesh, &x).report.cycles,
+        run_ebe_hw(&cfg, &mesh, &x).report.cycles
+    );
+    let sys = WaterSystem::generate(40, 6);
+    assert_eq!(
+        sa_apps::md::run_hw(&cfg, &sys).report.cycles,
+        sa_apps::md::run_hw(&cfg, &sys).report.cycles
+    );
+}
+
+#[test]
+fn multinode_repeats_exactly() {
+    let mut rng = Rng64::new(7);
+    let trace: Vec<u64> = (0..2000).map(|_| rng.below(256)).collect();
+    let values = vec![1.0; trace.len()];
+    for combining in [false, true] {
+        let a = MultiNode::new(machine(), 4, NetworkConfig::low(), combining)
+            .run_trace(&trace, &values);
+        let b = MultiNode::new(machine(), 4, NetworkConfig::low(), combining)
+            .run_trace(&trace, &values);
+        assert_eq!(a.cycles, b.cycles, "combining={combining}");
+        assert_eq!(a.sum_back_lines, b.sum_back_lines);
+    }
+}
+
+#[test]
+fn float_reduction_order_is_stable_across_runs() {
+    // Floating-point sums depend on hardware ordering; determinism means
+    // the bits are nevertheless identical run to run.
+    let mut rng = Rng64::new(8);
+    let n = 600;
+    let indices: Vec<u64> = (0..n).map(|_| rng.below(16)).collect();
+    let values: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+    let kernel = ScatterKernel::superposition(0, indices, &values);
+    let a = drive_scatter(&machine(), &kernel, false);
+    let b = drive_scatter(&machine(), &kernel, false);
+    let bits_a: Vec<u64> = a.result_f64(16).iter().map(|v| v.to_bits()).collect();
+    let bits_b: Vec<u64> = b.result_f64(16).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits_a, bits_b, "bitwise identical float results");
+}

@@ -1,0 +1,181 @@
+//! Property-based tests over the core invariants of the reproduction:
+//! atomicity (every implementation computes the scalar-reference sums),
+//! sort/scan algebra, value semantics, and multi-node equivalence.
+
+use proptest::prelude::*;
+
+use sa_core::{drive_scatter, scatter_reference, ScatterKernel, SensitivityRig};
+use sa_multinode::{trace_reference, MultiNode};
+use sa_sim::{
+    combine, identity_bits, Addr, MachineConfig, NetworkConfig, ScalarKind, ScatterOp,
+    SensitivityConfig,
+};
+use sa_sw::{
+    bitonic_sort_pairs, color_assignment, coloring_result, inclusive_scan_add,
+    privatization_result, segment_heads, segment_totals, segmented_scan_add, sort_pairs_by_key,
+    sort_scan_result,
+};
+
+fn small_indices() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..64, 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The hardware unit inside the full node computes exactly the scalar
+    /// reference for integer scatter-add, for any index multiset.
+    #[test]
+    fn hardware_matches_reference(indices in small_indices()) {
+        let kernel = ScatterKernel::histogram(0, indices);
+        let run = drive_scatter(&MachineConfig::merrimac(), &kernel, false);
+        let expect: Vec<i64> = scatter_reference(&kernel, 64).iter().map(|&b| b as i64).collect();
+        prop_assert_eq!(run.result_i64(64), expect);
+    }
+
+    /// Every software baseline agrees with the reference too.
+    #[test]
+    fn software_baselines_match_reference(indices in small_indices(), batch in 1usize..64, tile in 1usize..16) {
+        let kernel = ScatterKernel::histogram(0, indices);
+        let reference = scatter_reference(&kernel, 64);
+        prop_assert_eq!(sort_scan_result(&kernel, 64, batch), reference.clone());
+        prop_assert_eq!(privatization_result(&kernel, 64, tile), reference.clone());
+        prop_assert_eq!(coloring_result(&kernel, 64), reference);
+    }
+
+    /// The sensitivity rig (single unit, uniform memory) is also exact, for
+    /// any combining-store size, latency, and interval.
+    #[test]
+    fn rig_matches_reference(
+        indices in small_indices(),
+        cs in 1usize..32,
+        fu in 1u32..8,
+        lat in 1u32..64,
+        interval in 1u32..8,
+    ) {
+        let rig = SensitivityRig::new(SensitivityConfig {
+            cs_entries: cs,
+            fu_latency: fu,
+            mem_latency: lat,
+            mem_interval: interval,
+        });
+        let r = rig.run_histogram(&indices, 64);
+        let kernel = ScatterKernel::histogram(0, indices);
+        let expect: Vec<i64> = scatter_reference(&kernel, 64).iter().map(|&b| b as i64).collect();
+        prop_assert_eq!(r.bins, expect);
+    }
+
+    /// Fetch-and-add on one counter hands out a dense permutation of slots.
+    #[test]
+    fn fetch_add_slots_are_a_permutation(n in 1usize..64) {
+        let kernel = ScatterKernel::histogram(0, vec![0; n]);
+        let run = drive_scatter(&MachineConfig::merrimac(), &kernel, true);
+        let mut slots: Vec<i64> = run.fetched.iter().map(|&(_, b)| b as i64).collect();
+        slots.sort_unstable();
+        prop_assert_eq!(slots, (0..n as i64).collect::<Vec<_>>());
+    }
+
+    /// Bitonic sort sorts and preserves the key/value multiset.
+    #[test]
+    fn bitonic_sorts(pairs in prop::collection::vec((0u64..1000, 0u64..1000), 0..200)) {
+        let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let vals: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+        let (k, v, _) = sort_pairs_by_key(&keys, &vals);
+        prop_assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        let mut got: Vec<(u64, u64)> = k.into_iter().zip(v).collect();
+        let mut want = pairs.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Padded power-of-two sizes behave identically to exact ones.
+    #[test]
+    fn bitonic_power_of_two_direct(mut keys in prop::collection::vec(0u64..100, 1..9)) {
+        keys.resize(keys.len().next_power_of_two(), u64::MAX);
+        let mut vals = vec![0u64; keys.len()];
+        let want = { let mut k = keys.clone(); k.sort_unstable(); k };
+        bitonic_sort_pairs(&mut keys, &mut vals);
+        prop_assert_eq!(keys, want);
+    }
+
+    /// Segmented scan's last element per segment equals the segment total,
+    /// and segment totals sum to the global total.
+    #[test]
+    fn segmented_scan_totals(xs in prop::collection::vec(0u64..50, 1..200), nseg in 1usize..10) {
+        let mut keys: Vec<u64> = (0..xs.len()).map(|i| (i * nseg / xs.len()) as u64).collect();
+        keys.sort_unstable();
+        let heads = segment_heads(&keys);
+        let scanned = segmented_scan_add(&xs, &heads, ScalarKind::I64);
+        let totals = segment_totals(&keys, &xs, ScalarKind::I64);
+        let global: i64 = xs.iter().map(|&x| x as i64).sum();
+        let sum_of_totals: i64 = totals.iter().map(|&(_, t)| t as i64).sum();
+        prop_assert_eq!(global, sum_of_totals);
+        // Inclusive scan over the whole array bounds every prefix.
+        let inc = inclusive_scan_add(&xs, ScalarKind::I64);
+        prop_assert_eq!(*inc.last().unwrap() as i64, global);
+        let _ = scanned;
+    }
+
+    /// Coloring produces collision-free classes and minimal color count.
+    #[test]
+    fn coloring_is_valid(indices in small_indices()) {
+        let colors = color_assignment(&indices);
+        let n_colors = colors.iter().copied().max().map_or(0, |m| m + 1);
+        for c in 0..n_colors {
+            let mut seen = std::collections::HashSet::new();
+            for (i, &col) in colors.iter().enumerate() {
+                if col == c {
+                    prop_assert!(seen.insert(indices[i]), "collision in color {}", c);
+                }
+            }
+        }
+        // Minimality: max multiplicity equals the color count.
+        let mut mult = std::collections::HashMap::new();
+        for &i in &indices {
+            *mult.entry(i).or_insert(0usize) += 1;
+        }
+        let max_mult = mult.values().copied().max().unwrap_or(0);
+        prop_assert_eq!(n_colors, max_mult);
+    }
+
+    /// combine() is commutative for Add/Min/Max/Mul over integers, and
+    /// identity elements are neutral.
+    #[test]
+    fn combine_algebra(a in any::<i64>(), b in any::<i64>()) {
+        for op in [ScatterOp::Add, ScatterOp::Min, ScatterOp::Max, ScatterOp::Mul] {
+            let ab = combine(a as u64, b as u64, ScalarKind::I64, op);
+            let ba = combine(b as u64, a as u64, ScalarKind::I64, op);
+            prop_assert_eq!(ab, ba, "{:?} not commutative", op);
+            let id = identity_bits(ScalarKind::I64, op);
+            prop_assert_eq!(combine(id, a as u64, ScalarKind::I64, op), a as u64);
+        }
+    }
+}
+
+proptest! {
+    // Multi-node runs are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Direct and combining multi-node modes both compute the reference
+    /// sums for arbitrary small traces, on 2 and 3 nodes.
+    #[test]
+    fn multinode_matches_reference(
+        trace in prop::collection::vec(0u64..128, 1..150),
+        nodes in 2usize..4,
+        combining in any::<bool>(),
+    ) {
+        let values = vec![1.0f64; trace.len()];
+        let mut mn = MultiNode::new(
+            MachineConfig::merrimac(),
+            nodes,
+            NetworkConfig::low(),
+            combining,
+        );
+        mn.run_trace(&trace, &values);
+        for (&w, &expect) in &trace_reference(&trace, &values) {
+            let got = f64::from_bits(mn.read_word(Addr::from_word_index(w)));
+            prop_assert!((got - expect).abs() < 1e-9, "word {}: {} vs {}", w, got, expect);
+        }
+    }
+}
