@@ -1,0 +1,49 @@
+//! Wall-clock cost of the telemetry layer on the simulator hot loop.
+//!
+//! Three variants of the same 8K-element histogram drive:
+//!
+//! * `disabled` — the default `NullTrace` path with sampling off: the
+//!   per-tick cost is one integer compare, so this must stay within noise
+//!   (<2%) of the pre-telemetry simulator;
+//! * `sampled` — `NullTrace` with the default 64-cycle sampling interval
+//!   (time-series only, no trace events);
+//! * `chrome` — full Chrome-trace event capture at the default interval.
+//!
+//! Compare the `disabled` median against `sampled`/`chrome` to see what each
+//! level of observability costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sa_core::{drive_scatter, drive_scatter_with, NodeMemSys, ScatterKernel};
+use sa_sim::{MachineConfig, Rng64};
+use sa_telemetry::{ChromeTrace, NullTrace};
+
+fn kernel() -> ScatterKernel {
+    let mut rng = Rng64::new(0xBE7C);
+    ScatterKernel::histogram(0, (0..8192).map(|_| rng.below(4096)).collect())
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let cfg = MachineConfig::merrimac();
+    let k = kernel();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("disabled", |b| {
+        b.iter(|| drive_scatter(&cfg, &k, false).cycles)
+    });
+    group.bench_function("sampled", |b| {
+        b.iter(|| {
+            let mut node = NodeMemSys::with_tracer(cfg, 0, false, NullTrace);
+            node.set_sample_interval(sa_core::DEFAULT_SAMPLE_INTERVAL);
+            drive_scatter_with(node, &k, false).cycles
+        })
+    });
+    group.bench_function("chrome", |b| {
+        b.iter(|| {
+            let node = NodeMemSys::with_tracer(cfg, 0, false, ChromeTrace::new());
+            drive_scatter_with(node, &k, false).cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

@@ -15,11 +15,12 @@
 //! * workload skew (uniform → Zipf → single bin).
 
 use sa_apps::histogram::{run_hw, run_sort_scan, HistogramInput};
-use sa_bench::{header, quick_mode, row, us};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, quick_mode, us};
 use sa_core::{drive_scatter, ScatterKernel};
 use sa_sim::{MachineConfig, Rng64};
 
-fn ab_combining_store(quick: bool) {
+fn ab_combining_store(bench: &mut BenchRun, quick: bool) {
     header(
         "Ablation: combining-store entries (full machine)",
         "32K uniform scatter-adds over 65,536 bins (cache-overflowing, latency-sensitive)",
@@ -31,7 +32,9 @@ fn ab_combining_store(quick: bool) {
         let mut cfg = MachineConfig::merrimac();
         cfg.sa.cs_entries = cs;
         let run = drive_scatter(&cfg, &kernel, false);
-        row(
+        run.stats
+            .record(&mut bench.scope(&format!("combining_store.cs{cs}")));
+        bench.row(
             format!("cs={cs}"),
             &[
                 ("time", us(run.micros())),
@@ -41,7 +44,7 @@ fn ab_combining_store(quick: bool) {
     }
 }
 
-fn ab_banks(quick: bool) {
+fn ab_banks(bench: &mut BenchRun, quick: bool) {
     header(
         "Ablation: cache banks / scatter-add units",
         "Uniform scatter-adds over a cache-resident range",
@@ -53,7 +56,9 @@ fn ab_banks(quick: bool) {
         let mut cfg = MachineConfig::merrimac();
         cfg.cache.banks = banks;
         let run = drive_scatter(&cfg, &kernel, false);
-        row(
+        run.stats
+            .record(&mut bench.scope(&format!("banks.b{banks}")));
+        bench.row(
             format!("banks={banks}"),
             &[
                 ("time", us(run.micros())),
@@ -63,7 +68,7 @@ fn ab_banks(quick: bool) {
     }
 }
 
-fn ab_fu_latency(quick: bool) {
+fn ab_fu_latency(bench: &mut BenchRun, quick: bool) {
     header(
         "Ablation: FU latency under dependent chains",
         "All additions to one word — each must wait for the previous sum",
@@ -74,7 +79,9 @@ fn ab_fu_latency(quick: bool) {
         let mut cfg = MachineConfig::merrimac();
         cfg.sa.fu_latency = fu;
         let run = drive_scatter(&cfg, &kernel, false);
-        row(
+        run.stats
+            .record(&mut bench.scope(&format!("fu_latency.fu{fu}")));
+        bench.row(
             format!("fu={fu}"),
             &[
                 ("time", us(run.micros())),
@@ -84,7 +91,7 @@ fn ab_fu_latency(quick: bool) {
     }
 }
 
-fn ab_ag_width(quick: bool) {
+fn ab_ag_width(bench: &mut BenchRun, quick: bool) {
     header(
         "Ablation: address-generator width",
         "Issue bandwidth into the memory system (2 generators)",
@@ -96,11 +103,13 @@ fn ab_ag_width(quick: bool) {
         let mut cfg = MachineConfig::merrimac();
         cfg.ag.width = width;
         let run = drive_scatter(&cfg, &kernel, false);
-        row(format!("width={width}"), &[("time", us(run.micros()))]);
+        run.stats
+            .record(&mut bench.scope(&format!("ag_width.w{width}")));
+        bench.row(format!("width={width}"), &[("time", us(run.micros()))]);
     }
 }
 
-fn ab_cache_capacity(quick: bool) {
+fn ab_cache_capacity(bench: &mut BenchRun, quick: bool) {
     header(
         "Ablation: stream-cache capacity",
         "32K scatter-adds over 65,536 bins (512 KB of targets)",
@@ -112,8 +121,10 @@ fn ab_cache_capacity(quick: bool) {
         let mut cfg = MachineConfig::merrimac();
         cfg.cache.total_bytes = kb << 10;
         let run = drive_scatter(&cfg, &kernel, false);
+        run.stats
+            .record(&mut bench.scope(&format!("cache_capacity.kb{kb}")));
         let s = run.stats.cache;
-        row(
+        bench.row(
             format!("cache={kb}KB"),
             &[
                 ("time", us(run.micros())),
@@ -123,7 +134,7 @@ fn ab_cache_capacity(quick: bool) {
     }
 }
 
-fn ab_batch_size(quick: bool) {
+fn ab_batch_size(bench: &mut BenchRun, quick: bool) {
     header(
         "Ablation: software scatter-add batch size (§4.1)",
         "Sort + segmented scan; the paper's machine favored 256",
@@ -133,11 +144,14 @@ fn ab_batch_size(quick: bool) {
     let input = HistogramInput::uniform(n, 2048, 5);
     for batch in [32usize, 64, 128, 256, 512, 1024, 2048] {
         let run = run_sort_scan(&cfg, &input, batch);
-        row(format!("batch={batch}"), &[("time", us(run.micros()))]);
+        run.report
+            .stats
+            .record(&mut bench.scope(&format!("batch.b{batch}")));
+        bench.row(format!("batch={batch}"), &[("time", us(run.micros()))]);
     }
 }
 
-fn ab_skew(quick: bool) {
+fn ab_skew(bench: &mut BenchRun, quick: bool) {
     header(
         "Ablation: workload skew (uniform → Zipf → one bin)",
         "Hardware scatter-add, 1,024 bins; skew lengthens same-address chains",
@@ -150,10 +164,13 @@ fn ab_skew(quick: bool) {
         rows.push((format!("zipf s={s}"), HistogramInput::zipf(n, 1024, s, 6)));
     }
     rows.push(("single bin".into(), HistogramInput::uniform(n, 1, 6)));
-    for (name, input) in rows {
+    for (i, (name, input)) in rows.into_iter().enumerate() {
         let run = run_hw(&cfg, &input);
         assert_eq!(run.bins, input.reference());
-        row(
+        run.report
+            .stats
+            .record(&mut bench.scope(&format!("skew.case{i}")));
+        bench.row(
             name,
             &[
                 ("time", us(run.micros())),
@@ -165,11 +182,13 @@ fn ab_skew(quick: bool) {
 
 fn main() {
     let quick = quick_mode();
-    ab_combining_store(quick);
-    ab_banks(quick);
-    ab_fu_latency(quick);
-    ab_ag_width(quick);
-    ab_cache_capacity(quick);
-    ab_batch_size(quick);
-    ab_skew(quick);
+    let mut bench = BenchRun::from_env("ablate", &MachineConfig::merrimac());
+    ab_combining_store(&mut bench, quick);
+    ab_banks(&mut bench, quick);
+    ab_fu_latency(&mut bench, quick);
+    ab_ag_width(&mut bench, quick);
+    ab_cache_capacity(&mut bench, quick);
+    ab_batch_size(&mut bench, quick);
+    ab_skew(&mut bench, quick);
+    bench.finish();
 }

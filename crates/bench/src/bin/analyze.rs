@@ -2,13 +2,98 @@
 //! reference traces, computed with `sa_apps::traces::TraceStats` — the
 //! quantities the paper invokes qualitatively ("high locality", "extremely
 //! low cache hit rate") when explaining the scalability curves.
+//!
+//! Also the consumer side of the telemetry layer:
+//!
+//! * `analyze --stats-json <path>` reads back a `sa-stats` document written
+//!   by any figure binary and prints a summary of its metrics;
+//! * `analyze --check <path>` validates the document against the schema and
+//!   requires the canonical scatter-unit / cache / DRAM / queue metrics —
+//!   exits nonzero on any violation (used by CI).
 
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::Ebe;
 use sa_apps::traces::TraceStats;
+use sa_bench::args::Args;
 use sa_bench::{header, quick_mode, row};
 use sa_sim::{MachineConfig, Rng64};
+use sa_telemetry::{has_metric_matching, validate_stats_json, Json};
+
+fn load_stats(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `--check`: schema validation plus the required metric families.
+fn check_stats(path: &str) -> Result<(), String> {
+    let doc = load_stats(path)?;
+    validate_stats_json(&doc)?;
+    for family in ["sa.", "cache.", "dram.", "queue."] {
+        if !has_metric_matching(&doc, family) {
+            return Err(format!("no metric path contains '{family}'"));
+        }
+    }
+    let bench = doc.get("bench").and_then(Json::as_str).unwrap_or("?");
+    println!("{path}: valid sa-stats document from '{bench}'");
+    Ok(())
+}
+
+/// `--stats-json`: read a document back and summarize what it holds.
+fn summarize_stats(path: &str) -> Result<(), String> {
+    let doc = load_stats(path)?;
+    validate_stats_json(&doc)?;
+    let bench = doc.get("bench").and_then(Json::as_str).unwrap_or("?");
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .ok_or("no metrics")?;
+    header(
+        &format!("Stats document: {path}"),
+        &format!(
+            "bench '{bench}', schema v{}",
+            sa_telemetry::STATS_SCHEMA_VERSION
+        ),
+    );
+    let counters = metrics.iter().filter(|(_, v)| v.as_u64().is_some()).count();
+    let histograms = metrics
+        .iter()
+        .filter(|(_, v)| v.get("buckets").is_some())
+        .count();
+    row(
+        "metrics",
+        &[
+            ("total", format!("{}", metrics.len())),
+            ("counters", format!("{counters}")),
+            ("histograms", format!("{histograms}")),
+        ],
+    );
+    // The headline counters every document carries via the canonical run.
+    for key in [
+        "canonical.cycles",
+        "canonical.sa.accepted",
+        "canonical.sa.combined",
+        "canonical.cache.read_hits",
+        "canonical.dram.reads",
+    ] {
+        if let Some(v) = metrics.iter().find(|(p, _)| p == key).map(|(_, v)| v) {
+            if let Some(n) = v.as_u64() {
+                row(key, &[("value", format!("{n}"))]);
+            }
+        }
+    }
+    if let Some(series) = doc
+        .get("series")
+        .and_then(|s| s.get("series"))
+        .and_then(Json::as_obj)
+    {
+        row("series", &[("tracked", format!("{}", series.len()))]);
+    }
+    if let Some(rows) = doc.get("rows").and_then(Json::as_arr) {
+        row("rows", &[("count", format!("{}", rows.len()))]);
+    }
+    Ok(())
+}
 
 fn report(name: &str, trace: &[u64], cfg: &MachineConfig) {
     let line_words = cfg.cache.words_per_line();
@@ -31,6 +116,21 @@ fn report(name: &str, trace: &[u64], cfg: &MachineConfig) {
 }
 
 fn main() {
+    let args = Args::from_env();
+    if let Some(path) = args.raw("check") {
+        if let Err(e) = check_stats(path) {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(path) = args.raw("stats-json") {
+        if let Err(e) = summarize_stats(path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let cfg = MachineConfig::merrimac();
     let quick = quick_mode();
     header(

@@ -16,6 +16,7 @@
 
 use sa_apps::histogram::{run_hw, run_privatization_default, run_sort_scan, HistogramInput};
 use sa_bench::args::Args;
+use sa_bench::telemetry::BenchRun;
 use sa_core::{drive_scan, drive_scatter, ScatterKernel, SensitivityRig};
 use sa_multinode::{MultiNode, Topology};
 use sa_sim::{MachineConfig, NetworkConfig, Rng64, ScalarKind, SensitivityConfig};
@@ -46,6 +47,7 @@ fn input_from(args: &Args) -> Result<HistogramInput, Box<dyn std::error::Error>>
 
 fn cmd_histogram(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = machine_from(args)?;
+    let mut bench = BenchRun::from_args("explore", &cfg, args);
     let input = input_from(args)?;
     let implementation = args.choice("impl", &["hw", "sortscan", "privatization"], "hw")?;
     let run = match implementation {
@@ -67,14 +69,18 @@ fn cmd_histogram(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         run.report.flops,
         run.report.mem_refs
     );
+    run.report.stats.record(&mut bench.scope("histogram"));
+    bench.finish();
     Ok(())
 }
 
 fn cmd_scatter(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = machine_from(args)?;
+    let mut bench = BenchRun::from_args("explore", &cfg, args);
     let input = input_from(args)?;
     let kernel = ScatterKernel::histogram(0, input.data.clone());
     let run = drive_scatter(&cfg, &kernel, args.has("fetch"));
+    run.node.record_metrics(&mut bench.scope("scatter"));
     println!(
         "scatter n={} range={}: {:.2} us; combined {}/{} requests, {} chained, \
          {} reads to memory, {} stall-cycles on a full store",
@@ -87,6 +93,8 @@ fn cmd_scatter(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         run.stats.sa.reads_issued,
         run.stats.sa.stalled_full,
     );
+    run.print_stall_summary();
+    bench.finish();
     Ok(())
 }
 
@@ -102,11 +110,15 @@ fn cmd_scan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         r.micros(),
         r.cycles as f64 / n as f64
     );
+    let mut bench = BenchRun::from_args("explore", &cfg, args);
+    bench.scope("scan").counter("cycles", r.cycles);
+    bench.finish();
     Ok(())
 }
 
 fn cmd_multinode(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = machine_from(args)?;
+    let mut bench = BenchRun::from_args("explore", &cfg, args);
     let nodes: usize = args.get_or("nodes", 4)?;
     let net = match args.choice("net", &["low", "high"], "high")? {
         "low" => NetworkConfig::low(),
@@ -129,6 +141,8 @@ fn cmd_multinode(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         r.sum_back_lines,
         r.flush_rounds
     );
+    r.record_metrics(&mut bench.scope("multinode"));
+    bench.finish();
     Ok(())
 }
 
@@ -154,6 +168,9 @@ fn cmd_rig(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         r.micros(),
         r.sa.combined
     );
+    let mut bench = BenchRun::from_args("explore", &sa_sim::MachineConfig::merrimac(), args);
+    r.record_metrics(&mut bench.scope("rig"));
+    bench.finish();
     Ok(())
 }
 

@@ -4,13 +4,14 @@
 //! hierarchical multi-node combining).
 
 use sa_apps::image::{run_equalize_hw, run_equalize_sw, GreyImage};
-use sa_bench::{header, quick_mode, row, us};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, quick_mode, us};
 use sa_core::{allocate_slots, drive_scan, simulate_barrier, NodeMemSys};
 use sa_multinode::{MultiNode, Topology};
 use sa_proc::{AccessPattern, Executor, StreamOp, StreamProgram};
 use sa_sim::{Addr, MachineConfig, NetworkConfig, Rng64, ScalarKind};
 
-fn ext_scan(cfg: &MachineConfig, quick: bool) {
+fn ext_scan(bench: &mut BenchRun, cfg: &MachineConfig, quick: bool) {
     header(
         "Extension: hardware scans (§5)",
         "Inclusive prefix sum: memory-side scan engine vs software scan kernel",
@@ -59,8 +60,10 @@ fn ext_scan(cfg: &MachineConfig, quick: bool) {
         let in_i64: Vec<i64> = input.iter().map(|&b| b as i64).collect();
         node.store_mut().load_i64(Addr(0), &in_i64);
         let sw = Executor::new(*cfg).run(&prog, &mut node);
+        sw.stats.record(&mut bench.scope("scan.sw"));
+        bench.scope("scan").counter("hw_cycles", hw.cycles);
 
-        row(
+        bench.row(
             format!("n={n}"),
             &[
                 ("hw-scan", us(hw.micros())),
@@ -74,7 +77,7 @@ fn ext_scan(cfg: &MachineConfig, quick: bool) {
     }
 }
 
-fn ext_sync(cfg: &MachineConfig, quick: bool) {
+fn ext_sync(bench: &mut BenchRun, cfg: &MachineConfig, quick: bool) {
     header(
         "Extension: synchronization primitives (§5)",
         "Barrier arrival and parallel queue allocation via data-parallel fetch-and-add",
@@ -83,7 +86,10 @@ fn ext_sync(cfg: &MachineConfig, quick: bool) {
     for &p in sizes {
         let b = simulate_barrier(cfg, 0, p);
         let q = allocate_slots(cfg, 0, p);
-        row(
+        let mut s = bench.scope("sync");
+        s.counter("barrier_cycles", b.cycles);
+        s.counter("queue_alloc_cycles", q.cycles);
+        bench.row(
             format!("participants={p}"),
             &[
                 ("barrier", us(b.cycles as f64 / 1e3)),
@@ -93,7 +99,7 @@ fn ext_sync(cfg: &MachineConfig, quick: bool) {
     }
 }
 
-fn ext_hierarchical(machine: &MachineConfig, quick: bool) {
+fn ext_hierarchical(bench: &mut BenchRun, machine: &MachineConfig, quick: bool) {
     header(
         "Extension: hierarchical combining (§5)",
         "Flat vs hypercube sum-back routing, narrow histogram, low-bandwidth net",
@@ -110,7 +116,9 @@ fn ext_hierarchical(machine: &MachineConfig, quick: bool) {
         let mut hyper =
             MultiNode::with_topology(*machine, n, NetworkConfig::low(), true, Topology::Hypercube);
         let rh = hyper.run_trace(&trace, &values);
-        row(
+        rf.record_metrics(&mut bench.scope(&format!("hierarchical.flat.n{n}")));
+        rh.record_metrics(&mut bench.scope(&format!("hierarchical.hypercube.n{n}")));
+        bench.row(
             format!("nodes={n}"),
             &[
                 (
@@ -128,7 +136,7 @@ fn ext_hierarchical(machine: &MachineConfig, quick: bool) {
     }
 }
 
-fn ext_equalize(cfg: &MachineConfig, quick: bool) {
+fn ext_equalize(bench: &mut BenchRun, cfg: &MachineConfig, quick: bool) {
     header(
         "Extension: histogram equalization (§1 motivation)",
         "Full image pipeline: scatter-add histogram + scan CDF + gather remap",
@@ -139,7 +147,11 @@ fn ext_equalize(cfg: &MachineConfig, quick: bool) {
     let sw = run_equalize_sw(cfg, &img);
     assert_eq!(hw.output, sw.output, "pipelines agree");
     for (name, r) in [("hardware", &hw), ("software", &sw)] {
-        row(
+        let mut s = bench.scope(&format!("equalize.{name}"));
+        s.counter("histogram_cycles", r.histogram_cycles);
+        s.counter("scan_cycles", r.scan_cycles);
+        s.counter("remap_cycles", r.remap_cycles);
+        bench.row(
             name,
             &[
                 ("total", us(r.micros())),
@@ -159,9 +171,11 @@ fn ext_equalize(cfg: &MachineConfig, quick: bool) {
 
 fn main() {
     let cfg = MachineConfig::merrimac();
+    let mut bench = BenchRun::from_env("extensions", &cfg);
     let quick = quick_mode();
-    ext_scan(&cfg, quick);
-    ext_sync(&cfg, quick);
-    ext_hierarchical(&cfg, quick);
-    ext_equalize(&cfg, quick);
+    ext_scan(&mut bench, &cfg, quick);
+    ext_sync(&mut bench, &cfg, quick);
+    ext_hierarchical(&mut bench, &cfg, quick);
+    ext_equalize(&mut bench, &cfg, quick);
+    bench.finish();
 }

@@ -7,11 +7,13 @@
 //! turn is 3.1× faster than software scatter-add.
 
 use sa_apps::md::{max_force_deviation, run_hw, run_no_sa, run_sw_default, WaterSystem};
-use sa_bench::{header, mcycles, mops, quick_mode, row};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, mcycles, mops, quick_mode};
 use sa_sim::MachineConfig;
 
 fn main() {
     let cfg = MachineConfig::merrimac();
+    let mut bench = BenchRun::from_env("fig10", &cfg);
     let sys = if quick_mode() {
         WaterSystem::generate(120, 11)
     } else {
@@ -37,12 +39,17 @@ fn main() {
         assert!(dev < 1e-6, "{name} force deviation {dev}");
     }
 
-    for (name, r) in [
-        ("no scatter-add", &no),
-        ("SW scatter-add", &sw),
-        ("HW scatter-add", &hw),
+    for (name, scope, r) in [
+        ("no scatter-add", "no_sa", &no),
+        ("SW scatter-add", "sw", &sw),
+        ("HW scatter-add", "hw", &hw),
     ] {
-        row(
+        let mut s = bench.scope(scope);
+        s.counter("cycles", r.report.cycles);
+        s.counter("flops", r.report.flops);
+        s.counter("mem_refs", r.report.mem_refs);
+        r.report.stats.record(&mut s);
+        bench.row(
             name,
             &[
                 ("cycles", mcycles(r.report.cycles)),
@@ -57,4 +64,5 @@ fn main() {
         no.report.cycles as f64 / hw.report.cycles as f64,
         sw.report.cycles as f64 / no.report.cycles as f64,
     );
+    bench.finish();
 }

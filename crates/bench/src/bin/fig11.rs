@@ -9,11 +9,13 @@
 //! Expected shape (paper): with ≥16 entries performance no longer depends on
 //! FU latency and barely on memory latency; 64 entries hide even 256 cycles.
 
-use sa_bench::{header, row, us};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, us};
 use sa_core::SensitivityRig;
-use sa_sim::{Rng64, SensitivityConfig};
+use sa_sim::{MachineConfig, Rng64, SensitivityConfig};
 
 fn main() {
+    let mut bench = BenchRun::from_env("fig11", &MachineConfig::merrimac());
     let n = 512;
     let range = 65_536u64;
     let mut rng = Rng64::new(0xF16_0011);
@@ -32,6 +34,7 @@ fn main() {
                 mem_interval: 2,
             });
             let r = rig.run_histogram(&indices, range);
+            r.record_metrics(&mut bench.scope(&format!("rig.cs{cs}.mem{mem_latency}")));
             cells.push((
                 match mem_latency {
                     8 => "DRAM8",
@@ -50,6 +53,7 @@ fn main() {
                 mem_interval: 2,
             });
             let r = rig.run_histogram(&indices, range);
+            r.record_metrics(&mut bench.scope(&format!("rig.cs{cs}.fu{fu_latency}")));
             cells.push((
                 match fu_latency {
                     2 => "FU2",
@@ -60,10 +64,11 @@ fn main() {
             ));
         }
         let cells_ref: Vec<(&str, String)> = cells;
-        row(format!("CS entries={cs}"), &cells_ref);
+        bench.row(format!("CS entries={cs}"), &cells_ref);
     }
     println!(
         "\npaper: 16 entries make performance independent of FU latency and nearly \
          independent of memory latency; 64 entries tolerate 256-cycle memory"
     );
+    bench.finish();
 }

@@ -9,11 +9,13 @@
 //! throughput regardless of store size; at 16 bins the combining store
 //! captures most requests and low memory throughput barely hurts.
 
-use sa_bench::{header, row, us};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, us};
 use sa_core::SensitivityRig;
-use sa_sim::{Rng64, SensitivityConfig};
+use sa_sim::{MachineConfig, Rng64, SensitivityConfig};
 
 fn main() {
+    let mut bench = BenchRun::from_env("fig12", &MachineConfig::merrimac());
     let n = 512;
     header(
         "Figure 12",
@@ -32,16 +34,20 @@ fn main() {
                     mem_interval: interval,
                 });
                 let r = rig.run_histogram(&indices, range);
+                r.record_metrics(
+                    &mut bench.scope(&format!("rig.cs{cs}.i{interval}.r{label_range}")),
+                );
                 // Leak a tiny label string; the binary is short-lived.
                 let label: &'static str =
                     Box::leak(format!("i{interval}/{label_range}").into_boxed_str());
                 cells.push((label, us(r.micros())));
             }
         }
-        row(format!("CS entries={cs}"), &cells);
+        bench.row(format!("CS entries={cs}"), &cells);
     }
     println!(
         "\npaper: wide-range runs are throughput-bound; 16-bin runs combine in the \
          store and stay fast even at 1 word per 16 cycles"
     );
+    bench.finish();
 }

@@ -20,7 +20,8 @@
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::Ebe;
-use sa_bench::{header, quick_mode, row};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, quick_mode};
 use sa_multinode::MultiNode;
 use sa_sim::{MachineConfig, NetworkConfig, Rng64};
 
@@ -31,6 +32,7 @@ struct Variant {
 }
 
 fn run_series(
+    bench: &mut BenchRun,
     machine: &MachineConfig,
     label: &str,
     trace: &[u64],
@@ -43,15 +45,17 @@ fn run_series(
         for &n in nodes_list {
             let mut mn = MultiNode::new(*machine, n, v.net, v.combining);
             let r = mn.run_trace(trace, values);
-            let label: &'static str = Box::leak(format!("{n}n").into_boxed_str());
-            cells.push((label, format!("{:.1}GB/s", r.throughput_gbps(machine.ghz))));
+            r.record_metrics(&mut bench.scope(&format!("{label}.{}.n{n}", v.name)));
+            let cell: &'static str = Box::leak(format!("{n}n").into_boxed_str());
+            cells.push((cell, format!("{:.1}GB/s", r.throughput_gbps(machine.ghz))));
         }
-        row(format!("{label}-{}", v.name), &cells);
+        bench.row(format!("{label}-{}", v.name), &cells);
     }
 }
 
 fn main() {
     let machine = MachineConfig::merrimac();
+    let mut bench = BenchRun::from_env("fig13", &machine);
     let quick = quick_mode();
     let nodes_list: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let hist_n = if quick { 8192 } else { 65_536 };
@@ -84,6 +88,7 @@ fn main() {
         },
     ];
     run_series(
+        &mut bench,
         &machine,
         "narrow",
         &narrow,
@@ -91,7 +96,15 @@ fn main() {
         &hist_variants,
         nodes_list,
     );
-    run_series(&machine, "wide", &wide, &ones, &hist_variants, nodes_list);
+    run_series(
+        &mut bench,
+        &machine,
+        "wide",
+        &wide,
+        &ones,
+        &hist_variants,
+        nodes_list,
+    );
 
     // MD trace: first 590K references (paper) of the water kernel.
     let sys = if quick {
@@ -128,6 +141,7 @@ fn main() {
         },
     ];
     run_series(
+        &mut bench,
         &machine,
         "mole",
         &mole_trace,
@@ -136,6 +150,7 @@ fn main() {
         nodes_list,
     );
     run_series(
+        &mut bench,
         &machine,
         "spas",
         &spas_trace,
@@ -148,4 +163,5 @@ fn main() {
         "\npaper: wide-high scales ~linearly; narrow-low flat; narrow-low-comb ~5.7x \
          at 8 nodes; narrow-high ~7.1x; mole/spas between"
     );
+    bench.finish();
 }

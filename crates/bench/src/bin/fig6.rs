@@ -5,11 +5,13 @@
 //! software by 3:1 up to 11:1.
 
 use sa_apps::histogram::{run_hw, run_sort_scan_default, HistogramInput};
-use sa_bench::{header, quick_mode, row, us};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, quick_mode, us};
 use sa_sim::MachineConfig;
 
 fn main() {
     let cfg = MachineConfig::merrimac();
+    let mut bench = BenchRun::from_env("fig6", &cfg);
     let range = 2048;
     let sizes: &[usize] = if quick_mode() {
         &[256, 1024]
@@ -26,7 +28,9 @@ fn main() {
         let sw = run_sort_scan_default(&cfg, &input);
         assert_eq!(hw.bins, input.reference(), "hw result check");
         assert_eq!(sw.bins, input.reference(), "sw result check");
-        row(
+        hw.report.stats.record(&mut bench.scope("hw"));
+        sw.report.stats.record(&mut bench.scope("sortscan"));
+        bench.row(
             format!("n={n}"),
             &[
                 ("scatter-add", us(hw.micros())),
@@ -36,4 +40,5 @@ fn main() {
         );
     }
     println!("\npaper: O(n) scaling for both; hardware wins by 3x to 11x");
+    bench.finish();
 }

@@ -7,11 +7,13 @@
 //! slower except at the extremes.
 
 use sa_apps::histogram::{run_hw, run_sort_scan_default, HistogramInput};
-use sa_bench::{header, quick_mode, row, us};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, quick_mode, us};
 use sa_sim::MachineConfig;
 
 fn main() {
     let cfg = MachineConfig::merrimac();
+    let mut bench = BenchRun::from_env("fig7", &cfg);
     let n = if quick_mode() { 4096 } else { 32_768 };
     let ranges: &[u64] = if quick_mode() {
         &[1, 64, 4096, 1 << 20]
@@ -44,7 +46,9 @@ fn main() {
             assert_eq!(hw.bins, input.reference(), "hw result check");
             assert_eq!(sw.bins, input.reference(), "sw result check");
         }
-        row(
+        hw.report.stats.record(&mut bench.scope("hw"));
+        sw.report.stats.record(&mut bench.scope("sortscan"));
+        bench.row(
             format!("bins={range}"),
             &[
                 ("scatter-add", us(hw.micros())),
@@ -56,4 +60,5 @@ fn main() {
         "\npaper: scatter-add dips in the middle (hot banks at small ranges, \
          cache overflow at large), sort&scan varies little"
     );
+    bench.finish();
 }

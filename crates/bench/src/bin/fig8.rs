@@ -6,11 +6,13 @@
 //! large ranges.
 
 use sa_apps::histogram::{run_hw, run_privatization_default, HistogramInput};
-use sa_bench::{header, quick_mode, row, us};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, quick_mode, us};
 use sa_sim::MachineConfig;
 
 fn main() {
     let cfg = MachineConfig::merrimac();
+    let mut bench = BenchRun::from_env("fig8", &cfg);
     let lengths: &[usize] = if quick_mode() {
         &[1024]
     } else {
@@ -32,7 +34,9 @@ fn main() {
             let pv = run_privatization_default(&cfg, &input);
             assert_eq!(hw.bins, input.reference(), "hw result check");
             assert_eq!(pv.bins, input.reference(), "privatization result check");
-            row(
+            hw.report.stats.record(&mut bench.scope("hw"));
+            pv.report.stats.record(&mut bench.scope("privatization"));
+            bench.row(
                 format!("n={n} bins={range}"),
                 &[
                     ("scatter-add", us(hw.micros())),
@@ -45,4 +49,5 @@ fn main() {
     println!(
         "\npaper: privatization cost grows with the range; >10x hardware advantage at 8K bins"
     );
+    bench.finish();
 }

@@ -9,11 +9,13 @@
 
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::{run_csr, run_ebe_hw, run_ebe_sw_default, Csr};
-use sa_bench::{header, mcycles, mops, quick_mode, row};
+use sa_bench::telemetry::BenchRun;
+use sa_bench::{header, mcycles, mops, quick_mode};
 use sa_sim::MachineConfig;
 
 fn main() {
     let cfg = MachineConfig::merrimac();
+    let mut bench = BenchRun::from_env("fig9", &cfg);
     let mesh = if quick_mode() {
         Mesh::generate(200, 20, 1040, 9)
     } else {
@@ -47,12 +49,17 @@ fn main() {
         }
     }
 
-    for (name, r) in [
-        ("CSR", &r_csr),
-        ("EBE SW scatter-add", &r_sw),
-        ("EBE HW scatter-add", &r_hw),
+    for (name, scope, r) in [
+        ("CSR", "csr", &r_csr),
+        ("EBE SW scatter-add", "ebe_sw", &r_sw),
+        ("EBE HW scatter-add", "ebe_hw", &r_hw),
     ] {
-        row(
+        let mut s = bench.scope(scope);
+        s.counter("cycles", r.report.cycles);
+        s.counter("flops", r.report.flops);
+        s.counter("mem_refs", r.report.mem_refs);
+        r.report.stats.record(&mut s);
+        bench.row(
             name,
             &[
                 ("cycles", mcycles(r.report.cycles)),
@@ -66,4 +73,5 @@ fn main() {
         r_sw.report.cycles as f64 / r_csr.report.cycles as f64,
         r_csr.report.cycles as f64 / r_hw.report.cycles as f64,
     );
+    bench.finish();
 }

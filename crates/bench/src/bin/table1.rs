@@ -1,64 +1,66 @@
 //! Table 1: machine parameters of the simulated base configuration.
 
-use sa_bench::{header, row};
+use sa_bench::header;
+use sa_bench::telemetry::BenchRun;
 use sa_sim::MachineConfig;
 
 fn main() {
     let m = MachineConfig::merrimac();
+    let mut bench = BenchRun::from_env("table1", &m);
     header(
         "Table 1",
         "Machine parameters (paper values in parentheses where fixed by Table 1)",
     );
-    row(
+    bench.row(
         "stream cache banks",
         &[("value", format!("{} (8)", m.cache.banks))],
     );
-    row("scatter-add units/bank", &[("value", "1 (1)".into())]);
-    row(
+    bench.row("scatter-add units/bank", &[("value", "1 (1)".into())]);
+    bench.row(
         "scatter-add FU latency",
         &[("cycles", format!("{} (4)", m.sa.fu_latency))],
     );
-    row(
+    bench.row(
         "combining store entries",
         &[("value", format!("{} (8)", m.sa.cs_entries))],
     );
-    row(
+    bench.row(
         "DRAM interface channels",
         &[("value", format!("{} (16)", m.dram.channels))],
     );
-    row(
+    bench.row(
         "address generators",
         &[("value", format!("{} (2)", m.ag.count))],
     );
-    row("operating frequency", &[("GHz", format!("{} (1)", m.ghz))]);
-    row(
+    bench.row("operating frequency", &[("GHz", format!("{} (1)", m.ghz))]);
+    bench.row(
         "peak DRAM bandwidth",
         &[("GB/s", format!("{:.1} (38.4)", m.dram_gbps()))],
     );
-    row(
+    bench.row(
         "stream cache bandwidth",
         &[("GB/s", format!("{:.1} (64)", m.cache_gbps()))],
     );
-    row(
+    bench.row(
         "clusters",
         &[("value", format!("{} (16)", m.compute.clusters))],
     );
-    row(
+    bench.row(
         "peak FP ops per cycle",
         &[("value", format!("{} (128)", m.compute.peak_flops_per_cycle))],
     );
-    row(
+    bench.row(
         "SRF bandwidth",
         &[(
             "GB/s",
             format!("{} (512)", m.compute.srf_words_per_cycle as u64 * 8),
         )],
     );
-    row(
+    bench.row(
         "SRF size",
         &[("MB", format!("{} (1)", m.compute.srf_bytes >> 20))],
     );
-    row(
+    bench.row(
         "stream cache size",
         &[("MB", format!("{} (1)", m.cache.total_bytes >> 20))],
     );
@@ -70,4 +72,5 @@ fn main() {
         sa_core::area::total_area_mm2(m.cache.banks),
         100.0 * sa_core::area::die_fraction(m.cache.banks, sa_core::area::REFERENCE_DIE_MM2),
     );
+    bench.finish();
 }

@@ -84,3 +84,4 @@ mod tests {
 }
 
 pub mod args;
+pub mod telemetry;

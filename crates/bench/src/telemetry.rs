@@ -1,0 +1,254 @@
+//! Shared `--stats-json` / `--trace` plumbing for the figure binaries.
+//!
+//! Every binary builds a [`BenchRun`] at startup, mirrors its printed rows
+//! into it, records machine statistics under named scopes, and calls
+//! [`BenchRun::finish`] last:
+//!
+//! ```text
+//! fig6 --stats-json fig6.json          # versioned sa-stats v1 document
+//! fig6 --trace fig6.trace.json         # Chrome trace_event file (Perfetto)
+//! fig6 --sample-interval 16 --trace t  # denser cycle sampling
+//! ```
+//!
+//! With neither flag the run does no extra work. With either flag, `finish`
+//! replays a small deterministic histogram — the *canonical workload* — on
+//! the binary's machine configuration with tracing and cycle sampling
+//! enabled. That run guarantees the stats document always carries
+//! scatter-unit, cache, DRAM and queue metrics (under the `canonical.`
+//! prefix) regardless of which experiment the binary sweeps, and it is the
+//! workload whose timeline `--trace` captures.
+
+use std::fmt::Display;
+use std::path::Path;
+
+use sa_core::{drive_scatter_with, NodeMemSys, ScatterKernel};
+use sa_sim::{MachineConfig, Rng64};
+use sa_telemetry::{
+    stats_json, validate_stats_json, ChromeTrace, Json, MetricsRegistry, Scope, SeriesSet,
+};
+
+use crate::args::Args;
+
+/// Elements in the canonical histogram workload replayed by [`BenchRun::finish`].
+pub const CANONICAL_ELEMENTS: u64 = 4096;
+/// Index range of the canonical histogram workload.
+pub const CANONICAL_RANGE: u64 = 512;
+const CANONICAL_SEED: u64 = 0x7E1E_0001;
+
+/// Machine parameters as a JSON object — the `config` block of the stats
+/// document. Covers every knob the experiments sweep, so two documents with
+/// equal `config` blocks came from identically-configured machines.
+pub fn machine_config_json(cfg: &MachineConfig) -> Json {
+    let mut o = Json::obj();
+    o.push("ghz", Json::Num(cfg.ghz));
+    o.push("cache_banks", Json::UInt(cfg.cache.banks as u64));
+    o.push("cache_bytes", Json::UInt(cfg.cache.total_bytes));
+    o.push("cache_line_bytes", Json::UInt(cfg.cache.line_bytes));
+    o.push("cache_ways", Json::UInt(cfg.cache.ways as u64));
+    o.push(
+        "mshrs_per_bank",
+        Json::UInt(cfg.cache.mshrs_per_bank as u64),
+    );
+    o.push("cs_entries", Json::UInt(cfg.sa.cs_entries as u64));
+    o.push("fu_latency", Json::UInt(u64::from(cfg.sa.fu_latency)));
+    o.push("dram_channels", Json::UInt(cfg.dram.channels as u64));
+    o.push("ag_count", Json::UInt(cfg.ag.count as u64));
+    o.push("ag_width", Json::UInt(u64::from(cfg.ag.width)));
+    o.push("clusters", Json::UInt(cfg.compute.clusters as u64));
+    o
+}
+
+/// Per-binary stats/trace collector; see the module docs for the protocol.
+#[derive(Debug)]
+pub struct BenchRun {
+    bench: String,
+    cfg: MachineConfig,
+    registry: MetricsRegistry,
+    rows: Vec<Json>,
+    stats_path: Option<String>,
+    trace_path: Option<String>,
+    sample_interval: u64,
+}
+
+impl BenchRun {
+    /// A collector reading `--stats-json`, `--trace` and `--sample-interval`
+    /// from the process arguments.
+    pub fn from_env(bench: &str, cfg: &MachineConfig) -> BenchRun {
+        BenchRun::from_args(bench, cfg, &Args::from_env())
+    }
+
+    /// A collector reading its flags from pre-parsed `args`.
+    pub fn from_args(bench: &str, cfg: &MachineConfig, args: &Args) -> BenchRun {
+        let sample_interval = args
+            .get_or("sample-interval", sa_core::DEFAULT_SAMPLE_INTERVAL)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+        BenchRun {
+            bench: bench.to_owned(),
+            cfg: *cfg,
+            registry: MetricsRegistry::new(),
+            rows: Vec::new(),
+            stats_path: args.raw("stats-json").map(str::to_owned),
+            trace_path: args.raw("trace").map(str::to_owned),
+            sample_interval,
+        }
+    }
+
+    /// Whether any output file was requested.
+    pub fn enabled(&self) -> bool {
+        self.stats_path.is_some() || self.trace_path.is_some()
+    }
+
+    /// Print one table row (like [`crate::row`]) and mirror it into the
+    /// stats document's `rows` array as `{"label": ..., "cells": {...}}`.
+    pub fn row(&mut self, label: impl Display, cells: &[(&str, String)]) {
+        crate::row(&label, cells);
+        let mut obj = Json::obj();
+        obj.push("label", Json::Str(label.to_string()));
+        let mut c = Json::obj();
+        for (name, value) in cells {
+            c.push(name, Json::Str(value.clone()));
+        }
+        obj.push("cells", c);
+        self.rows.push(obj);
+    }
+
+    /// A metrics scope rooted at `path` for recording experiment counters.
+    pub fn scope(&mut self, path: &str) -> Scope<'_> {
+        self.registry.scope(path)
+    }
+
+    /// The metrics recorded so far.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Run the canonical workload if needed, write the requested files, and
+    /// consume the collector. Prints a note per file written; exits nonzero
+    /// on I/O failure so scripts notice.
+    pub fn finish(mut self) {
+        if !self.enabled() {
+            return;
+        }
+        let (series, trace) = self.run_canonical();
+        if let Some(path) = self.trace_path.clone() {
+            if let Err(e) = trace.write_to(Path::new(&path)) {
+                eprintln!("error: could not write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote Chrome trace ({} events) to {path}",
+                trace.event_count()
+            );
+        }
+        if let Some(path) = self.stats_path.clone() {
+            let doc = stats_json(
+                &self.bench,
+                machine_config_json(&self.cfg),
+                &self.registry,
+                Some(&series),
+                Json::Arr(std::mem::take(&mut self.rows)),
+            );
+            validate_stats_json(&doc).expect("internal error: stats document must validate");
+            if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
+                eprintln!("error: could not write stats to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote sa-stats v{} document to {path}",
+                sa_telemetry::STATS_SCHEMA_VERSION
+            );
+        }
+    }
+
+    /// The deterministic canonical histogram on this binary's machine
+    /// configuration, traced and cycle-sampled. Its metrics land under the
+    /// `canonical.` scope.
+    fn run_canonical(&mut self) -> (SeriesSet, ChromeTrace) {
+        let mut rng = Rng64::new(CANONICAL_SEED);
+        let indices: Vec<u64> = (0..CANONICAL_ELEMENTS)
+            .map(|_| rng.below(CANONICAL_RANGE))
+            .collect();
+        let kernel = ScatterKernel::histogram(0, indices);
+        let mut node = NodeMemSys::with_tracer(self.cfg, 0, false, ChromeTrace::new());
+        node.set_sample_interval(self.sample_interval);
+        let run = drive_scatter_with(node, &kernel, false);
+        let mut scope = self.registry.scope("canonical");
+        run.node.record_metrics(&mut scope);
+        scope.counter("cycles", run.cycles);
+        scope.counter("drain_cycles", run.drain_cycles);
+        let series = run.node.series().clone();
+        (series, run.node.into_tracer())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn disabled_without_flags() {
+        let b = BenchRun::from_args("t", &MachineConfig::merrimac(), &parse("--quick"));
+        assert!(!b.enabled());
+        b.finish(); // must be a no-op, not a crash
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let a = parse("--stats-json out.json --trace t.json --sample-interval 16");
+        let b = BenchRun::from_args("t", &MachineConfig::merrimac(), &a);
+        assert!(b.enabled());
+        assert_eq!(b.stats_path.as_deref(), Some("out.json"));
+        assert_eq!(b.trace_path.as_deref(), Some("t.json"));
+        assert_eq!(b.sample_interval, 16);
+    }
+
+    #[test]
+    fn canonical_run_populates_required_scopes() {
+        let a = parse("--stats-json x.json");
+        let mut b = BenchRun::from_args("t", &MachineConfig::merrimac(), &a);
+        let (series, trace) = b.run_canonical();
+        assert!(!series.is_empty());
+        assert!(trace.event_count() > 0);
+        for needle in [
+            "canonical.sa.",
+            "canonical.cache.",
+            "canonical.dram.",
+            "canonical.queue.",
+        ] {
+            assert!(
+                b.metrics().iter().any(|(p, _)| p.contains(needle)),
+                "missing {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_mirror_cells() {
+        let mut b = BenchRun::from_args("t", &MachineConfig::merrimac(), &parse(""));
+        b.row("n=4", &[("time", "1.00us".to_owned())]);
+        assert_eq!(b.rows.len(), 1);
+        let label = b.rows[0].get("label").and_then(Json::as_str);
+        assert_eq!(label, Some("n=4"));
+        let cell = b.rows[0]
+            .get("cells")
+            .and_then(|c| c.get("time"))
+            .and_then(Json::as_str);
+        assert_eq!(cell, Some("1.00us"));
+    }
+
+    #[test]
+    fn config_json_reflects_machine() {
+        let mut cfg = MachineConfig::merrimac();
+        cfg.sa.cs_entries = 32;
+        let j = machine_config_json(&cfg);
+        assert_eq!(j.get("cs_entries").and_then(Json::as_u64), Some(32));
+        assert_eq!(j.get("cache_banks").and_then(Json::as_u64), Some(8));
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests for the telemetry export: determinism of the stats
+//! JSON, the Chrome trace's track layout, and zero simulated-time cost.
+
+use sa_bench::args::Args;
+use sa_bench::telemetry::{machine_config_json, BenchRun};
+use sa_core::{drive_scatter, drive_scatter_with, NodeMemSys, ScatterKernel};
+use sa_sim::{MachineConfig, Rng64};
+use sa_telemetry::{validate_stats_json, ChromeTrace, Json};
+
+fn args(s: &str) -> Args {
+    Args::parse(s.split_whitespace().map(str::to_owned))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sa-stats-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Emit one stats document exactly as a figure binary would.
+fn export(cfg: &MachineConfig, path: &std::path::Path) -> String {
+    let flag = format!("--stats-json {}", path.display());
+    let mut bench = BenchRun::from_args("determinism", cfg, &args(&flag));
+    bench.scope("experiment").counter("events", 42);
+    bench.row("r=1", &[("time", "1.00us".to_owned())]);
+    bench.finish();
+    let text = std::fs::read_to_string(path).expect("document written");
+    std::fs::remove_file(path).ok();
+    text
+}
+
+#[test]
+fn same_config_and_seed_give_byte_identical_json() {
+    let cfg = MachineConfig::merrimac();
+    let a = export(&cfg, &tmp("a.json"));
+    let b = export(&cfg, &tmp("b.json"));
+    assert_eq!(a, b, "export must be byte-for-byte deterministic");
+    let doc = Json::parse(&a).expect("valid JSON");
+    validate_stats_json(&doc).expect("valid sa-stats document");
+}
+
+#[test]
+fn different_config_changes_the_document() {
+    let base = export(&MachineConfig::merrimac(), &tmp("c.json"));
+    let mut cfg = MachineConfig::merrimac();
+    cfg.sa.cs_entries = 2;
+    let small = export(&cfg, &tmp("d.json"));
+    assert_ne!(
+        base, small,
+        "the config block and canonical run must differ"
+    );
+}
+
+#[test]
+fn exported_document_covers_required_metric_families() {
+    let text = export(&MachineConfig::merrimac(), &tmp("e.json"));
+    let doc = Json::parse(&text).unwrap();
+    for family in ["sa.", "cache.", "dram.", "queue."] {
+        assert!(
+            sa_telemetry::has_metric_matching(&doc, family),
+            "missing {family} metrics"
+        );
+    }
+    // The experiment's own metrics and rows survive the round trip.
+    let events = doc
+        .get("metrics")
+        .and_then(|m| m.get("experiment.events"))
+        .and_then(Json::as_u64);
+    assert_eq!(events, Some(42));
+    let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn trace_has_one_track_per_bank_and_channel() {
+    let cfg = MachineConfig::merrimac();
+    let mut rng = Rng64::new(7);
+    let kernel = ScatterKernel::histogram(0, (0..2048).map(|_| rng.below(1024)).collect());
+    let node = NodeMemSys::with_tracer(cfg, 0, false, ChromeTrace::new());
+    let run = drive_scatter_with(node, &kernel, false);
+    let doc = Json::parse(&run.node.tracer().to_json_string()).expect("valid trace JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let tracks: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    let banks = tracks.iter().filter(|t| t.contains(".cache.bank")).count();
+    let chans = tracks.iter().filter(|t| t.contains(".dram.chan")).count();
+    assert_eq!(banks, cfg.cache.banks);
+    assert_eq!(chans, cfg.dram.channels);
+}
+
+#[test]
+fn tracing_never_changes_simulated_time() {
+    let cfg = MachineConfig::merrimac();
+    let mut rng = Rng64::new(11);
+    let kernel = ScatterKernel::histogram(0, (0..4096).map(|_| rng.below(512)).collect());
+    let plain = drive_scatter(&cfg, &kernel, false);
+    let traced = {
+        let mut node = NodeMemSys::with_tracer(cfg, 0, false, ChromeTrace::new());
+        node.set_sample_interval(1); // densest possible sampling
+        drive_scatter_with(node, &kernel, false)
+    };
+    assert_eq!(plain.cycles, traced.cycles);
+    assert_eq!(plain.drain_cycles, traced.drain_cycles);
+    assert_eq!(plain.stats, traced.stats);
+}
+
+#[test]
+fn config_json_is_stable_across_identical_configs() {
+    let a = machine_config_json(&MachineConfig::merrimac()).to_string_compact();
+    let b = machine_config_json(&MachineConfig::merrimac()).to_string_compact();
+    assert_eq!(a, b);
+}

@@ -72,6 +72,9 @@ pub struct CacheStats {
     pub sum_backs: u64,
     /// Accesses rejected for lack of a resource (caller retries).
     pub blocked: u64,
+    /// Subset of `blocked`: rejections because the MSHR file was exhausted or
+    /// a pending-fill MSHR had no free target slot.
+    pub mshr_full: u64,
 }
 
 impl CacheStats {
@@ -98,6 +101,24 @@ impl CacheStats {
         self.write_backs += o.write_backs;
         self.sum_backs += o.sum_backs;
         self.blocked += o.blocked;
+        self.mshr_full += o.mshr_full;
+    }
+
+    /// Record these counters into a telemetry scope.
+    pub fn record(&self, scope: &mut sa_telemetry::Scope<'_>) {
+        scope.counter("read_hits", self.read_hits);
+        scope.counter("read_misses", self.read_misses);
+        scope.counter("read_merges", self.read_merges);
+        scope.counter("write_hits", self.write_hits);
+        scope.counter("write_arounds", self.write_arounds);
+        scope.counter("write_merges", self.write_merges);
+        scope.counter("zero_allocs", self.zero_allocs);
+        scope.counter("evictions", self.evictions);
+        scope.counter("write_backs", self.write_backs);
+        scope.counter("sum_backs", self.sum_backs);
+        scope.counter("blocked", self.blocked);
+        scope.counter("mshr_full", self.mshr_full);
+        scope.gauge("read_hit_rate", self.read_hit_rate());
     }
 }
 
@@ -305,6 +326,7 @@ impl CacheBank {
                     }
                     if m.occupancy() >= self.cfg.targets_per_mshr {
                         self.stats.blocked += 1;
+                        self.stats.mshr_full += 1;
                         return Err(access);
                     }
                     m.targets
@@ -329,7 +351,12 @@ impl CacheBank {
                     self.push_ready(access, 0, now);
                     return Ok(());
                 }
-                if self.mshrs.len() >= self.cfg.mshrs_per_bank || !self.mem_out.can_accept() {
+                if self.mshrs.len() >= self.cfg.mshrs_per_bank {
+                    self.stats.blocked += 1;
+                    self.stats.mshr_full += 1;
+                    return Err(access);
+                }
+                if !self.mem_out.can_accept() {
                     self.stats.blocked += 1;
                     return Err(access);
                 }
@@ -365,6 +392,7 @@ impl CacheBank {
                 if let Some(m) = self.mshrs.iter_mut().find(|m| m.line_base == line_base) {
                     if m.occupancy() >= self.cfg.targets_per_mshr {
                         self.stats.blocked += 1;
+                        self.stats.mshr_full += 1;
                         return Err(access);
                     }
                     m.targets.push(MshrTarget::Write(offset, bits, partial_sum));
@@ -718,6 +746,7 @@ mod tests {
         // targets_per_mshr = 2; the third access to the line must block.
         assert!(bank.try_access(read(3, 16), Cycle(0)).is_err());
         assert_eq!(bank.stats().blocked, 1);
+        assert_eq!(bank.stats().mshr_full, 1);
     }
 
     #[test]
@@ -726,6 +755,7 @@ mod tests {
         bank.try_access(read(1, 0), Cycle(0)).unwrap();
         bank.try_access(read(2, 32), Cycle(0)).unwrap();
         assert!(bank.try_access(read(3, 64), Cycle(0)).is_err());
+        assert_eq!(bank.stats().mshr_full, 1);
     }
 
     #[test]

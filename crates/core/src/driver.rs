@@ -8,8 +8,10 @@
 //! atomicity end to end.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use sa_sim::{Addr, Clock, Cycle, MachineConfig, MemOp, MemRequest, Origin, ScalarKind, ScatterOp};
+use sa_telemetry::{NullTrace, TraceSink};
 
 use crate::node::{NodeMemSys, NodeStats};
 
@@ -56,9 +58,86 @@ impl ScatterKernel {
     }
 }
 
+/// Where a contended run lost cycles, as stall *events* normalized by run
+/// length. Event counters are a proxy for blocked cycles: each rejected
+/// attempt costs the rejecting requester (at least) one retry cycle.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles the run took (the normalization base).
+    pub cycles: u64,
+    /// Cache-bank rejections because the MSHR file or an MSHR's target list
+    /// was full.
+    pub mshr_full: u64,
+    /// Bank input-queue rejections (hot-bank conflicts back-pressuring the
+    /// address generators).
+    pub bank_conflict: u64,
+    /// Scatter-add submissions rejected because the combining store was full.
+    pub cs_full: u64,
+    /// Network ejection-port stalls (zero on a single node).
+    pub net_credit: u64,
+}
+
+impl StallBreakdown {
+    /// Derive the breakdown from a node's aggregated statistics.
+    pub fn from_stats(stats: &NodeStats, cycles: u64) -> StallBreakdown {
+        StallBreakdown {
+            cycles,
+            mshr_full: stats.cache.mshr_full,
+            bank_conflict: stats.bank_in.rejected,
+            cs_full: stats.sa.stalled_full,
+            net_credit: 0,
+        }
+    }
+
+    /// Add network-credit stalls (multi-node runs).
+    pub fn with_net_credit(mut self, net_credit: u64) -> StallBreakdown {
+        self.net_credit = net_credit;
+        self
+    }
+
+    /// `events` as a percentage of run cycles, capped at 100.
+    pub fn pct(&self, events: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (events as f64 * 100.0 / self.cycles as f64).min(100.0)
+        }
+    }
+}
+
+impl fmt::Display for StallBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stall breakdown over {} cycles:", self.cycles)?;
+        writeln!(
+            f,
+            "  MSHR full:            {:>6.1}%  ({} events)",
+            self.pct(self.mshr_full),
+            self.mshr_full
+        )?;
+        writeln!(
+            f,
+            "  bank conflict:        {:>6.1}%  ({} events)",
+            self.pct(self.bank_conflict),
+            self.bank_conflict
+        )?;
+        writeln!(
+            f,
+            "  combining-store full: {:>6.1}%  ({} events)",
+            self.pct(self.cs_full),
+            self.cs_full
+        )?;
+        write!(
+            f,
+            "  network credit:       {:>6.1}%  ({} events)",
+            self.pct(self.net_credit),
+            self.net_credit
+        )
+    }
+}
+
 /// Outcome of [`drive_scatter`].
 #[derive(Debug)]
-pub struct RunResult {
+pub struct RunResult<T: TraceSink = NullTrace> {
     /// Cycles until the last scatter request was acknowledged by a
     /// scatter-add unit (the paper's completion point — the processor may
     /// proceed once all acks arrive).
@@ -71,12 +150,24 @@ pub struct RunResult {
     /// (empty unless `fetch` was set).
     pub fetched: Vec<(u64, u64)>,
     /// The node, for inspecting the final memory image.
-    pub node: NodeMemSys,
+    pub node: NodeMemSys<T>,
     /// Base word of the result array (copied from the kernel).
     pub base_word: u64,
 }
 
-impl RunResult {
+impl<T: TraceSink> RunResult<T> {
+    /// Where this run's cycles went (stall attribution).
+    pub fn stall_breakdown(&self) -> StallBreakdown {
+        StallBreakdown::from_stats(&self.stats, self.drain_cycles)
+    }
+
+    /// Print the stall-breakdown summary to stdout.
+    pub fn print_stall_summary(&self) {
+        println!("{}", self.stall_breakdown());
+    }
+}
+
+impl<T: TraceSink> RunResult<T> {
     /// The result array as `n` integers.
     pub fn result_i64(&self, n: usize) -> Vec<i64> {
         self.node
@@ -120,12 +211,26 @@ pub fn scatter_reference(kernel: &ScatterKernel, result_len: usize) -> Vec<u64> 
 ///
 /// Panics if `indices` and `values` lengths differ.
 pub fn drive_scatter(cfg: &MachineConfig, kernel: &ScatterKernel, fetch: bool) -> RunResult {
+    drive_scatter_with(NodeMemSys::new(*cfg, 0, false), kernel, fetch)
+}
+
+/// [`drive_scatter`] over a caller-built node — the entry point for traced
+/// runs (`NodeMemSys::with_tracer`) or custom sampling intervals.
+///
+/// # Panics
+///
+/// Panics if `indices` and `values` lengths differ.
+pub fn drive_scatter_with<T: TraceSink>(
+    mut node: NodeMemSys<T>,
+    kernel: &ScatterKernel,
+    fetch: bool,
+) -> RunResult<T> {
     assert_eq!(
         kernel.indices.len(),
         kernel.values.len(),
         "index/value length mismatch"
     );
-    let mut node = NodeMemSys::new(*cfg, 0, false);
+    let cfg = *node.config();
     let mut clock = Clock::with_limit(4_000_000_000);
     let n = kernel.indices.len();
     let issue_per_cycle = (cfg.ag.count as u32 * cfg.ag.width) as usize;
@@ -287,6 +392,71 @@ mod tests {
         let b = drive_scatter(&merrimac(), &kernel, false);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.result_i64(64), b.result_i64(64));
+    }
+
+    #[test]
+    fn contended_kernel_shows_stalls() {
+        // Every add targets the same two words: one hot bank, so the bank
+        // input queue rejects injections and the combining store backs up.
+        let indices: Vec<u64> = (0..2048).map(|i| i % 2).collect();
+        let kernel = ScatterKernel::histogram(0, indices);
+        let run = drive_scatter(&merrimac(), &kernel, false);
+        let sb = run.stall_breakdown();
+        assert_eq!(sb.cycles, run.drain_cycles);
+        assert!(
+            sb.bank_conflict > 0,
+            "hot-bank kernel must reject injections: {sb:?}"
+        );
+        assert!(
+            sb.bank_conflict + sb.cs_full + sb.mshr_full > sb.cycles / 10,
+            "a contended run should be visibly stalled: {sb:?}"
+        );
+        assert_eq!(sb.net_credit, 0, "single node has no network stalls");
+        let text = sb.to_string();
+        for needle in [
+            "stall breakdown",
+            "MSHR full",
+            "bank conflict",
+            "combining-store full",
+            "network credit",
+        ] {
+            assert!(text.contains(needle), "summary missing '{needle}':\n{text}");
+        }
+        // An uncontended spread kernel stalls far less on bank conflicts.
+        let spread: Vec<u64> = (0..2048u64).map(|i| (i * 97) % 4096).collect();
+        let calm = drive_scatter(&merrimac(), &ScatterKernel::histogram(0, spread), false);
+        let calm_sb = calm.stall_breakdown();
+        assert!(
+            calm_sb.pct(calm_sb.bank_conflict) < sb.pct(sb.bank_conflict),
+            "spread kernel ({calm_sb:?}) should stall less than hot kernel ({sb:?})"
+        );
+    }
+
+    #[test]
+    fn traced_run_samples_series_and_tracks() {
+        use sa_telemetry::{ChromeTrace, Json};
+        let indices: Vec<u64> = (0..1024u64).map(|i| (i * 13) % 512).collect();
+        let kernel = ScatterKernel::histogram(0, indices);
+        let node = NodeMemSys::with_tracer(merrimac(), 0, false, ChromeTrace::new());
+        let run = drive_scatter_with(node, &kernel, false);
+        let series = run.node.series();
+        assert!(!series.is_empty(), "sampling must produce series");
+        assert!(series.iter().any(|(n, _)| n.contains("sa.cs_residency")));
+        assert!(series.iter().any(|(n, _)| n.contains("dram.bus_util")));
+        let trace = run.node.tracer();
+        assert!(trace.event_count() > 0);
+        let doc = Json::parse(&trace.to_json_string()).expect("valid trace JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let tracks: std::collections::BTreeSet<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        let cfg = merrimac();
+        let bank_tracks = tracks.iter().filter(|t| t.contains(".cache.bank")).count();
+        let chan_tracks = tracks.iter().filter(|t| t.contains(".dram.chan")).count();
+        assert_eq!(bank_tracks, cfg.cache.banks, "one track per cache bank");
+        assert_eq!(chan_tracks, cfg.dram.channels, "one track per DRAM channel");
     }
 
     #[test]

@@ -51,8 +51,10 @@ pub mod scan;
 pub mod sync;
 mod unit;
 
-pub use driver::{drive_scatter, scatter_reference, RunResult, ScatterKernel};
-pub use node::{NodeMemSys, NodeStats};
+pub use driver::{
+    drive_scatter, drive_scatter_with, scatter_reference, RunResult, ScatterKernel, StallBreakdown,
+};
+pub use node::{NodeMemSys, NodeStats, DEFAULT_SAMPLE_INTERVAL};
 pub use rig::{SensitivityResult, SensitivityRig};
 pub use scan::{drive_scan, scan_reference, ScanResult};
 pub use sync::{allocate_slots, simulate_barrier, BarrierResult, SlotAllocation};

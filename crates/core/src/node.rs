@@ -8,12 +8,17 @@ use sa_mem::{BackingStore, DramChannel, DramStats};
 use sa_sim::{
     Addr, BoundedQueue, Cycle, MachineConfig, MemOp, MemRequest, MemResponse, Origin, QueueStats,
 };
+use sa_telemetry::{NullTrace, Scope, SeriesSet, TraceSink};
 
 use crate::unit::{SaStats, ScatterAddUnit, ToMem};
 
 /// Depth of each bank's input queue (requests from the address generators
 /// and, in multi-node runs, the network interface).
 const BANK_IN_DEPTH: usize = 8;
+
+/// Sampling interval (cycles) used when a tracer is installed without an
+/// explicit [`NodeMemSys::set_sample_interval`] call.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 64;
 
 /// Aggregated statistics of a [`NodeMemSys`] run.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -34,6 +39,15 @@ impl NodeStats {
     pub fn dram_words(&self) -> u64 {
         self.dram.words_transferred
     }
+
+    /// Record the aggregated counters into a telemetry scope, under the
+    /// `sa.*`, `cache.*`, `dram.*`, and `queue.bank_in.*` sub-scopes.
+    pub fn record(&self, scope: &mut Scope<'_>) {
+        self.sa.record(&mut scope.scope("sa"));
+        self.cache.record(&mut scope.scope("cache"));
+        self.dram.record(&mut scope.scope("dram"));
+        self.bank_in.record(&mut scope.scope("queue.bank_in"));
+    }
 }
 
 /// A single node of the clustered data-parallel machine (Figure 2): the
@@ -46,7 +60,7 @@ impl NodeStats {
 /// unit; plain writes are posted (acknowledged on acceptance by the cache);
 /// reads complete when data returns.
 #[derive(Debug)]
-pub struct NodeMemSys {
+pub struct NodeMemSys<T: TraceSink = NullTrace> {
     cfg: MachineConfig,
     node: usize,
     combining: bool,
@@ -65,16 +79,40 @@ pub struct NodeMemSys {
     /// 0"). Without homing, a combining node treats every line as
     /// combinable (the single-node testing configuration).
     n_nodes: Option<usize>,
+    tracer: T,
+    /// Cycles between occupancy samples; 0 disables sampling entirely, so
+    /// the untraced hot loop pays a single integer compare per tick.
+    sample_interval: u64,
+    next_sample: u64,
+    series: SeriesSet,
+    /// Per-channel `words_transferred` at the previous sample, for bus
+    /// utilization deltas.
+    last_dram_words: Vec<u64>,
 }
 
 impl NodeMemSys {
-    /// Build the memory system of node `node` with configuration `cfg`.
+    /// Build the memory system of node `node` with configuration `cfg`,
+    /// without tracing (the [`NullTrace`] sink).
     ///
     /// `combining` enables the multi-node cache-combining optimization of
     /// §3.2: scatter-add targets are zero-allocated in the local cache and
     /// evictions become [`SumBack`]s. Combining only supports
     /// [`ScatterOp::Add`](sa_sim::ScatterOp::Add) (zero is its identity).
     pub fn new(cfg: MachineConfig, node: usize, combining: bool) -> NodeMemSys {
+        NodeMemSys::with_tracer(cfg, node, combining, NullTrace)
+    }
+}
+
+impl<T: TraceSink> NodeMemSys<T> {
+    /// Build the memory system with an event-trace sink attached. Sampling
+    /// starts at [`DEFAULT_SAMPLE_INTERVAL`]; tune with
+    /// [`set_sample_interval`](Self::set_sample_interval).
+    pub fn with_tracer(
+        cfg: MachineConfig,
+        node: usize,
+        combining: bool,
+        tracer: T,
+    ) -> NodeMemSys<T> {
         let banks = (0..cfg.cache.banks)
             .map(|b| CacheBank::new(cfg.cache, node, b))
             .collect();
@@ -87,6 +125,11 @@ impl NodeMemSys {
         let bank_in = (0..cfg.cache.banks)
             .map(|_| BoundedQueue::new(BANK_IN_DEPTH))
             .collect();
+        let sample_interval = if T::ENABLED {
+            DEFAULT_SAMPLE_INTERVAL
+        } else {
+            0
+        };
         NodeMemSys {
             node,
             combining,
@@ -98,8 +141,35 @@ impl NodeMemSys {
             completions: VecDeque::new(),
             rr_sa_first: vec![false; cfg.cache.banks],
             n_nodes: None,
+            tracer,
+            sample_interval,
+            next_sample: 0,
+            series: SeriesSet::new(sample_interval),
+            last_dram_words: vec![0; cfg.dram.channels],
             cfg,
         }
+    }
+
+    /// Set the occupancy sampling interval in cycles (0 disables sampling).
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        self.sample_interval = interval;
+        self.next_sample = 0;
+        self.series = SeriesSet::new(interval);
+    }
+
+    /// The cycle-sampled occupancy series gathered so far.
+    pub fn series(&self) -> &SeriesSet {
+        &self.series
+    }
+
+    /// The attached trace sink.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consume the node and return its trace sink.
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// Declare this node part of an `n`-node machine with line-interleaved
@@ -277,6 +347,72 @@ impl NodeMemSys {
                 self.completions.push_back(a);
             }
         }
+
+        // 9. Occupancy sampling (off unless a sample interval is set).
+        if self.sample_interval != 0 && now.raw() >= self.next_sample {
+            self.next_sample = now.raw() + self.sample_interval;
+            self.sample(now);
+        }
+    }
+
+    /// Take one occupancy sample: per-bank queue and combining-store levels,
+    /// per-channel bus words, and whole-node series.
+    fn sample(&mut self, now: Cycle) {
+        let node = self.node;
+        let cycle = now.raw();
+        let mut queue_occ = 0u64;
+        let mut cs_residency = 0u64;
+        let mut fu_depth = 0u64;
+        for b in 0..self.banks.len() {
+            let q = self.bank_in[b].len() as u64;
+            let cs = self.sa[b].occupancy() as u64;
+            queue_occ += q;
+            cs_residency += cs;
+            fu_depth += self.sa[b].fu_depth() as u64;
+            if self.tracer.enabled() {
+                let track = format!("node{node}.cache.bank{b}");
+                self.tracer
+                    .counter(&track, "queue_occupancy", cycle, q as f64);
+                self.tracer
+                    .counter(&track, "cs_residency", cycle, cs as f64);
+            }
+        }
+        let mut bus_words = 0u64;
+        for c in 0..self.channels.len() {
+            let words = self.channels[c].stats().words_transferred;
+            let delta = words - self.last_dram_words[c];
+            self.last_dram_words[c] = words;
+            bus_words += delta;
+            if self.tracer.enabled() {
+                let track = format!("node{node}.dram.chan{c}");
+                self.tracer
+                    .counter(&track, "bus_words", cycle, delta as f64);
+            }
+        }
+        // Fraction of the node's peak DRAM bandwidth used this interval.
+        let peak_words = self.cfg.dram.channel_rate.words_per_cycle()
+            * self.channels.len() as f64
+            * self.sample_interval as f64;
+        let bus_util = if peak_words > 0.0 {
+            bus_words as f64 / peak_words
+        } else {
+            0.0
+        };
+        let prefix = format!("node{node}");
+        self.series.push(
+            &format!("{prefix}.queue.bank_in.occupancy"),
+            cycle,
+            queue_occ as f64,
+        );
+        self.series.push(
+            &format!("{prefix}.sa.cs_residency"),
+            cycle,
+            cs_residency as f64,
+        );
+        self.series
+            .push(&format!("{prefix}.sa.fu_depth"), cycle, fu_depth as f64);
+        self.series
+            .push(&format!("{prefix}.dram.bus_util"), cycle, bus_util);
     }
 
     /// Serve one of the scatter-add unit's memory operations at bank `b`'s
@@ -424,15 +560,7 @@ impl NodeMemSys {
     pub fn stats(&self) -> NodeStats {
         let mut s = NodeStats::default();
         for u in &self.sa {
-            let us = u.stats();
-            s.sa.accepted += us.accepted;
-            s.sa.combined += us.combined;
-            s.sa.reads_issued += us.reads_issued;
-            s.sa.writes_issued += us.writes_issued;
-            s.sa.chained += us.chained;
-            s.sa.stalled_full += us.stalled_full;
-            s.sa.fetch_ops += us.fetch_ops;
-            s.sa.occupancy_integral += us.occupancy_integral;
+            s.sa.merge(u.stats());
         }
         for b in &self.banks {
             s.cache.merge(b.stats());
@@ -444,6 +572,30 @@ impl NodeMemSys {
             s.bank_in.merge(q.stats());
         }
         s
+    }
+
+    /// Record per-instance metrics into a telemetry scope: one sub-scope per
+    /// scatter-add unit / cache bank / DRAM channel / bank input queue, plus
+    /// the node-level aggregates from [`NodeMemSys::stats`].
+    pub fn record_metrics(&self, scope: &mut Scope<'_>) {
+        for (b, u) in self.sa.iter().enumerate() {
+            u.stats().record(&mut scope.scope(&format!("sa.unit{b}")));
+        }
+        for (b, bank) in self.banks.iter().enumerate() {
+            bank.stats()
+                .record(&mut scope.scope(&format!("cache.bank{b}")));
+        }
+        for (c, ch) in self.channels.iter().enumerate() {
+            ch.stats()
+                .record(&mut scope.scope(&format!("dram.chan{c}")));
+            ch.queue_stats()
+                .record(&mut scope.scope(&format!("queue.dram.chan{c}")));
+        }
+        for (b, q) in self.bank_in.iter().enumerate() {
+            q.stats()
+                .record(&mut scope.scope(&format!("queue.bank_in.bank{b}")));
+        }
+        self.stats().record(scope);
     }
 }
 

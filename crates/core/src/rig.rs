@@ -32,6 +32,13 @@ impl SensitivityResult {
     pub fn micros(&self) -> f64 {
         Cycle(self.cycles).as_micros(1.0)
     }
+
+    /// Record this run's counters into a telemetry scope.
+    pub fn record_metrics(&self, scope: &mut sa_telemetry::Scope<'_>) {
+        scope.counter("cycles", self.cycles);
+        self.sa.record(&mut scope.scope("sa"));
+        self.mem.record(&mut scope.scope("mem"));
+    }
 }
 
 /// The stripped-down machine of the §4.4 sensitivity experiments

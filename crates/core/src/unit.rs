@@ -62,6 +62,32 @@ pub struct SaStats {
     pub occupancy_integral: u64,
 }
 
+impl SaStats {
+    /// Merge another unit's counters (for aggregating across banks).
+    pub fn merge(&mut self, o: SaStats) {
+        self.accepted += o.accepted;
+        self.combined += o.combined;
+        self.reads_issued += o.reads_issued;
+        self.writes_issued += o.writes_issued;
+        self.chained += o.chained;
+        self.stalled_full += o.stalled_full;
+        self.fetch_ops += o.fetch_ops;
+        self.occupancy_integral += o.occupancy_integral;
+    }
+
+    /// Record these counters into a telemetry scope.
+    pub fn record(&self, scope: &mut sa_telemetry::Scope<'_>) {
+        scope.counter("accepted", self.accepted);
+        scope.counter("combined", self.combined);
+        scope.counter("reads_issued", self.reads_issued);
+        scope.counter("writes_issued", self.writes_issued);
+        scope.counter("chained", self.chained);
+        scope.counter("stalled_full", self.stalled_full);
+        scope.counter("fetch_ops", self.fetch_ops);
+        scope.counter("occupancy_integral", self.occupancy_integral);
+    }
+}
+
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 enum EntryState {
     /// Head of an address chain: a read for the current value is in flight.
@@ -146,7 +172,12 @@ impl ScatterAddUnit {
         }
     }
 
-    /// Number of occupied combining-store entries.
+    /// Additions currently in flight in the functional-unit pipeline.
+    pub fn fu_depth(&self) -> usize {
+        self.fu.len()
+    }
+
+    /// Combining-store entries currently occupied.
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
     }

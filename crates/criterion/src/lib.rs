@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The container this workspace builds in has no network access to a crates
+//! registry, so the real criterion cannot be fetched. This crate implements
+//! the small slice of its API the workspace's `benches/` use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a deliberately simple
+//! wall-clock harness: each benchmark runs a short warm-up, then a fixed
+//! number of timed samples, and the median ns/iteration is printed.
+//!
+//! It makes no statistical claims; it exists so `cargo bench` compiles, runs,
+//! and produces stable relative numbers for coarse comparisons (e.g. the
+//! telemetry-overhead check in `crates/bench/benches/`).
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+    n_samples: usize,
+}
+
+impl Bencher {
+    fn new(n_samples: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            n_samples,
+        }
+    }
+
+    /// Time `routine`, recording a handful of samples of a few iterations
+    /// each. The routine's return value is passed through `black_box` so the
+    /// optimizer cannot delete the measured work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for samples of at least ~1ms, capped so quick-mode
+        // bench runs stay quick.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_secs_f64();
+        let target = 1e-3;
+        self.iters_per_sample = if once > 0.0 {
+            ((target / once).ceil() as u64).clamp(1, 1024)
+        } else {
+            1024
+        };
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let dt = start.elapsed().as_secs_f64();
+            self.samples.push(dt / self.iters_per_sample as f64);
+        }
+    }
+
+    /// Median seconds per iteration over the recorded samples.
+    fn median_secs(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// Identifier for a parameterized benchmark, mirroring criterion's type.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id carrying only the parameter, for use inside a named group.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level harness. Created by `criterion_group!`.
+pub struct Criterion {
+    n_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { n_samples: 10 }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, n_samples: usize, mut f: F) {
+    let mut b = Bencher::new(n_samples);
+    f(&mut b);
+    let med = b.median_secs();
+    if med >= 1.0 {
+        println!("bench {label:<40} {:>12.3} s/iter", med);
+    } else if med >= 1e-3 {
+        println!("bench {label:<40} {:>12.3} ms/iter", med * 1e3);
+    } else {
+        println!("bench {label:<40} {:>12.0} ns/iter", med * 1e9);
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_one(id, self.n_samples, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            n_samples: self.n_samples,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    n_samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (criterion requires
+    /// >= 10; we honor the request directly).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.n_samples = n.max(2);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.n_samples, f);
+        self
+    }
+
+    /// Run a parameterized benchmark; the input is passed by reference to the
+    /// closure alongside the `Bencher`.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.n_samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name. Only the simple `(name, targets...)` form used by
+/// this workspace is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $(
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Entry point expanding to `fn main` that runs each group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(4);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.median_secs() >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn group_runs_everything() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = 0;
+        group.bench_function("a", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 2);
+        group.finish();
+    }
+}

@@ -94,6 +94,17 @@ impl DramStats {
         self.words_transferred += o.words_transferred;
         self.total_latency += o.total_latency;
     }
+
+    /// Record these counters into a telemetry scope.
+    pub fn record(&self, scope: &mut sa_telemetry::Scope<'_>) {
+        scope.counter("reads", self.reads);
+        scope.counter("writes", self.writes);
+        scope.counter("row_hits", self.row_hits);
+        scope.counter("row_misses", self.row_misses);
+        scope.counter("words_transferred", self.words_transferred);
+        scope.counter("total_latency", self.total_latency);
+        scope.gauge("avg_latency", self.avg_latency());
+    }
 }
 
 #[derive(Clone, Debug)]

@@ -20,6 +20,14 @@ pub struct SimpleMemoryStats {
     pub throttled: u64,
 }
 
+impl SimpleMemoryStats {
+    /// Record these counters into a telemetry scope.
+    pub fn record(&self, scope: &mut sa_telemetry::Scope<'_>) {
+        scope.counter("accesses", self.accesses);
+        scope.counter("throttled", self.throttled);
+    }
+}
+
 /// Fixed-latency, fixed-interval word-granularity memory.
 ///
 /// One word access is accepted at most every `interval` cycles; each access

@@ -66,7 +66,7 @@ proptest! {
                         }
                     }
                 };
-                ch.try_submit(cmd, now).ok().expect("can_accept checked");
+                ch.try_submit(cmd, now).expect("can_accept checked");
                 next += 1;
             }
             if let Some(r) = ch.tick(now, &mut store) {

@@ -85,6 +85,20 @@ impl TraceReport {
             self.adds as f64 / self.cycles as f64
         }
     }
+
+    /// Record this run's counters into a telemetry scope: the run summary,
+    /// the network, and each node's machine statistics under `node{i}`.
+    pub fn record_metrics(&self, scope: &mut sa_telemetry::Scope<'_>) {
+        scope.counter("cycles", self.cycles);
+        scope.counter("adds", self.adds);
+        scope.counter("nodes", self.nodes as u64);
+        scope.counter("sum_back_lines", self.sum_back_lines);
+        scope.counter("flush_rounds", u64::from(self.flush_rounds));
+        self.net.record(&mut scope.scope("net"));
+        for (i, ns) in self.node_stats.iter().enumerate() {
+            ns.record(&mut scope.scope(&format!("node{i}")));
+        }
+    }
 }
 
 /// How combining-mode sum-backs travel to their home node.

@@ -78,6 +78,26 @@ pub struct NetStats {
     pub eject_stalls: u64,
 }
 
+impl NetStats {
+    /// Mean message latency in cycles (0 if nothing was delivered).
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Record these counters into a telemetry scope.
+    pub fn record(&self, scope: &mut sa_telemetry::Scope<'_>) {
+        scope.counter("delivered", self.delivered);
+        scope.counter("words", self.words);
+        scope.counter("total_latency", self.total_latency);
+        scope.counter("eject_stalls", self.eject_stalls);
+        scope.gauge("avg_latency", self.avg_latency());
+    }
+}
+
 #[derive(Debug)]
 struct PortTx<T> {
     msg: Message<T>,

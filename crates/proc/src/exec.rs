@@ -130,7 +130,11 @@ impl Executor {
     ///
     /// Panics if the simulation deadlocks (cycle limit exceeded) — which
     /// would indicate a bug in the machine model, not in the program.
-    pub fn run(&self, prog: &StreamProgram, node: &mut NodeMemSys) -> ExecReport {
+    pub fn run<T: sa_telemetry::TraceSink>(
+        &self,
+        prog: &StreamProgram,
+        node: &mut NodeMemSys<T>,
+    ) -> ExecReport {
         let n_ops = prog.len();
         let mut state = vec![OpState::Waiting; n_ops];
         let mut spans = vec![OpSpan::default(); n_ops];

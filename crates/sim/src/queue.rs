@@ -66,8 +66,8 @@ impl<T> BoundedQueue<T> {
     pub fn try_push(&mut self, item: T) -> Result<(), T> {
         if self.can_accept() {
             self.items.push_back(item);
-            self.stats.enqueued += 1;
-            self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.items.len() as u64);
+            self.stats
+                .observe_push(self.items.len() as u64, self.capacity as u64);
             Ok(())
         } else {
             self.stats.rejected += 1;

@@ -1,0 +1,1217 @@
+//! Unified telemetry layer for the scatter-add simulator.
+//!
+//! Four pieces, all dependency-free:
+//!
+//! * a hierarchical **metrics registry** ([`MetricsRegistry`]) keyed by
+//!   dotted paths (`node0.cache.bank3.mshr_full`) holding counters, gauges,
+//!   and fixed-bucket histograms;
+//! * **cycle-sampled time series** ([`SeriesSet`]) for occupancies and
+//!   utilizations, so stall phases are visible rather than just lifetime
+//!   averages;
+//! * an **event-trace sink** ([`TraceSink`]) with a zero-cost disabled
+//!   implementation ([`NullTrace`]) and a Chrome `trace_event` JSON
+//!   implementation ([`ChromeTrace`]) that opens in `chrome://tracing` and
+//!   Perfetto;
+//! * a small **JSON** value type ([`Json`]) with a deterministic writer and a
+//!   recursive-descent parser, used for the versioned `--stats-json` export
+//!   (see [`stats_json`] / [`validate_stats_json`]).
+//!
+//! Everything is deterministic: map iteration is ordered (`BTreeMap`),
+//! object keys keep insertion order, and float formatting uses Rust's
+//! shortest-roundtrip `Display`, so two runs with identical inputs serialize
+//! to byte-identical JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Version stamped into every stats JSON document as `"version"`.
+pub const STATS_SCHEMA_VERSION: u64 = 1;
+
+/// Identifier stamped into every stats JSON document as `"schema"`.
+pub const STATS_SCHEMA_NAME: &str = "sa-stats";
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// A fixed-bucket histogram metric.
+///
+/// Buckets are caller-defined; the common case in this workspace is eight
+/// equal-width occupancy buckets (octiles of a queue's capacity). The
+/// `scheme` string documents the bucketing so downstream tooling can label
+/// axes without guessing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramMetric {
+    /// Per-bucket observation counts.
+    pub counts: Vec<u64>,
+    /// Human-readable description of the bucketing scheme.
+    pub scheme: String,
+}
+
+impl HistogramMetric {
+    /// Histogram from raw bucket counts.
+    pub fn from_counts(counts: &[u64], scheme: &str) -> HistogramMetric {
+        HistogramMetric {
+            counts: counts.to_vec(),
+            scheme: scheme.to_string(),
+        }
+    }
+
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Element-wise sum with another histogram of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ in length.
+    pub fn merge(&mut self, other: &HistogramMetric) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// A single metric value in the registry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count; repeated records sum.
+    Counter(u64),
+    /// Point-in-time or derived value; repeated records overwrite.
+    Gauge(f64),
+    /// Fixed-bucket histogram; repeated records merge element-wise.
+    Histogram(HistogramMetric),
+}
+
+/// Hierarchical metrics registry keyed by dotted paths.
+///
+/// Paths follow `node<N>.<component>.<instance>.<metric>` by convention, e.g.
+/// `node0.cache.bank3.mshr_full` or `node0.dram.chan12.row_hits`. Components
+/// record into the registry through [`Scope`], which prefixes a path segment
+/// so callers never concatenate strings by hand.
+///
+/// ```
+/// use sa_telemetry::{Metric, MetricsRegistry};
+///
+/// let mut reg = MetricsRegistry::new();
+/// let mut node = reg.scope("node0");
+/// let mut bank = node.scope("cache.bank3");
+/// bank.counter("read_hits", 41);
+/// bank.counter("read_hits", 1); // counters accumulate
+/// assert_eq!(
+///     reg.get("node0.cache.bank3.read_hits"),
+///     Some(&Metric::Counter(42))
+/// );
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// A recording scope that prefixes `prefix` (plus a dot) to every path.
+    pub fn scope<'a>(&'a mut self, prefix: &str) -> Scope<'a> {
+        Scope {
+            registry: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Add `value` to the counter at `path`, creating it at zero first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-counter metric.
+    pub fn counter(&mut self, path: &str, value: u64) {
+        match self
+            .metrics
+            .entry(path.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += value,
+            other => panic!("metric '{path}' is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set the gauge at `path`, overwriting any previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-gauge metric.
+    pub fn gauge(&mut self, path: &str, value: f64) {
+        match self
+            .metrics
+            .entry(path.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(g) => *g = value,
+            other => panic!("metric '{path}' is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Merge `hist` into the histogram at `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` already holds a non-histogram metric or one with a
+    /// different bucket count.
+    pub fn histogram(&mut self, path: &str, hist: &HistogramMetric) {
+        match self.metrics.entry(path.to_string()) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(Metric::Histogram(hist.clone()));
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => match o.get_mut() {
+                Metric::Histogram(h) => h.merge(hist),
+                other => panic!("metric '{path}' is not a histogram: {other:?}"),
+            },
+        }
+    }
+
+    /// Look up a metric by its full path.
+    pub fn get(&self, path: &str) -> Option<&Metric> {
+        self.metrics.get(path)
+    }
+
+    /// The counter value at `path`, or zero if absent or not a counter.
+    pub fn counter_value(&self, path: &str) -> u64 {
+        match self.metrics.get(path) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Iterate metrics in sorted path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Serialize to a flat JSON object, keys in sorted order.
+    ///
+    /// Counters become JSON integers, gauges numbers, histograms objects of
+    /// the form `{"buckets": [...], "scheme": "..."}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (path, metric) in &self.metrics {
+            let value = match metric {
+                Metric::Counter(c) => Json::UInt(*c),
+                Metric::Gauge(g) => Json::Num(*g),
+                Metric::Histogram(h) => {
+                    let mut o = Json::obj();
+                    o.push(
+                        "buckets",
+                        Json::Arr(h.counts.iter().map(|&c| Json::UInt(c)).collect()),
+                    );
+                    o.push("scheme", Json::Str(h.scheme.clone()));
+                    o
+                }
+            };
+            obj.push(path, value);
+        }
+        obj
+    }
+}
+
+/// A prefix-scoped view of a [`MetricsRegistry`].
+pub struct Scope<'a> {
+    registry: &'a mut MetricsRegistry,
+    prefix: String,
+}
+
+impl Scope<'_> {
+    /// A child scope nested one level deeper.
+    pub fn scope(&mut self, name: &str) -> Scope<'_> {
+        Scope {
+            registry: self.registry,
+            prefix: format!("{}.{}", self.prefix, name),
+        }
+    }
+
+    /// Full registry path for `name` under this scope.
+    pub fn path(&self, name: &str) -> String {
+        format!("{}.{}", self.prefix, name)
+    }
+
+    /// Add to a counter under this scope.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let path = self.path(name);
+        self.registry.counter(&path, value);
+    }
+
+    /// Set a gauge under this scope.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        let path = self.path(name);
+        self.registry.gauge(&path, value);
+    }
+
+    /// Merge a histogram under this scope.
+    pub fn histogram(&mut self, name: &str, hist: &HistogramMetric) {
+        let path = self.path(name);
+        self.registry.histogram(&path, hist);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-sampled time series
+// ---------------------------------------------------------------------------
+
+/// Named time series sampled at a fixed cycle interval.
+///
+/// Components push one point per series per sample tick; the set remembers
+/// the interval so exported JSON is self-describing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesSet {
+    interval: u64,
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl SeriesSet {
+    /// An empty set sampling every `interval` cycles (0 = sampling disabled).
+    pub fn new(interval: u64) -> SeriesSet {
+        SeriesSet {
+            interval,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The configured sampling interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Append a `(cycle, value)` point to the series named `name`.
+    pub fn push(&mut self, name: &str, cycle: u64, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((cycle, value));
+    }
+
+    /// Iterate series in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[(u64, f64)])> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Serialize as `{"interval": N, "series": {name: [[cycle, value], ...]}}`.
+    pub fn to_json(&self) -> Json {
+        let mut names = Json::obj();
+        for (name, points) in &self.series {
+            names.push(
+                name,
+                Json::Arr(
+                    points
+                        .iter()
+                        .map(|&(c, v)| Json::Arr(vec![Json::UInt(c), Json::Num(v)]))
+                        .collect(),
+                ),
+            );
+        }
+        let mut obj = Json::obj();
+        obj.push("interval", Json::UInt(self.interval));
+        obj.push("series", names);
+        obj
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace sinks
+// ---------------------------------------------------------------------------
+
+/// Event-trace sink threaded through the hot simulation loop.
+///
+/// Implementations are selected at compile time (the simulator is generic
+/// over `T: TraceSink`), so with [`NullTrace`] every call monomorphizes to an
+/// empty inline function and the loop pays nothing. Guard any work needed to
+/// *compute* an event's arguments behind [`TraceSink::enabled`] (or the
+/// associated const `ENABLED`).
+pub trait TraceSink {
+    /// Compile-time flag: `false` only for the no-op sink.
+    const ENABLED: bool = true;
+
+    /// Runtime mirror of [`Self::ENABLED`].
+    #[inline]
+    fn enabled(&self) -> bool {
+        Self::ENABLED
+    }
+
+    /// Record a counter sample on `track` (one Perfetto counter track per
+    /// distinct `track.name` pair).
+    fn counter(&mut self, track: &str, name: &str, cycle: u64, value: f64);
+
+    /// Record a span `[start, end)` on `track`.
+    fn span(&mut self, track: &str, name: &str, start: u64, end: u64);
+
+    /// Record an instantaneous event on `track`.
+    fn instant(&mut self, track: &str, name: &str, cycle: u64);
+}
+
+/// The always-off sink; all methods compile to nothing.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    const ENABLED: bool = false;
+
+    #[inline]
+    fn counter(&mut self, _track: &str, _name: &str, _cycle: u64, _value: f64) {}
+
+    #[inline]
+    fn span(&mut self, _track: &str, _name: &str, _start: u64, _end: u64) {}
+
+    #[inline]
+    fn instant(&mut self, _track: &str, _name: &str, _cycle: u64) {}
+}
+
+/// Forwarding impl so callers can pass `&mut sink` down a call tree.
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn counter(&mut self, track: &str, name: &str, cycle: u64, value: f64) {
+        (**self).counter(track, name, cycle, value);
+    }
+
+    #[inline]
+    fn span(&mut self, track: &str, name: &str, start: u64, end: u64) {
+        (**self).span(track, name, start, end);
+    }
+
+    #[inline]
+    fn instant(&mut self, track: &str, name: &str, cycle: u64) {
+        (**self).instant(track, name, cycle);
+    }
+}
+
+/// Chrome `trace_event` JSON sink.
+///
+/// Tracks map to threads: the first event on a track allocates a `tid` and
+/// emits a `thread_name` metadata event, so Perfetto and `chrome://tracing`
+/// show one named row per track. Counter samples use `"ph":"C"` with the
+/// counter name `track.name`, which renders as one counter track per
+/// instance (bank, channel, cluster). Timestamps are simulated cycles
+/// reported in the trace's microsecond field.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+    tracks: BTreeMap<String, u64>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    fn tid(&mut self, track: &str) -> u64 {
+        if let Some(&tid) = self.tracks.get(track) {
+            return tid;
+        }
+        let tid = self.tracks.len() as u64 + 1;
+        self.tracks.insert(track.to_string(), tid);
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            Json::Str(track.to_string()).to_string_compact()
+        ));
+        tid
+    }
+
+    /// Number of events recorded (excluding track metadata).
+    pub fn event_count(&self) -> usize {
+        self.events.len() - self.tracks.len()
+    }
+
+    /// The full trace as a JSON string (`{"traceEvents": [...]}`).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(ev);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Write the trace to `path`.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(self.to_json_string().as_bytes())
+    }
+}
+
+impl TraceSink for ChromeTrace {
+    fn counter(&mut self, track: &str, name: &str, cycle: u64, value: f64) {
+        let tid = self.tid(track);
+        let counter = Json::Str(format!("{track}.{name}")).to_string_compact();
+        let value = Json::Num(value).to_string_compact();
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"name\":{counter},\"pid\":0,\"tid\":{tid},\
+             \"ts\":{cycle},\"args\":{{\"value\":{value}}}}}"
+        ));
+    }
+
+    fn span(&mut self, track: &str, name: &str, start: u64, end: u64) {
+        let tid = self.tid(track);
+        let name = Json::Str(name.to_string()).to_string_compact();
+        let dur = end.saturating_sub(start).max(1);
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":{name},\"pid\":0,\"tid\":{tid},\
+             \"ts\":{start},\"dur\":{dur}}}"
+        ));
+    }
+
+    fn instant(&mut self, track: &str, name: &str, cycle: u64) {
+        let tid = self.tid(track);
+        let name = Json::Str(name.to_string()).to_string_compact();
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"name\":{name},\"pid\":0,\"tid\":{tid},\
+             \"ts\":{cycle},\"s\":\"t\"}}"
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// A JSON value with deterministic serialization.
+///
+/// Integers keep their signedness ([`Json::Int`]/[`Json::UInt`]) so counters
+/// round-trip exactly; objects preserve insertion order. Non-finite floats
+/// serialize as `null`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (counters).
+    UInt(u64),
+    /// Floating-point number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append `key: value` to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            other => panic!("Json::push on non-object: {other:?}"),
+        }
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(n) => Some(n),
+            Json::Int(i) => Some(i as f64),
+            Json::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's key/value pairs if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Shortest round-trip Display; force a fractional part so
+                    // the value parses back as a float, not an integer.
+                    let start = out.len();
+                    let _ = write!(out, "{n}");
+                    if !out[start..].contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write_compact(out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const PAD: &str = "  ";
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    for _ in 0..=indent {
+                        out.push_str(PAD);
+                    }
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                for _ in 0..indent {
+                    out.push_str(PAD);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    for _ in 0..=indent {
+                        out.push_str(PAD);
+                    }
+                    Json::Str(k.clone()).write_compact(out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                for _ in 0..indent {
+                    out.push_str(PAD);
+                }
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+
+    /// Serialize without whitespace.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, b"true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let tok = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if tok.is_empty() {
+        return Err(format!("expected value at byte {start}"));
+    }
+    if !tok.contains(['.', 'e', 'E']) {
+        if let Ok(i) = tok.parse::<i64>() {
+            return Ok(if i >= 0 {
+                Json::UInt(i as u64)
+            } else {
+                Json::Int(i)
+            });
+        }
+        if let Ok(u) = tok.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+    }
+    tok.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{tok}' at byte {start}"))
+}
+
+// ---------------------------------------------------------------------------
+// Versioned stats documents
+// ---------------------------------------------------------------------------
+
+/// Assemble a versioned stats document.
+///
+/// Layout:
+///
+/// ```json
+/// {
+///   "schema": "sa-stats",
+///   "version": 1,
+///   "bench": "fig6",
+///   "config": { ... },
+///   "metrics": { "node0.cache.bank0.read_hits": 123, ... },
+///   "series": { "interval": 256, "series": { ... } },
+///   "rows": [ {"label": "...", "cells": {"col": "val"}}, ... ]
+/// }
+/// ```
+pub fn stats_json(
+    bench: &str,
+    config: Json,
+    metrics: &MetricsRegistry,
+    series: Option<&SeriesSet>,
+    rows: Json,
+) -> Json {
+    let mut doc = Json::obj();
+    doc.push("schema", Json::Str(STATS_SCHEMA_NAME.to_string()));
+    doc.push("version", Json::UInt(STATS_SCHEMA_VERSION));
+    doc.push("bench", Json::Str(bench.to_string()));
+    doc.push("config", config);
+    doc.push("metrics", metrics.to_json());
+    if let Some(s) = series {
+        doc.push("series", s.to_json());
+    }
+    doc.push("rows", rows);
+    doc
+}
+
+/// Structural schema check for a stats document produced by [`stats_json`].
+///
+/// Verifies the schema tag and version, that `bench` is a string, that
+/// `metrics` is an object whose values are numbers or `{buckets, scheme}`
+/// histogram objects, that `series` (if present) is well-formed, and that
+/// `rows` is an array of objects. Returns a description of the first
+/// violation found.
+pub fn validate_stats_json(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing 'schema'")?;
+    if schema != STATS_SCHEMA_NAME {
+        return Err(format!(
+            "schema is '{schema}', expected '{STATS_SCHEMA_NAME}'"
+        ));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("missing 'version'")?;
+    if version != STATS_SCHEMA_VERSION {
+        return Err(format!(
+            "version is {version}, expected {STATS_SCHEMA_VERSION}"
+        ));
+    }
+    doc.get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing 'bench'")?;
+    doc.get("config").ok_or("missing 'config'")?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .ok_or("'metrics' missing or not an object")?;
+    for (path, value) in metrics {
+        let ok = value.as_f64().is_some()
+            || value
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .is_some_and(|b| b.iter().all(|x| x.as_u64().is_some()));
+        if !ok {
+            return Err(format!("metric '{path}' is neither numeric nor histogram"));
+        }
+    }
+    if let Some(series) = doc.get("series") {
+        series
+            .get("interval")
+            .and_then(Json::as_u64)
+            .ok_or("'series.interval' missing")?;
+        let names = series
+            .get("series")
+            .and_then(Json::as_obj)
+            .ok_or("'series.series' missing or not an object")?;
+        for (name, points) in names {
+            let points = points
+                .as_arr()
+                .ok_or_else(|| format!("series '{name}' is not an array"))?;
+            for p in points {
+                let ok = p.as_arr().is_some_and(|pair| {
+                    pair.len() == 2 && pair[0].as_u64().is_some() && pair[1].as_f64().is_some()
+                });
+                if !ok {
+                    return Err(format!("series '{name}' has a malformed point"));
+                }
+            }
+        }
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("'rows' missing or not an array")?;
+    for row in rows {
+        if row.as_obj().is_none() {
+            return Err("row is not an object".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Whether any metric path in `doc` contains `needle` (substring match).
+pub fn has_metric_matching(doc: &Json, needle: &str) -> bool {
+    doc.get("metrics")
+        .and_then(Json::as_obj)
+        .is_some_and(|m| m.iter().any(|(path, _)| path.contains(needle)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_counters_accumulate_and_sort() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("b.second", 2);
+        reg.counter("a.first", 1);
+        reg.counter("b.second", 3);
+        let paths: Vec<&str> = reg.iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, ["a.first", "b.second"]);
+        assert_eq!(reg.counter_value("b.second"), 5);
+        assert_eq!(reg.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn scope_nesting_builds_paths() {
+        let mut reg = MetricsRegistry::new();
+        {
+            let mut node = reg.scope("node0");
+            let mut bank = node.scope("cache.bank3");
+            bank.counter("mshr_full", 7);
+            bank.gauge("hit_rate", 0.5);
+        }
+        assert_eq!(
+            reg.get("node0.cache.bank3.mshr_full"),
+            Some(&Metric::Counter(7))
+        );
+        assert_eq!(
+            reg.get("node0.cache.bank3.hit_rate"),
+            Some(&Metric::Gauge(0.5))
+        );
+    }
+
+    #[test]
+    fn histograms_merge_elementwise() {
+        let mut reg = MetricsRegistry::new();
+        let h1 = HistogramMetric::from_counts(&[1, 0, 2], "octile");
+        let h2 = HistogramMetric::from_counts(&[0, 5, 1], "octile");
+        reg.histogram("q.occ", &h1);
+        reg.histogram("q.occ", &h2);
+        match reg.get("q.occ") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.counts, vec![1, 5, 3]);
+                assert_eq!(h.total(), 9);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("x", 1.0);
+        reg.counter("x", 1);
+    }
+
+    #[test]
+    fn series_round_trip() {
+        let mut s = SeriesSet::new(64);
+        s.push("node0.sa.occupancy", 0, 0.0);
+        s.push("node0.sa.occupancy", 64, 3.5);
+        let json = s.to_json();
+        assert_eq!(json.get("interval").and_then(Json::as_u64), Some(64));
+        let pts = json
+            .get("series")
+            .and_then(|n| n.get("node0.sa.occupancy"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn null_trace_is_disabled() {
+        const { assert!(!NullTrace::ENABLED) }
+        assert!(!NullTrace.enabled());
+        let mut t = NullTrace;
+        t.counter("x", "y", 0, 1.0);
+        t.span("x", "y", 0, 5);
+        t.instant("x", "y", 0);
+    }
+
+    #[test]
+    fn chrome_trace_names_tracks() {
+        let mut t = ChromeTrace::new();
+        t.counter("node0.cache.bank0", "occupancy", 0, 1.0);
+        t.counter("node0.cache.bank1", "occupancy", 0, 2.0);
+        t.counter("node0.cache.bank0", "occupancy", 64, 3.0);
+        t.span("node0.dram.chan0", "burst", 10, 20);
+        let text = t.to_json_string();
+        let doc = Json::parse(&text).expect("trace is valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let metas = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .count();
+        assert_eq!(metas, 3, "one thread_name per track");
+        let counters: std::collections::BTreeSet<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(counters.len(), 2, "one counter name per bank");
+        assert_eq!(t.event_count(), 4);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut obj = Json::obj();
+        obj.push("a", Json::UInt(42));
+        obj.push("b", Json::Int(-7));
+        obj.push("c", Json::Num(0.25));
+        obj.push("d", Json::Str("hi \"there\"\n".to_string()));
+        obj.push("e", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        let text = obj.to_string_pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("a").and_then(Json::as_u64), Some(42));
+        assert_eq!(back.get("b"), Some(&Json::Int(-7)));
+        assert_eq!(back.get("c").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(back.get("d").and_then(Json::as_str), Some("hi \"there\"\n"));
+        assert_eq!(
+            back.get("e").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn json_num_always_has_fraction() {
+        assert_eq!(Json::Num(3.0).to_string_compact(), "3.0");
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::parse("3.0").unwrap(), Json::Num(3.0));
+        assert_eq!(Json::parse("3").unwrap(), Json::UInt(3));
+        assert_eq!(Json::parse("-3").unwrap(), Json::Int(-3));
+    }
+
+    #[test]
+    fn stats_doc_validates() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("node0.sa.accepted", 10);
+        reg.gauge("node0.cache.hit_rate", 0.9);
+        reg.histogram(
+            "node0.queue.bank_in.occ",
+            &HistogramMetric::from_counts(&[1, 2], "octile"),
+        );
+        let mut series = SeriesSet::new(16);
+        series.push("node0.dram.util", 16, 0.5);
+        let doc = stats_json(
+            "fig6",
+            Json::obj(),
+            &reg,
+            Some(&series),
+            Json::Arr(vec![Json::obj()]),
+        );
+        validate_stats_json(&doc).expect("valid");
+        assert!(has_metric_matching(&doc, ".sa."));
+        assert!(has_metric_matching(&doc, ".cache."));
+        assert!(!has_metric_matching(&doc, ".net."));
+        // Round-trip through text stays valid.
+        let back = Json::parse(&doc.to_string_pretty()).unwrap();
+        validate_stats_json(&back).expect("valid after round-trip");
+    }
+
+    #[test]
+    fn stats_doc_rejects_bad_version() {
+        let mut doc = Json::obj();
+        doc.push("schema", Json::Str("sa-stats".to_string()));
+        doc.push("version", Json::UInt(99));
+        assert!(validate_stats_json(&doc).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            reg.counter("z.last", 3);
+            reg.counter("a.first", 1);
+            reg.gauge("m.mid", 0.125);
+            let mut series = SeriesSet::new(8);
+            series.push("s.one", 8, 1.5);
+            stats_json("det", Json::obj(), &reg, Some(&series), Json::Arr(vec![]))
+                .to_string_pretty()
+        };
+        assert_eq!(build(), build());
+    }
+}
