@@ -25,6 +25,7 @@ fn dram_channel(c: &mut Criterion) {
                     let _ = ch.try_submit(
                         DramCommand {
                             id,
+                            req: Some(id),
                             base: Addr(id * 32),
                             words: 4,
                             kind: DramKind::Read,

@@ -7,10 +7,16 @@
 //!   (<2%) of the pre-telemetry simulator;
 //! * `sampled` — `NullTrace` with the default 64-cycle sampling interval
 //!   (time-series only, no trace events);
-//! * `chrome` — full Chrome-trace event capture at the default interval.
+//! * `chrome` — full Chrome-trace event capture at the default interval;
+//! * `req_traced_64` — request-lifecycle tracing of 1 in 64 requests
+//!   (the `--req-sample` default of the figure binaries);
+//! * `req_traced_all` — every request's lifecycle recorded (the worst
+//!   case: one `BTreeMap` record per request).
 //!
-//! Compare the `disabled` median against `sampled`/`chrome` to see what each
-//! level of observability costs.
+//! Compare the `disabled` median against the others to see what each level
+//! of observability costs. `disabled` also covers the request tracer's off
+//! path: with `req_sample == 0` every tracer call short-circuits on one
+//! integer compare.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sa_core::{drive_scatter, drive_scatter_with, NodeMemSys, ScatterKernel};
@@ -42,6 +48,15 @@ fn telemetry_overhead(c: &mut Criterion) {
             drive_scatter_with(node, &k, false).cycles
         })
     });
+    for (name, sample) in [("req_traced_64", 64), ("req_traced_all", 1)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut node = NodeMemSys::with_tracer(cfg, 0, false, NullTrace);
+                node.set_req_sample(sample);
+                drive_scatter_with(node, &k, false).cycles
+            })
+        });
+    }
     group.finish();
 }
 

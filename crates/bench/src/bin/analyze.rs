@@ -9,13 +9,18 @@
 //!   by any figure binary and prints a summary of its metrics;
 //! * `analyze --check <path>` validates the document against the schema and
 //!   requires the canonical scatter-unit / cache / DRAM / queue metrics —
-//!   exits nonzero on any violation (used by CI).
+//!   exits nonzero on any violation (used by CI);
+//! * `analyze --diff <baseline> <candidate>` compares two documents'
+//!   cycle counts and latency percentiles and exits nonzero when the
+//!   candidate regressed past the threshold (`--threshold 0.05`) — the CI
+//!   perf gate.
 
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::Ebe;
 use sa_apps::traces::TraceStats;
 use sa_bench::args::Args;
+use sa_bench::diff::{diff_stats, DiffConfig};
 use sa_bench::{header, quick_mode, row};
 use sa_sim::{MachineConfig, Rng64};
 use sa_telemetry::{has_metric_matching, validate_stats_json, Json};
@@ -115,8 +120,54 @@ fn report(name: &str, trace: &[u64], cfg: &MachineConfig) {
     );
 }
 
+/// `--diff`: the perf gate. Prints every regression; `Ok(true)` = clean.
+fn diff_docs(baseline: &str, candidate: &str, args: &Args) -> Result<bool, String> {
+    let threshold = args
+        .get_or("threshold", DiffConfig::default().threshold)
+        .map_err(|e| e.to_string())?;
+    let cfg = DiffConfig {
+        threshold,
+        ..DiffConfig::default()
+    };
+    let base = load_stats(baseline)?;
+    let cand = load_stats(candidate)?;
+    validate_stats_json(&base).map_err(|e| format!("{baseline}: {e}"))?;
+    validate_stats_json(&cand).map_err(|e| format!("{candidate}: {e}"))?;
+    let regressions = diff_stats(&base, &cand, &cfg)?;
+    if regressions.is_empty() {
+        println!(
+            "{candidate}: no regressions vs {baseline} (threshold +{:.0}%)",
+            threshold * 100.0
+        );
+        return Ok(true);
+    }
+    eprintln!(
+        "{candidate}: {} regression(s) vs {baseline} (threshold +{:.0}%):",
+        regressions.len(),
+        threshold * 100.0
+    );
+    for r in &regressions {
+        eprintln!("  {r}");
+    }
+    Ok(false)
+}
+
 fn main() {
     let args = Args::from_env();
+    if let Some(baseline) = args.raw("diff") {
+        let Some(candidate) = args.positional().first() else {
+            eprintln!("usage: analyze --diff <baseline.json> <candidate.json>");
+            std::process::exit(2);
+        };
+        match diff_docs(baseline, candidate, &args) {
+            Ok(true) => return,
+            Ok(false) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(path) = args.raw("check") {
         if let Err(e) = check_stats(path) {
             eprintln!("error: {path}: {e}");

@@ -11,11 +11,16 @@ use sa_apps::mesh::Mesh;
 use sa_apps::spmv::{run_csr, run_ebe_hw, run_ebe_sw_default, Csr};
 use sa_bench::telemetry::BenchRun;
 use sa_bench::{header, mcycles, mops, quick_mode};
+use sa_core::StallBreakdown;
 use sa_sim::MachineConfig;
 
 fn main() {
-    let cfg = MachineConfig::merrimac();
+    let mut cfg = MachineConfig::merrimac();
     let mut bench = BenchRun::from_env("fig9", &cfg);
+    // Kernel runs below build their own nodes from `cfg`; carry the
+    // request-lifecycle sampling interval so their reports include
+    // per-stage latency when stats output is on.
+    cfg.req_sample = bench.req_sample();
     let mesh = if quick_mode() {
         Mesh::generate(200, 20, 1040, 9)
     } else {
@@ -54,11 +59,18 @@ fn main() {
         ("EBE SW scatter-add", "ebe_sw", &r_sw),
         ("EBE HW scatter-add", "ebe_hw", &r_hw),
     ] {
-        let mut s = bench.scope(scope);
-        s.counter("cycles", r.report.cycles);
-        s.counter("flops", r.report.flops);
-        s.counter("mem_refs", r.report.mem_refs);
-        r.report.stats.record(&mut s);
+        {
+            let mut s = bench.scope(scope);
+            s.counter("cycles", r.report.cycles);
+            s.counter("flops", r.report.flops);
+            s.counter("mem_refs", r.report.mem_refs);
+            r.report.stats.record(&mut s);
+        }
+        bench.record_latency(scope, &r.report.req_trace);
+        bench.record_attribution(
+            scope,
+            &StallBreakdown::from_stats(&r.report.stats, r.report.cycles),
+        );
         bench.row(
             name,
             &[

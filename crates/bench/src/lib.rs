@@ -84,4 +84,5 @@ mod tests {
 }
 
 pub mod args;
+pub mod diff;
 pub mod telemetry;

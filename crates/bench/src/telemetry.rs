@@ -21,10 +21,11 @@
 use std::fmt::Display;
 use std::path::Path;
 
-use sa_core::{drive_scatter_with, NodeMemSys, ScatterKernel};
+use sa_core::{drive_scatter_with, NodeMemSys, ScatterKernel, StallBreakdown};
 use sa_sim::{MachineConfig, Rng64};
 use sa_telemetry::{
-    stats_json, validate_stats_json, ChromeTrace, Json, MetricsRegistry, Scope, SeriesSet,
+    stats_json_with, validate_stats_json, ChromeTrace, Json, MetricsRegistry, ReqTracer, Scope,
+    SeriesSet,
 };
 
 use crate::args::Args;
@@ -34,6 +35,11 @@ pub const CANONICAL_ELEMENTS: u64 = 4096;
 /// Index range of the canonical histogram workload.
 pub const CANONICAL_RANGE: u64 = 512;
 const CANONICAL_SEED: u64 = 0x7E1E_0001;
+
+/// Default request-lifecycle sampling interval when stats or trace output is
+/// requested: one in this many requests gets a full stage-by-stage timeline.
+/// Override with `--req-sample N` (0 disables request tracing).
+pub const DEFAULT_REQ_SAMPLE: u64 = 64;
 
 /// Machine parameters as a JSON object — the `config` block of the stats
 /// document. Covers every knob the experiments sweep, so two documents with
@@ -68,6 +74,9 @@ pub struct BenchRun {
     stats_path: Option<String>,
     trace_path: Option<String>,
     sample_interval: u64,
+    req_sample: u64,
+    latency: Vec<(String, Json)>,
+    attribution: Vec<(String, Json)>,
 }
 
 impl BenchRun {
@@ -85,6 +94,12 @@ impl BenchRun {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             });
+        let req_sample = args
+            .get_or("req-sample", DEFAULT_REQ_SAMPLE)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
         BenchRun {
             bench: bench.to_owned(),
             cfg: *cfg,
@@ -93,6 +108,21 @@ impl BenchRun {
             stats_path: args.raw("stats-json").map(str::to_owned),
             trace_path: args.raw("trace").map(str::to_owned),
             sample_interval,
+            req_sample,
+            latency: Vec::new(),
+            attribution: Vec::new(),
+        }
+    }
+
+    /// The request-lifecycle sampling interval the binary should run its
+    /// kernels with (`MachineConfig::req_sample`): the `--req-sample` flag,
+    /// or [`DEFAULT_REQ_SAMPLE`] when any output file was requested and 0
+    /// (off) otherwise — disabled runs must not pay for tracing.
+    pub fn req_sample(&self) -> u64 {
+        if self.enabled() {
+            self.req_sample
+        } else {
+            0
         }
     }
 
@@ -125,6 +155,22 @@ impl BenchRun {
         &self.registry
     }
 
+    /// Record a kernel's per-stage latency report (`latency.<kernel>` in the
+    /// v2 document). No-op when the tracer recorded nothing, so untraced
+    /// runs emit no empty sections.
+    pub fn record_latency(&mut self, kernel: &str, tracer: &ReqTracer) {
+        if tracer.issued_len() > 0 {
+            self.latency
+                .push((kernel.to_owned(), tracer.latency_json()));
+        }
+    }
+
+    /// Record a kernel's stall-attribution table (`attribution.<kernel>` in
+    /// the v2 document).
+    pub fn record_attribution(&mut self, kernel: &str, stalls: &StallBreakdown) {
+        self.attribution.push((kernel.to_owned(), stalls.to_json()));
+    }
+
     /// Run the canonical workload if needed, write the requested files, and
     /// consume the collector. Prints a note per file written; exits nonzero
     /// on I/O failure so scripts notice.
@@ -144,11 +190,22 @@ impl BenchRun {
             );
         }
         if let Some(path) = self.stats_path.clone() {
-            let doc = stats_json(
+            let section = |entries: Vec<(String, Json)>| {
+                if entries.is_empty() {
+                    None
+                } else {
+                    Some(Json::Obj(entries))
+                }
+            };
+            let latency = section(std::mem::take(&mut self.latency));
+            let attribution = section(std::mem::take(&mut self.attribution));
+            let doc = stats_json_with(
                 &self.bench,
                 machine_config_json(&self.cfg),
                 &self.registry,
                 Some(&series),
+                latency,
+                attribution,
                 Json::Arr(std::mem::take(&mut self.rows)),
             );
             validate_stats_json(&doc).expect("internal error: stats document must validate");
@@ -174,11 +231,16 @@ impl BenchRun {
         let kernel = ScatterKernel::histogram(0, indices);
         let mut node = NodeMemSys::with_tracer(self.cfg, 0, false, ChromeTrace::new());
         node.set_sample_interval(self.sample_interval);
+        node.set_req_sample(self.req_sample());
         let run = drive_scatter_with(node, &kernel, false);
-        let mut scope = self.registry.scope("canonical");
-        run.node.record_metrics(&mut scope);
-        scope.counter("cycles", run.cycles);
-        scope.counter("drain_cycles", run.drain_cycles);
+        {
+            let mut scope = self.registry.scope("canonical");
+            run.node.record_metrics(&mut scope);
+            scope.counter("cycles", run.cycles);
+            scope.counter("drain_cycles", run.drain_cycles);
+        }
+        self.record_latency("canonical", run.node.req_tracer());
+        self.record_attribution("canonical", &run.stall_breakdown());
         let series = run.node.series().clone();
         (series, run.node.into_tracer())
     }

@@ -1,0 +1,87 @@
+//! Golden tests for the `analyze --diff` perf gate: a document diffed
+//! against itself is clean (exit 0); a +20% perturbation of the canonical
+//! scatter workload's p99 latency fails (exit nonzero) naming the metric.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use sa_bench::args::Args;
+use sa_bench::telemetry::BenchRun;
+use sa_sim::MachineConfig;
+use sa_telemetry::Json;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sa-diff-gate-{}-{name}", std::process::id()));
+    p
+}
+
+/// Emit a stats document exactly as a figure binary would.
+fn export(path: &std::path::Path) -> Json {
+    let flag = format!("--stats-json {}", path.display());
+    let args = Args::parse(flag.split_whitespace().map(str::to_owned));
+    let bench = BenchRun::from_args("gate", &MachineConfig::merrimac(), &args);
+    bench.finish();
+    let text = std::fs::read_to_string(path).expect("document written");
+    Json::parse(&text).expect("valid JSON")
+}
+
+fn analyze_diff(baseline: &std::path::Path, candidate: &std::path::Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .arg("--diff")
+        .arg(baseline)
+        .arg(candidate)
+        .output()
+        .expect("analyze runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Multiply `latency.canonical.end_to_end.p99` by 1.2 in place.
+fn perturb_p99(doc: &mut Json) {
+    let path = ["latency", "canonical", "end_to_end", "p99"];
+    let mut cur = doc;
+    for key in &path[..path.len() - 1] {
+        let Json::Obj(pairs) = cur else {
+            panic!("{key} parent is not an object")
+        };
+        cur = &mut pairs
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("missing {key}"))
+            .1;
+    }
+    let Json::Obj(pairs) = cur else {
+        panic!("end_to_end is not an object")
+    };
+    let p99 = &mut pairs.iter_mut().find(|(k, _)| k == "p99").expect("p99").1;
+    let old = p99.as_u64().expect("numeric p99");
+    *p99 = Json::UInt(old * 12 / 10 + 5); // +20%, past the absolute slack
+}
+
+#[test]
+fn self_diff_passes_and_perturbed_p99_fails_naming_the_metric() {
+    let base_path = tmp("base.json");
+    let mut doc = export(&base_path);
+
+    let (ok, _) = analyze_diff(&base_path, &base_path);
+    assert!(
+        ok,
+        "a document diffed against itself must report no regressions"
+    );
+
+    perturb_p99(&mut doc);
+    let cand_path = tmp("cand.json");
+    std::fs::write(&cand_path, doc.to_string_pretty()).expect("write candidate");
+    let (ok, stderr) = analyze_diff(&base_path, &cand_path);
+    assert!(!ok, "a +20% p99 must fail the gate");
+    assert!(
+        stderr.contains("latency.canonical.end_to_end.p99"),
+        "the offending metric is named; stderr was:\n{stderr}"
+    );
+
+    std::fs::remove_file(&base_path).ok();
+    std::fs::remove_file(&cand_path).ok();
+}

@@ -72,6 +72,67 @@ fn exported_document_covers_required_metric_families() {
 }
 
 #[test]
+fn exported_document_carries_v2_latency_and_attribution() {
+    let text = export(&MachineConfig::merrimac(), &tmp("v2.json"));
+    let doc = Json::parse(&text).unwrap();
+    assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
+    let lat = doc
+        .get("latency")
+        .and_then(|l| l.get("canonical"))
+        .expect("canonical latency report");
+    assert!(lat.get("retired").and_then(Json::as_u64).unwrap() > 0);
+    let stages = lat.get("stages").and_then(Json::as_obj).unwrap();
+    for stage in ["issued", "comb_store"] {
+        let s = stages
+            .iter()
+            .find(|(n, _)| n == stage)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("stage {stage} missing"));
+        for field in ["p50", "p90", "p99", "max"] {
+            assert!(
+                s.get(field).and_then(Json::as_u64).is_some(),
+                "{stage}.{field}"
+            );
+        }
+    }
+    let attr = doc
+        .get("attribution")
+        .and_then(|a| a.get("canonical"))
+        .expect("canonical attribution table");
+    assert!(attr.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+    assert!(attr
+        .get("bank_conflict")
+        .and_then(|e| e.get("pct"))
+        .is_some());
+}
+
+#[test]
+fn request_spans_land_on_node_scoped_tracks() {
+    let mut cfg = MachineConfig::merrimac();
+    cfg.req_sample = 16;
+    let mut rng = Rng64::new(7);
+    let kernel = ScatterKernel::histogram(0, (0..2048).map(|_| rng.below(1024)).collect());
+    let node = NodeMemSys::with_tracer(cfg, 0, false, ChromeTrace::new());
+    let run = drive_scatter_with(node, &kernel, false);
+    let doc = Json::parse(&run.node.tracer().to_json_string()).expect("valid trace JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let req_tracks = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .filter(|t| t.starts_with("node0.req"))
+        .count();
+    assert!(req_tracks > 0, "sampled requests get per-request tracks");
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .filter(|n| *n == "comb_store" || *n == "enqueued")
+        .count();
+    assert!(spans > 0, "stage spans are emitted");
+}
+
+#[test]
 fn trace_has_one_track_per_bank_and_channel() {
     let cfg = MachineConfig::merrimac();
     let mut rng = Rng64::new(7);
@@ -100,6 +161,7 @@ fn tracing_never_changes_simulated_time() {
     let traced = {
         let mut node = NodeMemSys::with_tracer(cfg, 0, false, ChromeTrace::new());
         node.set_sample_interval(1); // densest possible sampling
+        node.set_req_sample(1); // trace every request's lifecycle
         drive_scatter_with(node, &kernel, false)
     };
     assert_eq!(plain.cycles, traced.cycles);

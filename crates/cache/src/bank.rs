@@ -269,8 +269,11 @@ impl CacheBank {
                 }
                 self.next_cmd_id += 1;
                 let data = self.sets[set][way].data.clone();
+                // Write-backs retire traffic from many past requests; no
+                // single originator to attribute.
                 let cmd = DramCommand {
                     id: self.next_cmd_id,
+                    req: None,
                     base,
                     words: self.cfg.words_per_line() as u32,
                     kind: DramKind::Write(data),
@@ -363,6 +366,7 @@ impl CacheBank {
                 self.next_cmd_id += 1;
                 let cmd = DramCommand {
                     id: self.next_cmd_id,
+                    req: Some(access.id),
                     base: line_base,
                     words: self.cfg.words_per_line() as u32,
                     kind: DramKind::Read,
@@ -426,6 +430,7 @@ impl CacheBank {
                 self.next_cmd_id += 1;
                 let cmd = DramCommand {
                     id: self.next_cmd_id,
+                    req: Some(access.id),
                     base: access.addr,
                     words: 1,
                     kind: DramKind::Write(vec![bits]),
@@ -439,6 +444,34 @@ impl CacheBank {
                 Ok(())
             }
         }
+    }
+
+    /// [`try_access`](Self::try_access), recording the request's lifecycle
+    /// stages into `tracer`: winning bank arbitration (any accepted access)
+    /// and MSHR residency (accesses that allocate or merge into an MSHR).
+    ///
+    /// # Errors
+    ///
+    /// Returns the access back when a resource is exhausted, exactly as
+    /// [`try_access`](Self::try_access) does.
+    pub fn try_access_traced(
+        &mut self,
+        access: CacheAccess,
+        now: Cycle,
+        tracer: &mut sa_telemetry::ReqTracer,
+    ) -> Result<(), CacheAccess> {
+        let id = access.id;
+        let before = self.stats;
+        let r = self.try_access(access, now);
+        if r.is_ok() {
+            tracer.stamp(id, sa_telemetry::ReqStage::BankArb, now.raw());
+            let s = self.stats;
+            let mshr_events = |c: &CacheStats| c.read_misses + c.read_merges + c.write_merges;
+            if mshr_events(&s) > mshr_events(&before) {
+                tracer.stamp(id, sa_telemetry::ReqStage::Mshr, now.raw());
+            }
+        }
+        r
     }
 
     fn push_ready(&mut self, access: CacheAccess, bits: u64, now: Cycle) {
@@ -462,6 +495,7 @@ impl CacheBank {
 
     /// Advance one cycle: install at most one pending fill.
     pub fn tick(&mut self, now: Cycle) {
+        self.mem_out.advance(now.raw());
         let Some(resp) = self.pending_fills.front() else {
             return;
         };

@@ -103,6 +103,26 @@ impl StallBreakdown {
             (events as f64 * 100.0 / self.cycles as f64).min(100.0)
         }
     }
+
+    /// As the `attribution.<kernel>` object of a v2 stats document:
+    /// `{"cycles": N, "<cause>": {"events": E, "pct": P}, ...}`.
+    pub fn to_json(&self) -> sa_telemetry::Json {
+        use sa_telemetry::Json;
+        let mut o = Json::obj();
+        o.push("cycles", Json::UInt(self.cycles));
+        for (cause, events) in [
+            ("mshr_full", self.mshr_full),
+            ("bank_conflict", self.bank_conflict),
+            ("cs_full", self.cs_full),
+            ("net_credit", self.net_credit),
+        ] {
+            let mut e = Json::obj();
+            e.push("events", Json::UInt(events));
+            e.push("pct", Json::Num(self.pct(events)));
+            o.push(cause, e);
+        }
+        o
+    }
 }
 
 impl fmt::Display for StallBreakdown {
@@ -267,7 +287,7 @@ pub fn drive_scatter_with<T: TraceSink>(
             let Some(req) = pending.pop_front() else {
                 break;
             };
-            match node.inject(req) {
+            match node.inject_traced(req, now) {
                 Ok(()) => issued += 1,
                 Err(req) => {
                     pending.push_front(req);

@@ -8,7 +8,7 @@ use sa_mem::{BackingStore, DramChannel, DramStats};
 use sa_sim::{
     Addr, BoundedQueue, Cycle, MachineConfig, MemOp, MemRequest, MemResponse, Origin, QueueStats,
 };
-use sa_telemetry::{NullTrace, Scope, SeriesSet, TraceSink};
+use sa_telemetry::{NullTrace, ReqStage, ReqTracer, Scope, SeriesSet, TraceSink};
 
 use crate::unit::{SaStats, ScatterAddUnit, ToMem};
 
@@ -80,6 +80,11 @@ pub struct NodeMemSys<T: TraceSink = NullTrace> {
     /// combinable (the single-node testing configuration).
     n_nodes: Option<usize>,
     tracer: T,
+    /// Request-lifecycle tracer (see [`ReqTracer`]); disabled unless
+    /// [`MachineConfig::req_sample`] or [`set_req_sample`](Self::set_req_sample)
+    /// turns it on. Runtime-gated so the untraced hot loop pays one integer
+    /// compare per stamp site.
+    req_trace: ReqTracer,
     /// Cycles between occupancy samples; 0 disables sampling entirely, so
     /// the untraced hot loop pays a single integer compare per tick.
     sample_interval: u64,
@@ -142,6 +147,7 @@ impl<T: TraceSink> NodeMemSys<T> {
             rr_sa_first: vec![false; cfg.cache.banks],
             n_nodes: None,
             tracer,
+            req_trace: ReqTracer::every(cfg.req_sample),
             sample_interval,
             next_sample: 0,
             series: SeriesSet::new(sample_interval),
@@ -170,6 +176,23 @@ impl<T: TraceSink> NodeMemSys<T> {
     /// Consume the node and return its trace sink.
     pub fn into_tracer(self) -> T {
         self.tracer
+    }
+
+    /// Set the request-lifecycle sampling interval: one in `sample` requests
+    /// is traced (0 disables). Overrides [`MachineConfig::req_sample`].
+    pub fn set_req_sample(&mut self, sample: u64) {
+        self.req_trace = ReqTracer::every(sample);
+    }
+
+    /// The request-lifecycle records gathered so far.
+    pub fn req_tracer(&self) -> &ReqTracer {
+        &self.req_trace
+    }
+
+    /// Take the request-lifecycle tracer, leaving a disabled one behind
+    /// (harvested into run reports at the end of a kernel).
+    pub fn take_req_trace(&mut self) -> ReqTracer {
+        std::mem::take(&mut self.req_trace)
     }
 
     /// Declare this node part of an `n`-node machine with line-interleaved
@@ -259,6 +282,28 @@ impl<T: TraceSink> NodeMemSys<T> {
         self.bank_in[bank].try_push(req)
     }
 
+    /// [`inject`](Self::inject), recording the request's lifecycle: an
+    /// [`ReqStage::Issued`] stamp on the first attempt (idempotent across
+    /// stall retries) and an [`ReqStage::Enqueued`] stamp on acceptance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back when the bank queue is full, exactly as
+    /// [`inject`](Self::inject) does.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`inject`](Self::inject).
+    pub fn inject_traced(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest> {
+        let id = req.id;
+        self.req_trace.issue(id, self.node, now.raw());
+        let r = self.inject(req);
+        if r.is_ok() {
+            self.req_trace.stamp(id, ReqStage::Enqueued, now.raw());
+        }
+        r
+    }
+
     /// Whether bank `bank`'s input queue can take one more request.
     pub fn can_inject(&self, addr: Addr) -> bool {
         self.bank_in[self.bank_of(addr)].can_accept()
@@ -273,6 +318,11 @@ impl<T: TraceSink> NodeMemSys<T> {
 
     /// Advance the whole memory system by one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        // 0. Fold elapsed time into the input queues' occupancy integrals.
+        for q in &mut self.bank_in {
+            q.advance(now.raw());
+        }
+
         // 1. DRAM channels produce fills / acknowledgements.
         for ch in &mut self.channels {
             if let Some(resp) = ch.tick(now, &mut self.store) {
@@ -293,6 +343,9 @@ impl<T: TraceSink> NodeMemSys<T> {
                 let ch = self.cfg.dram.channel_of_line(line);
                 if self.channels[ch].can_accept() {
                     let cmd = self.banks[b].pop_mem_cmd().expect("peeked");
+                    if let Some(rid) = cmd.req {
+                        self.req_trace.stamp(rid, ReqStage::Dram, now.raw());
+                    }
                     self.channels[ch]
                         .try_submit(cmd, now)
                         .expect("capacity checked");
@@ -303,7 +356,11 @@ impl<T: TraceSink> NodeMemSys<T> {
             //    consume the cache port; Figure 4a places the unit in front
             //    of the bank).
             if let Some(req) = self.bank_in[b].front().copied() {
-                if req.op.is_scatter() && self.sa[b].try_submit(req).is_ok() {
+                if req.op.is_scatter()
+                    && self.sa[b]
+                        .try_submit_traced(req, now, &mut self.req_trace)
+                        .is_ok()
+                {
                     self.bank_in[b].pop();
                 }
             }
@@ -329,7 +386,7 @@ impl<T: TraceSink> NodeMemSys<T> {
             }
 
             // 6. Advance the scatter-add unit.
-            self.sa[b].tick(now);
+            self.sa[b].tick_traced(now, &mut self.req_trace);
 
             // 7. Route cache data responses.
             while let Some(r) = self.banks[b].pop_ready(now) {
@@ -338,12 +395,16 @@ impl<T: TraceSink> NodeMemSys<T> {
                         debug_assert_eq!(bank, b);
                         self.sa[b].on_value(r.addr, r.bits);
                     }
-                    _ => self.completions.push_back(r),
+                    _ => {
+                        self.retire_req(r.id, now);
+                        self.completions.push_back(r);
+                    }
                 }
             }
 
             // 8. Scatter acknowledgements complete their requests.
             while let Some(a) = self.sa[b].pop_ack() {
+                self.retire_req(a.id, now);
                 self.completions.push_back(a);
             }
         }
@@ -415,6 +476,14 @@ impl<T: TraceSink> NodeMemSys<T> {
             .push(&format!("{prefix}.dram.bus_util"), cycle, bus_util);
     }
 
+    /// Retire a traced request and stream its per-stage spans into the trace
+    /// sink (one Perfetto track per request, scoped by node id).
+    fn retire_req(&mut self, id: u64, now: Cycle) {
+        if let Some(rec) = self.req_trace.retire(id, now.raw()) {
+            sa_telemetry::emit_req_spans(rec, &mut self.tracer);
+        }
+    }
+
     /// Serve one of the scatter-add unit's memory operations at bank `b`'s
     /// cache port. Returns whether the port was used.
     fn try_serve_sa(&mut self, b: usize, now: Cycle) -> bool {
@@ -446,7 +515,10 @@ impl<T: TraceSink> NodeMemSys<T> {
                 },
             },
         };
-        if self.banks[b].try_access(access, now).is_ok() {
+        if self.banks[b]
+            .try_access_traced(access, now, &mut self.req_trace)
+            .is_ok()
+        {
             let _ = self.sa[b].pop_to_mem();
             true
         } else {
@@ -482,10 +554,14 @@ impl<T: TraceSink> NodeMemSys<T> {
             },
             MemOp::Scatter { .. } => unreachable!("checked above"),
         };
-        if self.banks[b].try_access(access, now).is_ok() {
+        if self.banks[b]
+            .try_access_traced(access, now, &mut self.req_trace)
+            .is_ok()
+        {
             let req = self.bank_in[b].pop().expect("front checked");
             if matches!(req.op, MemOp::Write { .. }) {
                 // Posted write: acknowledged on acceptance.
+                self.retire_req(req.id, now);
                 self.completions.push_back(MemResponse {
                     id: req.id,
                     addr: req.addr,
@@ -849,6 +925,80 @@ mod tests {
             }
         }
         assert!(rejected, "bank input queue must be bounded");
+    }
+
+    #[test]
+    fn request_lifecycle_traced_end_to_end() {
+        let mut cfg = MachineConfig::merrimac();
+        cfg.req_sample = 1;
+        let mut node = NodeMemSys::new(cfg, 0, false);
+        let mut pending: VecDeque<MemRequest> = (0..32).map(|i| sa_req(i, i % 8, 1)).collect();
+        let mut now = Cycle(0);
+        for _ in 0..100_000 {
+            now += 1;
+            while let Some(req) = pending.pop_front() {
+                if let Err(req) = node.inject_traced(req, now) {
+                    pending.push_front(req);
+                    break;
+                }
+            }
+            node.tick(now);
+            while node.pop_completion().is_some() {}
+            if pending.is_empty() && node.is_idle() {
+                break;
+            }
+        }
+        assert!(node.is_idle());
+        let t = node.req_tracer();
+        assert_eq!(t.retired_len(), 32, "every sampled request retired");
+        assert_eq!(t.live_len(), 0, "nothing left in flight");
+        for rec in t.retired_records() {
+            assert_eq!(rec.stamps.first().map(|&(s, _)| s), Some(ReqStage::Issued));
+            assert!(rec.is_retired());
+            assert!(
+                rec.stamps.windows(2).all(|w| w[0].1 <= w[1].1),
+                "stage timestamps monotone for request {}: {:?}",
+                rec.id,
+                rec.stamps
+            );
+            assert!(
+                rec.stamp_at(ReqStage::CombStore).is_some(),
+                "scatter request {} passed through the combining store",
+                rec.id
+            );
+        }
+        // Chain heads reach DRAM via their current-value read; at least one
+        // request per hot word must carry a Dram stamp.
+        assert!(
+            t.retired_records()
+                .any(|r| r.stamp_at(ReqStage::Dram).is_some()),
+            "demand fills attributed to originating requests"
+        );
+    }
+
+    #[test]
+    fn untraced_node_records_nothing() {
+        let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, false);
+        let mut now = Cycle(0);
+        for i in 0..8 {
+            node.inject_traced(sa_req(i, i, 1), now).unwrap();
+        }
+        let mut pending: VecDeque<MemRequest> = VecDeque::new();
+        for _ in 0..100_000 {
+            now += 1;
+            while let Some(req) = pending.pop_front() {
+                if let Err(req) = node.inject_traced(req, now) {
+                    pending.push_front(req);
+                    break;
+                }
+            }
+            node.tick(now);
+            while node.pop_completion().is_some() {}
+            if node.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(node.req_tracer().issued_len(), 0);
     }
 
     #[test]

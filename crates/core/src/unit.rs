@@ -6,6 +6,7 @@ use sa_sim::{
     combine, Addr, Cycle, MemOp, MemRequest, MemResponse, Origin, ReqId, SaUnitConfig, ScalarKind,
     ScatterOp,
 };
+use sa_telemetry::{ReqStage, ReqTracer};
 
 /// A read or write the unit sends toward the cache/DRAM behind it
 /// (steps b and 7 of Figure 4b).
@@ -14,14 +15,16 @@ pub enum ToMem {
     /// Fetch the current value of `addr` (step b: first request to an
     /// address not already being combined).
     Read {
-        /// Unit-local id used to sanity-check responses.
+        /// Id of the scatter request heading the address chain. Responses
+        /// are matched by address, so this exists purely to attribute the
+        /// downstream memory traffic to its originating request.
         id: ReqId,
         /// Word address to fetch.
         addr: Addr,
     },
     /// Write the finished sum out (step 7: no more pending additions).
     Write {
-        /// Unit-local id.
+        /// Id of the scatter request whose addition produced the final sum.
         id: ReqId,
         /// Word address to store to.
         addr: Addr,
@@ -144,7 +147,6 @@ pub struct ScatterAddUnit {
     values_in: VecDeque<(Addr, u64)>,
     to_mem: VecDeque<ToMem>,
     acks: VecDeque<MemResponse>,
-    next_mem_id: ReqId,
     stats: SaStats,
 }
 
@@ -166,7 +168,6 @@ impl ScatterAddUnit {
             values_in: VecDeque::new(),
             to_mem: VecDeque::new(),
             acks: VecDeque::new(),
-            next_mem_id: 0,
             stats: SaStats::default(),
             cfg,
         }
@@ -219,9 +220,8 @@ impl ScatterAddUnit {
             self.stats.combined += 1;
             EntryState::Pending
         } else {
-            self.next_mem_id += 1;
             self.to_mem.push_back(ToMem::Read {
-                id: self.next_mem_id,
+                id: req.id,
                 addr: req.addr,
             });
             self.stats.reads_issued += 1;
@@ -244,6 +244,30 @@ impl ScatterAddUnit {
         Ok(())
     }
 
+    /// [`try_submit`](Self::try_submit), stamping the request's
+    /// combining-store entry time into `tracer` on acceptance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back when the combining store is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is not a [`MemOp::Scatter`].
+    pub fn try_submit_traced(
+        &mut self,
+        req: MemRequest,
+        now: Cycle,
+        tracer: &mut ReqTracer,
+    ) -> Result<(), MemRequest> {
+        let id = req.id;
+        let r = self.try_submit(req);
+        if r.is_ok() {
+            tracer.stamp(id, ReqStage::CombStore, now.raw());
+        }
+        r
+    }
+
     /// Feed a current value fetched from memory back into the unit
     /// (steps 4–5, c of Figure 4b).
     pub fn on_value(&mut self, addr: Addr, bits: u64) {
@@ -253,6 +277,12 @@ impl ScatterAddUnit {
     /// Advance one cycle: retire at most one FU result and issue at most one
     /// new addition into the FU pipeline.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_traced(now, &mut ReqTracer::off());
+    }
+
+    /// [`tick`](Self::tick), stamping each request's entry into the FU
+    /// pipeline into `tracer`.
+    pub fn tick_traced(&mut self, now: Cycle, tracer: &mut ReqTracer) {
         self.stats.occupancy_integral += self.occupancy() as u64;
 
         // Retire a completed addition (needs a to_mem slot in the worst
@@ -283,9 +313,8 @@ impl ScatterAddUnit {
                 self.values_in.push_front((entry.addr, sum));
                 self.stats.chained += 1;
             } else {
-                self.next_mem_id += 1;
                 self.to_mem.push_back(ToMem::Write {
-                    id: self.next_mem_id,
+                    id: entry.id,
                     addr: entry.addr,
                     bits: sum,
                 });
@@ -309,6 +338,7 @@ impl ScatterAddUnit {
                 .unwrap_or_else(|| panic!("value for {addr} with no waiting entry"));
             let e = self.entries[slot].as_mut().expect("position found");
             e.state = EntryState::InFu;
+            tracer.stamp(e.id, ReqStage::FuPipe, now.raw());
             self.fu.push_back(FuOp {
                 done_at: now + u64::from(self.cfg.fu_latency),
                 slot,
@@ -746,6 +776,41 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entry_config_rejected() {
         let _ = unit(0, 1);
+    }
+
+    #[test]
+    fn traced_submit_and_tick_stamp_stages() {
+        let mut u = unit(8, 2);
+        let mut tracer = ReqTracer::every(1);
+        tracer.issue(7, 0, 1);
+        u.try_submit_traced(sa_req(7, 3, 1), Cycle(2), &mut tracer)
+            .unwrap();
+        let mut mem = std::collections::HashMap::new();
+        let mut now = Cycle(2);
+        for _ in 0..100 {
+            now += 1;
+            u.tick_traced(now, &mut tracer);
+            while let Some(op) = u.pop_to_mem() {
+                match op {
+                    ToMem::Read { addr, .. } => {
+                        let bits = mem.get(&addr.word_index()).copied().unwrap_or(0);
+                        u.on_value(addr, bits);
+                    }
+                    ToMem::Write { id, addr, bits } => {
+                        assert_eq!(id, 7, "write carries the originating request id");
+                        mem.insert(addr.word_index(), bits);
+                    }
+                }
+            }
+            while u.pop_ack().is_some() {}
+            if u.is_idle() {
+                break;
+            }
+        }
+        let rec = tracer.retire(7, now.raw()).expect("request sampled");
+        assert_eq!(rec.stamp_at(ReqStage::CombStore), Some(2));
+        let fu = rec.stamp_at(ReqStage::FuPipe).expect("FU entry stamped");
+        assert!(fu > 2, "FU entry follows combining-store entry");
     }
 
     #[test]

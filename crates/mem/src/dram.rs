@@ -32,6 +32,11 @@ pub enum DramKind {
 pub struct DramCommand {
     /// Request id echoed in the response.
     pub id: ReqId,
+    /// Originating memory/scatter request, when this burst is directly on
+    /// its critical path (a demand fill or write-around). `None` for traffic
+    /// with no single originator, e.g. eviction write-backs. Used only for
+    /// request-lifecycle tracing.
+    pub req: Option<ReqId>,
     /// First byte address of the burst (word aligned).
     pub base: Addr,
     /// Burst length in words. For writes this must equal the data length.
@@ -181,6 +186,7 @@ impl DramChannel {
     /// Advance one cycle; returns any command that completed this cycle.
     pub fn tick(&mut self, now: Cycle, store: &mut BackingStore) -> Option<DramResponse> {
         self.rate.tick();
+        self.queue.advance(now.raw());
 
         if self.service.is_none() {
             self.service = self.next.take();
@@ -333,6 +339,7 @@ mod tests {
     fn read_cmd(id: ReqId, base: u64, words: u32) -> DramCommand {
         DramCommand {
             id,
+            req: Some(id),
             base: Addr(base),
             words,
             kind: DramKind::Read,
@@ -358,6 +365,7 @@ mod tests {
         let mut ch = DramChannel::new(cfg());
         let cmd = DramCommand {
             id: 2,
+            req: None,
             base: Addr(64),
             words: 4,
             kind: DramKind::Write(vec![1, 2, 3, 4]),
@@ -462,6 +470,7 @@ mod tests {
         let mut ch = DramChannel::new(cfg());
         let cmd = DramCommand {
             id: 1,
+            req: None,
             base: Addr(0),
             words: 4,
             kind: DramKind::Write(vec![1, 2]),
@@ -493,6 +502,7 @@ mod tests {
         let other_row = c.row_bytes * c.banks_per_channel as u64;
         let w = DramCommand {
             id: 2,
+            req: None,
             base: Addr(other_row),
             words: 1,
             kind: DramKind::Write(vec![77]),

@@ -49,6 +49,7 @@ proptest! {
                         );
                         DramCommand {
                             id,
+                            req: Some(id),
                             base: Addr(line * 32),
                             words: 4,
                             kind: DramKind::Read,
@@ -59,6 +60,7 @@ proptest! {
                         reference.insert(*line, [data[0], data[1], data[2], data[3]]);
                         DramCommand {
                             id,
+                            req: None,
                             base: Addr(line * 32),
                             words: 4,
                             kind: DramKind::Write(data.clone()),

@@ -35,6 +35,7 @@ use sa_sim::{
     Addr, Clock, MachineConfig, MemOp, MemRequest, NetworkConfig, Origin, ReqId, ScalarKind,
     ScatterOp, WORD_BYTES,
 };
+use sa_telemetry::ReqTracer;
 
 /// Messages exchanged between nodes.
 #[derive(Clone, Debug)]
@@ -65,6 +66,11 @@ pub struct TraceReport {
     pub node_stats: Vec<NodeStats>,
     /// Network statistics.
     pub net: NetStats,
+    /// Merged request-lifecycle records from every node (empty unless
+    /// `MachineConfig::req_sample` enabled tracing). A remote request's
+    /// source-side stamps (issue, crossbar entry) and home-side stamps
+    /// (bank, DRAM, retire) are combined into one record per id.
+    pub req_trace: ReqTracer,
 }
 
 impl TraceReport {
@@ -239,6 +245,7 @@ impl MultiNode {
                 Injector {
                     items: (lo..hi).map(|j| (trace[j], values[j])).collect(),
                     cursor: 0,
+                    staged: None,
                 }
             })
             .collect();
@@ -247,6 +254,10 @@ impl MultiNode {
         let line_words = self.machine.cache.words_per_line() as u32;
         let line_bytes = self.machine.cache.line_bytes;
         let mut clock = Clock::with_limit(4_000_000_000);
+        // Source-side lifecycle stamps for requests that cross the fabric;
+        // each node's own tracer covers the portion it observes, and the
+        // two are merged by id into the report at the end of the run.
+        let mut req_trace = ReqTracer::every(self.machine.req_sample);
         let mut next_id: ReqId = 1;
         let mut app_acks = 0usize;
         let mut apply_pending = 0usize; // sum-back word applications in flight
@@ -264,7 +275,7 @@ impl MultiNode {
                     match &msg.payload {
                         NetMsg::Request(req) => {
                             let req = *req;
-                            if self.nodes[i].inject(req).is_ok() {
+                            if self.nodes[i].inject_traced(req, now).is_ok() {
                                 let _ = self.net.pop_delivered(i);
                             } else {
                                 break;
@@ -300,47 +311,68 @@ impl MultiNode {
                                     },
                                     origin: Origin::Remote { node: i },
                                 };
-                                self.nodes[i].inject(req).expect("room checked");
+                                self.nodes[i].inject_traced(req, now).expect("room checked");
                                 apply_pending += 1;
                             }
                         }
                     }
                 }
 
-                // Inject this node's share of the trace.
+                // Inject this node's share of the trace. A request that the
+                // node or the fabric rejects stays staged and retries with
+                // the *same* id next cycle, so its (idempotent) issue stamp
+                // keeps measuring the first attempt.
                 let inj = &mut injectors[i];
                 for _ in 0..issue_width {
-                    let Some(&(word, value)) = inj.items.get(inj.cursor) else {
-                        break;
+                    let req = match inj.staged.take() {
+                        Some(r) => r,
+                        None => {
+                            let Some(&(word, value)) = inj.items.get(inj.cursor) else {
+                                break;
+                            };
+                            next_id += 1;
+                            MemRequest {
+                                id: next_id,
+                                addr: Addr::from_word_index(word),
+                                op: MemOp::Scatter {
+                                    bits: value.to_bits(),
+                                    kind: ScalarKind::F64,
+                                    op: ScatterOp::Add,
+                                    fetch: false,
+                                },
+                                origin: Origin::AddrGen { node: i, ag: 0 },
+                            }
+                        }
                     };
-                    let addr = Addr::from_word_index(word);
-                    let home = self.home_of(addr);
-                    next_id += 1;
-                    let req = MemRequest {
-                        id: next_id,
-                        addr,
-                        op: MemOp::Scatter {
-                            bits: value.to_bits(),
-                            kind: ScalarKind::F64,
-                            op: ScatterOp::Add,
-                            fetch: false,
-                        },
-                        origin: Origin::AddrGen { node: i, ag: 0 },
-                    };
+                    let home = self.home_of(req.addr);
                     if self.combining || home == i {
-                        match self.nodes[i].inject(req) {
+                        match self.nodes[i].inject_traced(req, now) {
                             Ok(()) => inj.cursor += 1,
-                            Err(_) => break,
+                            Err(r) => {
+                                inj.staged = Some(r);
+                                break;
+                            }
                         }
                     } else {
                         // One word of payload (the paper's low-bandwidth
                         // network carries one word per cycle per node).
                         if self.net.can_inject(i) {
+                            // The request is issued here at node i's address
+                            // generator even though it executes at its home;
+                            // stamp the source-side stages into the run-level
+                            // tracer for the merge at end of run.
+                            req_trace.issue(req.id, i, now.raw());
                             self.net
-                                .try_inject(Message::new(i, home, 1, NetMsg::Request(req)))
+                                .try_inject_traced(
+                                    Message::new(i, home, 1, NetMsg::Request(req)),
+                                    now,
+                                    Some(req.id),
+                                    &mut req_trace,
+                                )
                                 .expect("capacity checked");
                             inj.cursor += 1;
                         } else {
+                            inj.staged = Some(req);
                             break;
                         }
                     }
@@ -399,7 +431,7 @@ impl MultiNode {
                             },
                             origin: Origin::Remote { node: i },
                         };
-                        self.nodes[i].inject(req).expect("room checked");
+                        self.nodes[i].inject_traced(req, now).expect("room checked");
                         apply_pending += 1;
                     }
                 }
@@ -456,8 +488,13 @@ impl MultiNode {
         }
 
         // Materialize coherent per-node memory for verification reads.
+        // While at it, fold every node's lifecycle records into the
+        // run-level tracer: a remote request's source- and home-side stamps
+        // merge into one record keyed by id.
         for node in &mut self.nodes {
             node.flush_to_store();
+            req_trace.absorb(node.take_req_trace());
+            node.set_req_sample(self.machine.req_sample);
         }
 
         TraceReport {
@@ -468,6 +505,7 @@ impl MultiNode {
             flush_rounds,
             node_stats: self.nodes.iter().map(NodeMemSys::stats).collect(),
             net: self.net.stats(),
+            req_trace,
         }
     }
 }
@@ -476,6 +514,9 @@ impl MultiNode {
 struct Injector {
     items: Vec<(u64, f64)>,
     cursor: usize,
+    /// A request already minted for `items[cursor]` that was rejected by a
+    /// full queue; retried verbatim so the id is stable across attempts.
+    staged: Option<MemRequest>,
 }
 
 /// Sequential reference: the expected value of every touched word.
@@ -582,6 +623,52 @@ mod tests {
             t4c > t4,
             "combining ({t4c:.2} GB/s) should beat direct ({t4:.2} GB/s) on a slow network"
         );
+    }
+
+    #[test]
+    fn traced_run_merges_remote_lifecycles() {
+        use sa_telemetry::ReqStage;
+
+        let (trace, values) = uniform_trace(2000, 4096, 11);
+        let mut cfg = machine();
+        cfg.req_sample = 4;
+        let mut mn = MultiNode::new(cfg, 4, NetworkConfig::high(), false);
+        let r = mn.run_trace(&trace, &values);
+        verify(&mn, &trace, &values);
+
+        let rt = &r.req_trace;
+        assert!(rt.retired_len() > 0, "sampled requests were recorded");
+        assert_eq!(rt.live_len(), 0, "every sampled request retired");
+        let mut crossed = 0u64;
+        for rec in rt.retired_records() {
+            assert_eq!(
+                rec.stamps.first().map(|&(s, _)| s),
+                Some(ReqStage::Issued),
+                "record {} starts at issue",
+                rec.id
+            );
+            assert!(
+                rec.stamps.windows(2).all(|w| w[0].1 <= w[1].1),
+                "record {} has non-monotone stamps: {:?}",
+                rec.id,
+                rec.stamps
+            );
+            if let Some(x) = rec.stamp_at(ReqStage::Crossbar) {
+                crossed += 1;
+                // The merge put the source-side issue before fabric entry.
+                assert!(rec.stamp_at(ReqStage::Issued).unwrap() <= x);
+                assert!(rec.node < 4);
+            }
+        }
+        assert!(crossed > 0, "remote requests stamped the crossbar stage");
+    }
+
+    #[test]
+    fn untraced_run_records_nothing() {
+        let (trace, values) = uniform_trace(500, 256, 12);
+        let mut mn = MultiNode::new(machine(), 2, NetworkConfig::high(), false);
+        let r = mn.run_trace(&trace, &values);
+        assert_eq!(r.req_trace.issued_len(), 0);
     }
 
     #[test]

@@ -32,7 +32,8 @@
 
 use std::collections::VecDeque;
 
-use sa_sim::{BoundedQueue, Cycle, NetworkConfig, QueueStats};
+use sa_sim::{BoundedQueue, Cycle, NetworkConfig, QueueStats, ReqId};
+use sa_telemetry::{ReqStage, ReqTracer};
 
 /// A message travelling between nodes.
 #[derive(Clone, Debug, PartialEq)]
@@ -168,8 +169,42 @@ impl<T> Crossbar<T> {
             .map_err(|(m, _)| m)
     }
 
+    /// Queue a message at its source port, stamping [`ReqStage::Crossbar`]
+    /// on the carried request's lifecycle record when it enters the fabric.
+    ///
+    /// The crossbar is generic over its payload, so the caller names the
+    /// request id (if the message carries one); pass `None` for traffic with
+    /// no single originating request, such as evicted partial-sum lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back when the source queue is full (nothing is
+    /// stamped in that case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range.
+    pub fn try_inject_traced(
+        &mut self,
+        msg: Message<T>,
+        now: Cycle,
+        req: Option<ReqId>,
+        tracer: &mut ReqTracer,
+    ) -> Result<(), Message<T>> {
+        let r = self.try_inject(msg);
+        if r.is_ok() {
+            if let Some(id) = req {
+                tracer.stamp(id, ReqStage::Crossbar, now.raw());
+            }
+        }
+        r
+    }
+
     /// Advance the fabric one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        for q in self.in_q.iter_mut().chain(self.out_q.iter_mut()) {
+            q.advance(now.raw());
+        }
         let bw = self.cfg.node_words_per_cycle;
 
         // Ejection: move up to `bw` words per port into the delivery queue;
@@ -339,6 +374,21 @@ mod tests {
         }
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
         assert!(net.is_idle());
+    }
+
+    #[test]
+    fn traced_injection_stamps_crossbar_entry() {
+        let mut net: Crossbar<u32> = Crossbar::new(2, high());
+        let mut tracer = ReqTracer::every(1);
+        tracer.issue(42, 0, 3);
+        net.try_inject_traced(Message::new(0, 1, 1, 7), Cycle(5), Some(42), &mut tracer)
+            .unwrap();
+        // Traffic without an originating request stamps nothing.
+        net.try_inject_traced(Message::new(0, 1, 1, 8), Cycle(6), None, &mut tracer)
+            .unwrap();
+        let rec = tracer.retire(42, 9).expect("record is live");
+        assert_eq!(rec.stamp_at(ReqStage::Crossbar), Some(5));
+        assert_eq!(tracer.issued_len(), 1);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct ExecReport {
     /// a modeling red flag meaning the program's stages should be split
     /// (the simulator still completes; real double-buffered code could not).
     pub srf_overflow: bool,
+    /// Request-lifecycle records harvested from the node (empty unless
+    /// [`MachineConfig::req_sample`](sa_sim::MachineConfig) enabled tracing).
+    pub req_trace: sa_telemetry::ReqTracer,
 }
 
 impl ExecReport {
@@ -264,7 +267,7 @@ impl Executor {
                         },
                         StreamOp::Kernel { .. } => unreachable!("kernels don't use AGs"),
                     };
-                    match node.inject(req) {
+                    match node.inject_traced(req, now) {
                         Ok(()) => {
                             req_owner.insert(next_id, run.op);
                             next_id += 1;
@@ -318,6 +321,7 @@ impl Executor {
             mem_refs: prog.total_mem_refs(),
             peak_srf_words: peak_srf,
             srf_overflow: peak_srf > srf_capacity,
+            req_trace: node.take_req_trace(),
         }
     }
 }

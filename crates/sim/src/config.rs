@@ -328,6 +328,10 @@ pub struct MachineConfig {
     pub ag: AgConfig,
     /// Compute cluster parameters.
     pub compute: ComputeConfig,
+    /// Request-lifecycle tracing: record the full stage-by-stage timeline of
+    /// one in `req_sample` requests (0 = off, the default). Pure observation;
+    /// never affects simulated time.
+    pub req_sample: u64,
 }
 
 // `f64` keeps MachineConfig from deriving Eq mechanically; ghz is always a
@@ -344,6 +348,7 @@ impl MachineConfig {
             dram: DramConfig::default(),
             ag: AgConfig::default(),
             compute: ComputeConfig::default(),
+            req_sample: 0,
         }
     }
 

@@ -37,12 +37,37 @@ impl<T> BoundedQueue<T> {
     /// Panics if `capacity` is zero — a zero-capacity queue can never carry
     /// traffic and always indicates a configuration bug.
     pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue::new_at(capacity, 0)
+    }
+
+    /// [`BoundedQueue::new`] for a queue constructed mid-run at cycle `now`.
+    ///
+    /// Recording the construction cycle lets [`QueueStats::cycle_utilization`]
+    /// normalize by the cycles the queue actually existed instead of the
+    /// whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new_at(capacity: usize, now: u64) -> BoundedQueue<T> {
         assert!(capacity > 0, "queue capacity must be positive");
         BoundedQueue {
             items: VecDeque::with_capacity(capacity),
             capacity,
-            stats: QueueStats::default(),
+            stats: QueueStats {
+                created_at: now,
+                advanced_to: now,
+                capacity: capacity as u64,
+                ..QueueStats::default()
+            },
         }
+    }
+
+    /// Fold the cycles elapsed up to `now` into the time-weighted occupancy
+    /// statistics at the current occupancy. Owners call this once per tick.
+    #[inline]
+    pub fn advance(&mut self, now: u64) {
+        self.stats.advance(self.items.len() as u64, now);
     }
 
     /// Whether one more item fits.
@@ -180,6 +205,40 @@ mod tests {
         assert_eq!(q.take_first(|&x| x % 2 == 0), Some(2));
         let rest: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(rest, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn mid_run_queue_normalizes_utilization_by_its_own_lifetime() {
+        // Regression: utilization used to be normalized against the whole
+        // run, so a queue created mid-run looked almost idle. Two queues
+        // with identical traffic must report identical cycle utilization
+        // regardless of when they were constructed.
+        let drive = |mut q: BoundedQueue<u32>, start: u64| {
+            for now in start..start + 100 {
+                q.advance(now);
+                if q.len() < 2 {
+                    q.try_push(now as u32).unwrap();
+                }
+                if now % 4 == 3 {
+                    q.pop();
+                }
+            }
+            q.advance(start + 100);
+            q.stats()
+        };
+        let from_zero = drive(BoundedQueue::new(4), 0);
+        let mid_run = drive(BoundedQueue::new_at(4, 100_000), 100_000);
+        assert!(from_zero.cycle_utilization() > 0.0);
+        assert!(
+            (from_zero.cycle_utilization() - mid_run.cycle_utilization()).abs() < 1e-12,
+            "construction time must not skew utilization: {} vs {}",
+            from_zero.cycle_utilization(),
+            mid_run.cycle_utilization()
+        );
+        // Normalizing the mid-run queue's integral by all 100_100 elapsed
+        // cycles (the old bug) would report far less than the true figure.
+        let diluted = mid_run.occ_integral as f64 / (100_100.0 * 4.0);
+        assert!(diluted < mid_run.cycle_utilization() / 100.0);
     }
 
     #[test]

@@ -58,6 +58,14 @@ pub struct QueueStats {
     /// Post-push occupancy histogram: bucket `i` counts pushes that left the
     /// queue in octile `i` of its capacity (bucket 7 = at/near full).
     pub occ_hist: [u64; QUEUE_OCC_BUCKETS],
+    /// Cycle the queue was constructed (nonzero for queues created mid-run).
+    pub created_at: u64,
+    /// Last cycle folded into [`QueueStats::occ_integral`] by
+    /// [`QueueStats::advance`] (min over merged queues is `created_at`).
+    pub advanced_to: u64,
+    /// Time-weighted occupancy integral in item-cycles, maintained by
+    /// [`QueueStats::advance`].
+    pub occ_integral: u64,
 }
 
 impl QueueStats {
@@ -102,12 +110,42 @@ impl QueueStats {
         }
     }
 
+    /// Fold the elapsed cycles since the last advance (or since
+    /// construction, whichever is later) into the occupancy integral, at the
+    /// occupancy that held over that interval.
+    #[inline]
+    pub fn advance(&mut self, occupancy: u64, now: u64) {
+        let from = self.advanced_to.max(self.created_at);
+        if now > from {
+            self.occ_integral += occupancy * (now - from);
+            self.advanced_to = now;
+        }
+    }
+
+    /// Mean fractional occupancy *per cycle since construction*, in `[0, 1]`.
+    ///
+    /// Unlike the per-run normalization this used to share with every other
+    /// queue, the denominator is the cycles the queue actually existed
+    /// (`advanced_to - created_at`), so a queue created mid-run is not
+    /// diluted by cycles that predate it. Returns `0.0` before the first
+    /// [`QueueStats::advance`] or when the capacity is unknown.
+    pub fn cycle_utilization(&self) -> f64 {
+        let cycles = self.advanced_to.saturating_sub(self.created_at);
+        let denom = cycles * self.capacity;
+        if denom == 0 {
+            0.0
+        } else {
+            self.occ_integral as f64 / denom as f64
+        }
+    }
+
     /// Record this queue's counters into a telemetry scope.
     pub fn record(&self, scope: &mut Scope<'_>) {
         scope.counter("enqueued", self.enqueued);
         scope.counter("rejected", self.rejected);
         scope.gauge("peak_occupancy", self.peak_occupancy as f64);
         scope.gauge("utilization", self.utilization());
+        scope.gauge("cycle_utilization", self.cycle_utilization());
         scope.histogram(
             "occupancy",
             &HistogramMetric::from_counts(&self.occ_hist, "octile-of-capacity"),
@@ -125,6 +163,9 @@ impl QueueStats {
         for (a, b) in self.occ_hist.iter_mut().zip(other.occ_hist.iter()) {
             *a += b;
         }
+        self.created_at = self.created_at.min(other.created_at);
+        self.advanced_to = self.advanced_to.max(other.advanced_to);
+        self.occ_integral += other.occ_integral;
     }
 }
 
@@ -214,6 +255,31 @@ mod tests {
         s.observe_push(3, 4);
         // (1 + 3) / (2 pushes * capacity 4) = 0.5
         assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_utilization_normalizes_by_lifetime() {
+        // A queue constructed at cycle 1000 that then holds 2 of 4 slots for
+        // 100 cycles is 50% utilized — cycles before its construction must
+        // not dilute the figure.
+        let mut s = QueueStats {
+            created_at: 1000,
+            advanced_to: 1000,
+            capacity: 4,
+            ..QueueStats::default()
+        };
+        s.advance(2, 1100);
+        assert!((s.cycle_utilization() - 0.5).abs() < 1e-12);
+        // Advancing with a stale cycle is a no-op.
+        s.advance(4, 1050);
+        assert!((s.cycle_utilization() - 0.5).abs() < 1e-12);
+        // An un-advanced queue reports zero rather than dividing by zero.
+        let fresh = QueueStats {
+            created_at: 7,
+            capacity: 4,
+            ..QueueStats::default()
+        };
+        assert_eq!(fresh.cycle_utilization(), 0.0);
     }
 
     fn sample_stats(seed: u64) -> QueueStats {

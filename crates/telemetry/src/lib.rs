@@ -1,6 +1,6 @@
 //! Unified telemetry layer for the scatter-add simulator.
 //!
-//! Four pieces, all dependency-free:
+//! Five pieces, all dependency-free:
 //!
 //! * a hierarchical **metrics registry** ([`MetricsRegistry`]) keyed by
 //!   dotted paths (`node0.cache.bank3.mshr_full`) holding counters, gauges,
@@ -12,6 +12,10 @@
 //!   implementation ([`NullTrace`]) and a Chrome `trace_event` JSON
 //!   implementation ([`ChromeTrace`]) that opens in `chrome://tracing` and
 //!   Perfetto;
+//! * **request-lifecycle tracing** ([`ReqTracer`]): a 1-in-N sample of
+//!   requests carries timestamped [`ReqStage`] records from address-generator
+//!   issue to retirement, from which per-stage latency percentiles and an
+//!   end-to-end attribution table are derived;
 //! * a small **JSON** value type ([`Json`]) with a deterministic writer and a
 //!   recursive-descent parser, used for the versioned `--stats-json` export
 //!   (see [`stats_json`] / [`validate_stats_json`]).
@@ -28,7 +32,10 @@ use std::io::{self, Write as _};
 use std::path::Path;
 
 /// Version stamped into every stats JSON document as `"version"`.
-pub const STATS_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the optional `latency` (per-kernel per-stage percentiles from
+/// [`ReqTracer`]) and `attribution` (per-kernel stall tables) sections.
+pub const STATS_SCHEMA_VERSION: u64 = 2;
 
 /// Identifier stamped into every stats JSON document as `"schema"`.
 pub const STATS_SCHEMA_NAME: &str = "sa-stats";
@@ -514,6 +521,379 @@ impl TraceSink for ChromeTrace {
 }
 
 // ---------------------------------------------------------------------------
+// Request-lifecycle tracing
+// ---------------------------------------------------------------------------
+
+/// Lifecycle stages of a memory/scatter-add request, in pipeline order.
+///
+/// Not every request visits every stage: a read hit never touches the MSHR
+/// file or DRAM, a combined scatter-add never issues its own fill, and the
+/// crossbar only appears on multi-node runs. Stage *durations* are derived
+/// from consecutive stamps, so absent stages simply contribute nothing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReqStage {
+    /// Presented by the address generator (first injection attempt).
+    Issued,
+    /// Accepted into a bank input queue.
+    Enqueued,
+    /// Injected into the inter-node crossbar (multi-node runs only).
+    Crossbar,
+    /// Won cache-bank arbitration (the bank port accepted the access).
+    BankArb,
+    /// Allocated or merged into an MSHR (cache miss path).
+    Mshr,
+    /// Accepted into the combining store of a scatter-add unit.
+    CombStore,
+    /// Entered the scatter-add functional-unit pipeline.
+    FuPipe,
+    /// Submitted to a DRAM channel.
+    Dram,
+    /// Reply delivered / acknowledgement posted.
+    Retired,
+}
+
+impl ReqStage {
+    /// All stages in pipeline order.
+    pub const ALL: [ReqStage; 9] = [
+        ReqStage::Issued,
+        ReqStage::Enqueued,
+        ReqStage::Crossbar,
+        ReqStage::BankArb,
+        ReqStage::Mshr,
+        ReqStage::CombStore,
+        ReqStage::FuPipe,
+        ReqStage::Dram,
+        ReqStage::Retired,
+    ];
+
+    /// Stable snake_case name used in stats documents and trace spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReqStage::Issued => "issued",
+            ReqStage::Enqueued => "enqueued",
+            ReqStage::Crossbar => "crossbar",
+            ReqStage::BankArb => "bank_arb",
+            ReqStage::Mshr => "mshr",
+            ReqStage::CombStore => "comb_store",
+            ReqStage::FuPipe => "fu_pipe",
+            ReqStage::Dram => "dram",
+            ReqStage::Retired => "retired",
+        }
+    }
+}
+
+/// The timestamped lifecycle of one sampled request.
+///
+/// Stamps are appended in simulation order, so their cycles are monotonically
+/// non-decreasing; each stage appears at most once (the first occurrence
+/// wins, which makes retried operations measure their *initial* attempt).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReqRecord {
+    /// The request id (`MemRequest::id` in `sa-sim` terms).
+    pub id: u64,
+    /// The node whose address generator issued the request.
+    pub node: usize,
+    /// `(stage, cycle)` stamps in the order they occurred.
+    pub stamps: Vec<(ReqStage, u64)>,
+}
+
+impl ReqRecord {
+    fn add_stamp(&mut self, stage: ReqStage, cycle: u64) {
+        if !self.stamps.iter().any(|&(s, _)| s == stage) {
+            self.stamps.push((stage, cycle));
+        }
+    }
+
+    /// The cycle a stage was stamped, if the request visited it.
+    pub fn stamp_at(&self, stage: ReqStage) -> Option<u64> {
+        self.stamps
+            .iter()
+            .find(|&&(s, _)| s == stage)
+            .map(|&(_, c)| c)
+    }
+
+    /// Whether a [`ReqStage::Retired`] stamp is present.
+    pub fn is_retired(&self) -> bool {
+        self.stamp_at(ReqStage::Retired).is_some()
+    }
+
+    /// Cycles from the first stamp to the last.
+    pub fn end_to_end(&self) -> u64 {
+        match (self.stamps.first(), self.stamps.last()) {
+            (Some(&(_, first)), Some(&(_, last))) => last.saturating_sub(first),
+            _ => 0,
+        }
+    }
+}
+
+/// Records the lifecycle of a deterministic 1-in-N sample of requests.
+///
+/// The tracer is runtime-gated rather than monomorphized: with `sample == 0`
+/// (the [`ReqTracer::off`] default) every call short-circuits on a single
+/// integer compare, so the hot loop pays nothing when request tracing is
+/// disabled. Sampling selects ids with `id % sample == 0`, which is
+/// deterministic and independent of timing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReqTracer {
+    sample: u64,
+    live: BTreeMap<u64, ReqRecord>,
+    retired: BTreeMap<u64, ReqRecord>,
+}
+
+impl ReqTracer {
+    /// A disabled tracer; every call is a no-op.
+    pub fn off() -> ReqTracer {
+        ReqTracer::default()
+    }
+
+    /// A tracer sampling one in `sample` requests (0 disables).
+    pub fn every(sample: u64) -> ReqTracer {
+        ReqTracer {
+            sample,
+            live: BTreeMap::new(),
+            retired: BTreeMap::new(),
+        }
+    }
+
+    /// The sampling interval (0 = off).
+    pub fn sample(&self) -> u64 {
+        self.sample
+    }
+
+    /// Whether any request will be recorded.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.sample != 0
+    }
+
+    /// Whether `id` falls in the sample.
+    #[inline]
+    pub fn wants(&self, id: u64) -> bool {
+        self.sample != 0 && id.is_multiple_of(self.sample)
+    }
+
+    /// Begin a record for `id` with an [`ReqStage::Issued`] stamp.
+    ///
+    /// Idempotent: re-issuing a live or already-retired id (a retried
+    /// injection) is a no-op, so the stamp reflects the first attempt.
+    #[inline]
+    pub fn issue(&mut self, id: u64, node: usize, cycle: u64) {
+        if !self.wants(id) {
+            return;
+        }
+        self.issue_slow(id, node, cycle);
+    }
+
+    fn issue_slow(&mut self, id: u64, node: usize, cycle: u64) {
+        if self.retired.contains_key(&id) {
+            return;
+        }
+        self.live.entry(id).or_insert_with(|| ReqRecord {
+            id,
+            node,
+            stamps: vec![(ReqStage::Issued, cycle)],
+        });
+    }
+
+    /// Stamp `stage` on a live record; first occurrence wins. No-op for ids
+    /// outside the sample or not (or no longer) live, so repurposed ids that
+    /// outlive their request are harmless.
+    #[inline]
+    pub fn stamp(&mut self, id: u64, stage: ReqStage, cycle: u64) {
+        if self.sample == 0 {
+            return;
+        }
+        if let Some(rec) = self.live.get_mut(&id) {
+            rec.add_stamp(stage, cycle);
+        }
+    }
+
+    /// Move a live record to the retired set with a [`ReqStage::Retired`]
+    /// stamp, returning it for streaming span emission.
+    #[inline]
+    pub fn retire(&mut self, id: u64, cycle: u64) -> Option<&ReqRecord> {
+        if self.sample == 0 {
+            return None;
+        }
+        let mut rec = self.live.remove(&id)?;
+        rec.add_stamp(ReqStage::Retired, cycle);
+        Some(self.retired.entry(id).or_insert(rec))
+    }
+
+    /// Number of sampled requests issued (live + retired).
+    pub fn issued_len(&self) -> u64 {
+        (self.live.len() + self.retired.len()) as u64
+    }
+
+    /// Number of sampled requests still in flight.
+    pub fn live_len(&self) -> u64 {
+        self.live.len() as u64
+    }
+
+    /// Number of sampled requests retired.
+    pub fn retired_len(&self) -> u64 {
+        self.retired.len() as u64
+    }
+
+    /// Retired records in ascending id order.
+    pub fn retired_records(&self) -> impl Iterator<Item = &ReqRecord> {
+        self.retired.values()
+    }
+
+    /// Merge another tracer's records into this one (multi-node runs, where
+    /// each node stamps the portion of a request's life it observes).
+    ///
+    /// Records with the same id are combined: stamps are concatenated,
+    /// stably sorted by cycle, and deduplicated per stage keeping the
+    /// earliest. A record is retired iff either side saw retirement.
+    pub fn absorb(&mut self, other: ReqTracer) {
+        if other.sample != 0 && self.sample == 0 {
+            self.sample = other.sample;
+        }
+        for rec in other.live.into_values().chain(other.retired.into_values()) {
+            let id = rec.id;
+            let existing = match self.live.remove(&id) {
+                Some(e) => Some(e),
+                None => self.retired.remove(&id),
+            };
+            let merged = match existing {
+                None => rec,
+                Some(mut e) => {
+                    e.stamps.extend(rec.stamps);
+                    e.stamps.sort_by_key(|&(_, c)| c);
+                    let mut seen = Vec::new();
+                    e.stamps.retain(|&(s, _)| {
+                        if seen.contains(&s) {
+                            false
+                        } else {
+                            seen.push(s);
+                            true
+                        }
+                    });
+                    e
+                }
+            };
+            if merged.is_retired() {
+                self.retired.insert(id, merged);
+            } else {
+                self.live.insert(id, merged);
+            }
+        }
+    }
+
+    /// The per-stage and end-to-end latency report over retired records, as
+    /// the `latency.<kernel>` object of a v2 stats document.
+    ///
+    /// A stage's duration in one record is the gap to the *next* stamp; its
+    /// `share_pct` is the stage's summed duration as a percentage of the
+    /// summed end-to-end latency — the critical-path attribution table.
+    pub fn latency_json(&self) -> Json {
+        let mut per_stage: Vec<Vec<u64>> = vec![Vec::new(); ReqStage::ALL.len()];
+        let mut end_to_end: Vec<u64> = Vec::new();
+        for rec in self.retired.values() {
+            for pair in rec.stamps.windows(2) {
+                let (stage, start) = pair[0];
+                let (_, end) = pair[1];
+                per_stage[stage as usize].push(end.saturating_sub(start));
+            }
+            end_to_end.push(rec.end_to_end());
+        }
+        let total_e2e: u64 = end_to_end.iter().sum();
+        let mut stages = Json::obj();
+        for stage in ReqStage::ALL {
+            let durations = std::mem::take(&mut per_stage[stage as usize]);
+            if let Some(summary) = LatencySummary::from_durations(durations) {
+                let mut o = summary.to_json();
+                let share = if total_e2e == 0 {
+                    0.0
+                } else {
+                    summary.total as f64 * 100.0 / total_e2e as f64
+                };
+                o.push("share_pct", Json::Num(share));
+                stages.push(stage.name(), o);
+            }
+        }
+        let mut out = Json::obj();
+        out.push("sample", Json::UInt(self.sample));
+        out.push("issued", Json::UInt(self.issued_len()));
+        out.push("retired", Json::UInt(self.retired_len()));
+        out.push("stages", stages);
+        if let Some(summary) = LatencySummary::from_durations(end_to_end) {
+            out.push("end_to_end", summary.to_json());
+        }
+        out
+    }
+}
+
+/// Percentile summary of a set of cycle durations.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub total: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarize `durations` (consumed and sorted); `None` if empty.
+    ///
+    /// Percentiles use the nearest-rank index `(len - 1) * p / 100` on the
+    /// sorted data, so `p50` of a single observation is that observation.
+    pub fn from_durations(mut durations: Vec<u64>) -> Option<LatencySummary> {
+        if durations.is_empty() {
+            return None;
+        }
+        durations.sort_unstable();
+        let idx = |p: u64| durations[((durations.len() - 1) as u64 * p / 100) as usize];
+        Some(LatencySummary {
+            count: durations.len() as u64,
+            total: durations.iter().sum(),
+            p50: idx(50),
+            p90: idx(90),
+            p99: idx(99),
+            max: *durations.last().expect("nonempty"),
+        })
+    }
+
+    /// As a `{"count", "total", "p50", "p90", "p99", "max"}` object.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.push("count", Json::UInt(self.count));
+        o.push("total", Json::UInt(self.total));
+        o.push("p50", Json::UInt(self.p50));
+        o.push("p90", Json::UInt(self.p90));
+        o.push("p99", Json::UInt(self.p99));
+        o.push("max", Json::UInt(self.max));
+        o
+    }
+}
+
+/// Emit one span per stage of `record` onto `sink`, on the per-request track
+/// `node<N>.req<ID>`.
+///
+/// The node id in the track name keeps multi-node traces from interleaving
+/// requests of different nodes into one Perfetto lane.
+pub fn emit_req_spans<T: TraceSink>(record: &ReqRecord, sink: &mut T) {
+    if !sink.enabled() {
+        return;
+    }
+    let track = format!("node{}.req{}", record.node, record.id);
+    for pair in record.stamps.windows(2) {
+        let (stage, start) = pair[0];
+        let (_, end) = pair[1];
+        sink.span(&track, stage.name(), start, end);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // JSON
 // ---------------------------------------------------------------------------
 
@@ -914,19 +1294,39 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 /// ```json
 /// {
 ///   "schema": "sa-stats",
-///   "version": 1,
+///   "version": 2,
 ///   "bench": "fig6",
 ///   "config": { ... },
 ///   "metrics": { "node0.cache.bank0.read_hits": 123, ... },
 ///   "series": { "interval": 256, "series": { ... } },
+///   "latency": { "<kernel>": { "sample": 64, "stages": { ... }, ... } },
+///   "attribution": { "<kernel>": { "cycles": 1234, "mshr_full": { ... } } },
 ///   "rows": [ {"label": "...", "cells": {"col": "val"}}, ... ]
 /// }
 /// ```
+///
+/// `latency` and `attribution` (new in v2) are optional; [`stats_json`]
+/// omits them, [`stats_json_with`] takes them explicitly.
 pub fn stats_json(
     bench: &str,
     config: Json,
     metrics: &MetricsRegistry,
     series: Option<&SeriesSet>,
+    rows: Json,
+) -> Json {
+    stats_json_with(bench, config, metrics, series, None, None, rows)
+}
+
+/// [`stats_json`] plus the v2 `latency` and `attribution` sections: objects
+/// keyed by kernel name holding [`ReqTracer::latency_json`] reports and
+/// stall-attribution tables respectively.
+pub fn stats_json_with(
+    bench: &str,
+    config: Json,
+    metrics: &MetricsRegistry,
+    series: Option<&SeriesSet>,
+    latency: Option<Json>,
+    attribution: Option<Json>,
     rows: Json,
 ) -> Json {
     let mut doc = Json::obj();
@@ -937,6 +1337,12 @@ pub fn stats_json(
     doc.push("metrics", metrics.to_json());
     if let Some(s) = series {
         doc.push("series", s.to_json());
+    }
+    if let Some(l) = latency {
+        doc.push("latency", l);
+    }
+    if let Some(a) = attribution {
+        doc.push("attribution", a);
     }
     doc.push("rows", rows);
     doc
@@ -1005,6 +1411,55 @@ pub fn validate_stats_json(doc: &Json) -> Result<(), String> {
                 });
                 if !ok {
                     return Err(format!("series '{name}' has a malformed point"));
+                }
+            }
+        }
+    }
+    if let Some(latency) = doc.get("latency") {
+        let kernels = latency.as_obj().ok_or("'latency' is not an object")?;
+        for (kernel, report) in kernels {
+            for field in ["sample", "issued", "retired"] {
+                report
+                    .get(field)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("latency '{kernel}' missing numeric '{field}'"))?;
+            }
+            let stages = report
+                .get("stages")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("latency '{kernel}' missing 'stages' object"))?;
+            let summaries = stages
+                .iter()
+                .map(|(n, s)| (n.as_str(), s))
+                .chain(report.get("end_to_end").map(|s| ("end_to_end", s)));
+            for (name, summary) in summaries {
+                for field in ["count", "total", "p50", "p90", "p99", "max"] {
+                    summary.get(field).and_then(Json::as_u64).ok_or_else(|| {
+                        format!("latency '{kernel}.{name}' missing numeric '{field}'")
+                    })?;
+                }
+            }
+        }
+    }
+    if let Some(attribution) = doc.get("attribution") {
+        let kernels = attribution
+            .as_obj()
+            .ok_or("'attribution' is not an object")?;
+        for (kernel, table) in kernels {
+            table
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("attribution '{kernel}' missing numeric 'cycles'"))?;
+            for (cause, entry) in table.as_obj().into_iter().flatten() {
+                if cause == "cycles" {
+                    continue;
+                }
+                let ok = entry.get("events").and_then(Json::as_u64).is_some()
+                    && entry.get("pct").and_then(Json::as_f64).is_some();
+                if !ok {
+                    return Err(format!(
+                        "attribution '{kernel}.{cause}' is not an {{events, pct}} object"
+                    ));
                 }
             }
         }
@@ -1198,6 +1653,183 @@ mod tests {
         doc.push("schema", Json::Str("sa-stats".to_string()));
         doc.push("version", Json::UInt(99));
         assert!(validate_stats_json(&doc).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn req_tracer_off_is_inert() {
+        let mut t = ReqTracer::off();
+        assert!(!t.is_on());
+        t.issue(0, 0, 5);
+        t.stamp(0, ReqStage::Enqueued, 6);
+        assert!(t.retire(0, 7).is_none());
+        assert_eq!(t.issued_len(), 0);
+    }
+
+    #[test]
+    fn req_tracer_samples_and_stamps_in_order() {
+        let mut t = ReqTracer::every(2);
+        for id in 0..4u64 {
+            t.issue(id, 0, 10 + id);
+        }
+        assert_eq!(t.issued_len(), 2, "only even ids sampled");
+        t.issue(0, 0, 99); // retried injection: idempotent
+        t.stamp(0, ReqStage::Enqueued, 12);
+        t.stamp(0, ReqStage::BankArb, 14);
+        t.stamp(0, ReqStage::BankArb, 20); // first occurrence wins
+        t.stamp(1, ReqStage::Enqueued, 12); // unsampled: ignored
+        let rec = t.retire(0, 30).expect("live").clone();
+        assert_eq!(
+            rec.stamps,
+            vec![
+                (ReqStage::Issued, 10),
+                (ReqStage::Enqueued, 12),
+                (ReqStage::BankArb, 14),
+                (ReqStage::Retired, 30),
+            ]
+        );
+        assert_eq!(rec.end_to_end(), 20);
+        assert!(rec.is_retired());
+        assert_eq!(t.live_len(), 1);
+        assert_eq!(t.retired_len(), 1);
+        // Post-retirement stamps on a reused id are dropped.
+        t.stamp(0, ReqStage::Dram, 40);
+        t.issue(0, 0, 41);
+        assert_eq!(t.retired_records().next().unwrap().stamps.len(), 4);
+    }
+
+    #[test]
+    fn req_tracer_absorb_merges_partial_records() {
+        // Node-side tracer saw issue + crossbar; home-node tracer saw the
+        // rest. The merged record is ordered and retired.
+        let mut a = ReqTracer::every(1);
+        a.issue(7, 1, 100);
+        a.stamp(7, ReqStage::Crossbar, 105);
+        let mut b = ReqTracer::every(1);
+        b.issue(7, 1, 110); // arrival at home node
+        b.stamp(7, ReqStage::Enqueued, 110);
+        b.retire(7, 150);
+        a.absorb(b);
+        assert_eq!(a.retired_len(), 1);
+        assert_eq!(a.live_len(), 0);
+        let rec = a.retired_records().next().unwrap();
+        assert_eq!(
+            rec.stamps,
+            vec![
+                (ReqStage::Issued, 100),
+                (ReqStage::Crossbar, 105),
+                (ReqStage::Enqueued, 110),
+                (ReqStage::Retired, 150),
+            ]
+        );
+        let cycles: Vec<u64> = rec.stamps.iter().map(|&(_, c)| c).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::from_durations((1..=100).collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.total, 5050);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!(LatencySummary::from_durations(vec![]).is_none());
+        let one = LatencySummary::from_durations(vec![42]).unwrap();
+        assert_eq!((one.p50, one.p99, one.max), (42, 42, 42));
+    }
+
+    #[test]
+    fn latency_json_attributes_stages() {
+        let mut t = ReqTracer::every(1);
+        for id in 0..10u64 {
+            t.issue(id, 0, 0);
+            t.stamp(id, ReqStage::Enqueued, 2);
+            t.stamp(id, ReqStage::CombStore, 5);
+            t.retire(id, 25);
+        }
+        let j = t.latency_json();
+        assert_eq!(j.get("issued").and_then(Json::as_u64), Some(10));
+        assert_eq!(j.get("retired").and_then(Json::as_u64), Some(10));
+        let stages = j.get("stages").unwrap();
+        let comb = stages.get("comb_store").unwrap();
+        assert_eq!(comb.get("p50").and_then(Json::as_u64), Some(20));
+        // 20 of 25 end-to-end cycles sit in the combining store.
+        assert_eq!(comb.get("share_pct").and_then(Json::as_f64), Some(80.0));
+        let e2e = j.get("end_to_end").unwrap();
+        assert_eq!(e2e.get("max").and_then(Json::as_u64), Some(25));
+        // The report embeds in a valid v2 document.
+        let mut latency = Json::obj();
+        latency.push("kern", j);
+        let doc = stats_json_with(
+            "t",
+            Json::obj(),
+            &MetricsRegistry::new(),
+            None,
+            Some(latency),
+            None,
+            Json::Arr(vec![]),
+        );
+        validate_stats_json(&doc).expect("valid v2 document");
+    }
+
+    #[test]
+    fn attribution_section_validates() {
+        let mut table = Json::obj();
+        table.push("cycles", Json::UInt(100));
+        let mut cause = Json::obj();
+        cause.push("events", Json::UInt(7));
+        cause.push("pct", Json::Num(7.0));
+        table.push("mshr_full", cause);
+        let mut attribution = Json::obj();
+        attribution.push("kern", table);
+        let doc = stats_json_with(
+            "t",
+            Json::obj(),
+            &MetricsRegistry::new(),
+            None,
+            None,
+            Some(attribution),
+            Json::Arr(vec![]),
+        );
+        validate_stats_json(&doc).expect("valid");
+        // A malformed cause entry is rejected.
+        let mut bad = Json::obj();
+        bad.push("cycles", Json::UInt(100));
+        bad.push("mshr_full", Json::UInt(7));
+        let mut attribution = Json::obj();
+        attribution.push("kern", bad);
+        let doc = stats_json_with(
+            "t",
+            Json::obj(),
+            &MetricsRegistry::new(),
+            None,
+            None,
+            Some(attribution),
+            Json::Arr(vec![]),
+        );
+        assert!(validate_stats_json(&doc).is_err());
+    }
+
+    #[test]
+    fn req_spans_use_node_scoped_tracks() {
+        let mut t = ReqTracer::every(1);
+        t.issue(3, 2, 0);
+        t.stamp(3, ReqStage::Enqueued, 4);
+        let rec = t.retire(3, 9).unwrap().clone();
+        let mut sink = ChromeTrace::new();
+        emit_req_spans(&rec, &mut sink);
+        let text = sink.to_json_string();
+        assert!(text.contains("node2.req3"), "track carries the node id");
+        let doc = Json::parse(&text).unwrap();
+        let spans = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .count();
+        assert_eq!(spans, 2, "one span per stamped stage transition");
     }
 
     #[test]
