@@ -16,7 +16,7 @@
 
 use sa_apps::histogram::{run_hw, run_sort_scan, HistogramInput};
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, quick_mode, us};
+use sa_bench::{header, quick_mode, sweep, us};
 use sa_core::{drive_scatter, ScatterKernel};
 use sa_sim::{MachineConfig, Rng64};
 
@@ -28,10 +28,13 @@ fn ab_combining_store(bench: &mut BenchRun, quick: bool) {
     let n = if quick { 4096 } else { 32_768 };
     let mut rng = Rng64::new(1);
     let kernel = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(65_536)).collect());
-    for cs in [1usize, 2, 4, 8, 16, 32] {
+    let sizes = vec![1usize, 2, 4, 8, 16, 32];
+    let runs = sweep::map(sizes.clone(), |cs| {
         let mut cfg = MachineConfig::merrimac();
         cfg.sa.cs_entries = cs;
-        let run = drive_scatter(&cfg, &kernel, false);
+        drive_scatter(&cfg, &kernel, false)
+    });
+    for (cs, run) in sizes.into_iter().zip(runs) {
         run.stats
             .record(&mut bench.scope(&format!("combining_store.cs{cs}")));
         bench.row(
@@ -52,10 +55,13 @@ fn ab_banks(bench: &mut BenchRun, quick: bool) {
     let n = if quick { 4096 } else { 16_384 };
     let mut rng = Rng64::new(2);
     let kernel = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(4096)).collect());
-    for banks in [1usize, 2, 4, 8, 16] {
+    let bank_counts = vec![1usize, 2, 4, 8, 16];
+    let runs = sweep::map(bank_counts.clone(), |banks| {
         let mut cfg = MachineConfig::merrimac();
         cfg.cache.banks = banks;
-        let run = drive_scatter(&cfg, &kernel, false);
+        drive_scatter(&cfg, &kernel, false)
+    });
+    for (banks, run) in bank_counts.into_iter().zip(runs) {
         run.stats
             .record(&mut bench.scope(&format!("banks.b{banks}")));
         bench.row(
@@ -75,10 +81,13 @@ fn ab_fu_latency(bench: &mut BenchRun, quick: bool) {
     );
     let n = if quick { 2048 } else { 8192 };
     let kernel = ScatterKernel::histogram(0, vec![0; n]);
-    for fu in [1u32, 2, 4, 8, 16] {
+    let latencies = vec![1u32, 2, 4, 8, 16];
+    let runs = sweep::map(latencies.clone(), |fu| {
         let mut cfg = MachineConfig::merrimac();
         cfg.sa.fu_latency = fu;
-        let run = drive_scatter(&cfg, &kernel, false);
+        drive_scatter(&cfg, &kernel, false)
+    });
+    for (fu, run) in latencies.into_iter().zip(runs) {
         run.stats
             .record(&mut bench.scope(&format!("fu_latency.fu{fu}")));
         bench.row(
@@ -99,10 +108,13 @@ fn ab_ag_width(bench: &mut BenchRun, quick: bool) {
     let n = if quick { 4096 } else { 16_384 };
     let mut rng = Rng64::new(3);
     let kernel = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(4096)).collect());
-    for width in [1u32, 2, 4, 8] {
+    let widths = vec![1u32, 2, 4, 8];
+    let runs = sweep::map(widths.clone(), |width| {
         let mut cfg = MachineConfig::merrimac();
         cfg.ag.width = width;
-        let run = drive_scatter(&cfg, &kernel, false);
+        drive_scatter(&cfg, &kernel, false)
+    });
+    for (width, run) in widths.into_iter().zip(runs) {
         run.stats
             .record(&mut bench.scope(&format!("ag_width.w{width}")));
         bench.row(format!("width={width}"), &[("time", us(run.micros()))]);
@@ -117,10 +129,13 @@ fn ab_cache_capacity(bench: &mut BenchRun, quick: bool) {
     let n = if quick { 8192 } else { 32_768 };
     let mut rng = Rng64::new(4);
     let kernel = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(65_536)).collect());
-    for kb in [64u64, 256, 1024, 4096] {
+    let capacities = vec![64u64, 256, 1024, 4096];
+    let runs = sweep::map(capacities.clone(), |kb| {
         let mut cfg = MachineConfig::merrimac();
         cfg.cache.total_bytes = kb << 10;
-        let run = drive_scatter(&cfg, &kernel, false);
+        drive_scatter(&cfg, &kernel, false)
+    });
+    for (kb, run) in capacities.into_iter().zip(runs) {
         run.stats
             .record(&mut bench.scope(&format!("cache_capacity.kb{kb}")));
         let s = run.stats.cache;
@@ -142,8 +157,9 @@ fn ab_batch_size(bench: &mut BenchRun, quick: bool) {
     let cfg = MachineConfig::merrimac();
     let n = if quick { 4096 } else { 16_384 };
     let input = HistogramInput::uniform(n, 2048, 5);
-    for batch in [32usize, 64, 128, 256, 512, 1024, 2048] {
-        let run = run_sort_scan(&cfg, &input, batch);
+    let batches = vec![32usize, 64, 128, 256, 512, 1024, 2048];
+    let runs = sweep::map(batches.clone(), |batch| run_sort_scan(&cfg, &input, batch));
+    for (batch, run) in batches.into_iter().zip(runs) {
         run.report
             .stats
             .record(&mut bench.scope(&format!("batch.b{batch}")));
@@ -164,9 +180,12 @@ fn ab_skew(bench: &mut BenchRun, quick: bool) {
         rows.push((format!("zipf s={s}"), HistogramInput::zipf(n, 1024, s, 6)));
     }
     rows.push(("single bin".into(), HistogramInput::uniform(n, 1, 6)));
-    for (i, (name, input)) in rows.into_iter().enumerate() {
+    let runs = sweep::map(rows, |(name, input)| {
         let run = run_hw(&cfg, &input);
         assert_eq!(run.bins, input.reference());
+        (name, run)
+    });
+    for (i, (name, run)) in runs.into_iter().enumerate() {
         run.report
             .stats
             .record(&mut bench.scope(&format!("skew.case{i}")));

@@ -6,7 +6,8 @@
 //! explore histogram --impl sortscan --batch 256
 //! explore scatter   --n 8192 --range 64 --cs 16 --fu 2 --banks 4
 //! explore scan      --n 65536
-//! explore multinode --nodes 8 --net low --combining --topology hypercube
+//! explore multinode --nodes 8 --net low --combining --topology hypercube \
+//!                   --step-threads 4
 //! explore rig       --cs 8 --latency 64 --interval 2
 //! ```
 //!
@@ -129,10 +130,11 @@ fn cmd_multinode(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         _ => Topology::Flat,
     };
     let combining = args.has("combining");
+    let step_threads: usize = args.get_or("step-threads", 1)?;
     let input = input_from(args)?;
     let values = vec![1.0f64; input.len()];
     let mut mn = MultiNode::with_topology(cfg, nodes, net, combining, topology);
-    let r = mn.run_trace(&input.data, &values);
+    let r = mn.run_trace_threads(&input.data, &values, step_threads);
     println!(
         "multinode nodes={nodes} combining={combining} topology={topology:?}: \
          {:.1} GB/s ({} cycles, {} sum-back lines, {} flush rounds)",

@@ -5,7 +5,7 @@
 
 use sa_apps::image::{run_equalize_hw, run_equalize_sw, GreyImage};
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, quick_mode, us};
+use sa_bench::{header, quick_mode, sweep, us};
 use sa_core::{allocate_slots, drive_scan, simulate_barrier, NodeMemSys};
 use sa_multinode::{MultiNode, Topology};
 use sa_proc::{AccessPattern, Executor, StreamOp, StreamProgram};
@@ -21,7 +21,7 @@ fn ext_scan(bench: &mut BenchRun, cfg: &MachineConfig, quick: bool) {
     } else {
         &[1024, 8192, 65_536]
     };
-    for &n in sizes {
+    let runs = sweep::map(sizes.to_vec(), |n| {
         let mut rng = Rng64::new(n as u64);
         let input: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
         let hw = drive_scan(cfg, &input, ScalarKind::I64);
@@ -60,6 +60,9 @@ fn ext_scan(bench: &mut BenchRun, cfg: &MachineConfig, quick: bool) {
         let in_i64: Vec<i64> = input.iter().map(|&b| b as i64).collect();
         node.store_mut().load_i64(Addr(0), &in_i64);
         let sw = Executor::new(*cfg).run(&prog, &mut node);
+        (n, hw, sw)
+    });
+    for (n, hw, sw) in runs {
         sw.stats.record(&mut bench.scope("scan.sw"));
         bench.scope("scan").counter("hw_cycles", hw.cycles);
 
@@ -109,13 +112,16 @@ fn ext_hierarchical(bench: &mut BenchRun, machine: &MachineConfig, quick: bool) 
     let trace: Vec<u64> = (0..n_refs).map(|_| rng.below(64)).collect();
     let values = vec![1.0; trace.len()];
     let nodes_list: &[usize] = if quick { &[4] } else { &[2, 4, 8] };
-    for &n in nodes_list {
+    let runs = sweep::map(nodes_list.to_vec(), |n| {
         let mut flat =
             MultiNode::with_topology(*machine, n, NetworkConfig::low(), true, Topology::Flat);
         let rf = flat.run_trace(&trace, &values);
         let mut hyper =
             MultiNode::with_topology(*machine, n, NetworkConfig::low(), true, Topology::Hypercube);
         let rh = hyper.run_trace(&trace, &values);
+        (n, rf, rh)
+    });
+    for (n, rf, rh) in runs {
         rf.record_metrics(&mut bench.scope(&format!("hierarchical.flat.n{n}")));
         rh.record_metrics(&mut bench.scope(&format!("hierarchical.hypercube.n{n}")));
         bench.row(

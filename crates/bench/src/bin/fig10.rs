@@ -8,7 +8,7 @@
 
 use sa_apps::md::{max_force_deviation, run_hw, run_no_sa, run_sw_default, WaterSystem};
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, mcycles, mops, quick_mode};
+use sa_bench::{header, mcycles, mops, quick_mode, sweep};
 use sa_sim::MachineConfig;
 
 fn main() {
@@ -29,9 +29,16 @@ fn main() {
         ),
     );
 
-    let no = run_no_sa(&cfg, &sys);
-    let sw = run_sw_default(&cfg, &sys);
-    let hw = run_hw(&cfg, &sys);
+    // Three independent simulations, fanned out; reporting stays in the
+    // paper's order (no-SA, SW, HW).
+    let mut runs = sweep::map(vec![0usize, 1, 2], |which| match which {
+        0 => run_no_sa(&cfg, &sys),
+        1 => run_sw_default(&cfg, &sys),
+        _ => run_hw(&cfg, &sys),
+    });
+    let hw = runs.pop().expect("three runs");
+    let sw = runs.pop().expect("three runs");
+    let no = runs.pop().expect("three runs");
 
     let reference = sys.reference_forces();
     for (name, r) in [("no-SA", &no), ("SW", &sw), ("HW", &hw)] {

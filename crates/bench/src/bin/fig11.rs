@@ -10,9 +10,13 @@
 //! FU latency and barely on memory latency; 64 entries hide even 256 cycles.
 
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, us};
+use sa_bench::{header, sweep, us};
 use sa_core::SensitivityRig;
 use sa_sim::{MachineConfig, Rng64, SensitivityConfig};
+
+const CS_SIZES: [usize; 5] = [2, 4, 8, 16, 64];
+const MEM_LATENCIES: [u32; 4] = [8, 16, 64, 256];
+const FU_LATENCIES: [u32; 3] = [2, 8, 16];
 
 fn main() {
     let mut bench = BenchRun::from_env("fig11", &MachineConfig::merrimac());
@@ -24,16 +28,40 @@ fn main() {
         "Figure 11",
         "Sensitivity rig: 512 elements, 65,536 bins, memory interval 2 cycles",
     );
-    for cs in [2usize, 4, 8, 16, 64] {
+    // Seven bars per combining-store size: four memory latencies at FU
+    // latency 4, then three FU latencies at memory latency 16. Flatten the
+    // whole grid and let the rig sweep it in parallel; results come back in
+    // configuration order.
+    let configs: Vec<SensitivityConfig> = CS_SIZES
+        .iter()
+        .flat_map(|&cs| {
+            let mem = MEM_LATENCIES
+                .iter()
+                .map(move |&mem_latency| SensitivityConfig {
+                    cs_entries: cs,
+                    fu_latency: 4,
+                    mem_latency,
+                    mem_interval: 2,
+                });
+            let fu = FU_LATENCIES
+                .iter()
+                .map(move |&fu_latency| SensitivityConfig {
+                    cs_entries: cs,
+                    fu_latency,
+                    mem_latency: 16,
+                    mem_interval: 2,
+                });
+            mem.chain(fu)
+        })
+        .collect();
+    let results =
+        SensitivityRig::run_histogram_sweep(&configs, &indices, range, sweep::jobs_from_env());
+
+    let per_cs = MEM_LATENCIES.len() + FU_LATENCIES.len();
+    for (row_idx, &cs) in CS_SIZES.iter().enumerate() {
         let mut cells = Vec::new();
-        for mem_latency in [8u32, 16, 64, 256] {
-            let rig = SensitivityRig::new(SensitivityConfig {
-                cs_entries: cs,
-                fu_latency: 4,
-                mem_latency,
-                mem_interval: 2,
-            });
-            let r = rig.run_histogram(&indices, range);
+        let row = &results[row_idx * per_cs..(row_idx + 1) * per_cs];
+        for (r, &mem_latency) in row.iter().zip(&MEM_LATENCIES) {
             r.record_metrics(&mut bench.scope(&format!("rig.cs{cs}.mem{mem_latency}")));
             cells.push((
                 match mem_latency {
@@ -45,14 +73,7 @@ fn main() {
                 us(r.micros()),
             ));
         }
-        for fu_latency in [2u32, 8, 16] {
-            let rig = SensitivityRig::new(SensitivityConfig {
-                cs_entries: cs,
-                fu_latency,
-                mem_latency: 16,
-                mem_interval: 2,
-            });
-            let r = rig.run_histogram(&indices, range);
+        for (r, &fu_latency) in row[MEM_LATENCIES.len()..].iter().zip(&FU_LATENCIES) {
             r.record_metrics(&mut bench.scope(&format!("rig.cs{cs}.fu{fu_latency}")));
             cells.push((
                 match fu_latency {

@@ -10,7 +10,7 @@
 //! captures most requests and low memory throughput barely hurts.
 
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, us};
+use sa_bench::{header, sweep, us};
 use sa_core::SensitivityRig;
 use sa_sim::{MachineConfig, Rng64, SensitivityConfig};
 
@@ -21,27 +21,44 @@ fn main() {
         "Figure 12",
         "Sensitivity rig: 512 elements, memory latency 16, varying throughput",
     );
-    for cs in [2usize, 4, 8, 16, 64] {
+    // Every grid point carries its own input, keyed by the memory interval:
+    // a `Rng64` stream per interval makes the data a function of the
+    // configuration alone, independent of sweep order.
+    let points: Vec<(usize, u32, &str, u64)> = [2usize, 4, 8, 16, 64]
+        .into_iter()
+        .flat_map(|cs| {
+            [1u32, 2, 4, 16].into_iter().flat_map(move |interval| {
+                [("16b", 16u64), ("65536b", 65_536)]
+                    .into_iter()
+                    .map(move |(label_range, range)| (cs, interval, label_range, range))
+            })
+        })
+        .collect();
+    let results = sweep::map(points.clone(), |(cs, interval, _label, range)| {
+        let mut rng = Rng64::for_stream(0xF16_0012, u64::from(interval));
+        let indices: Vec<u64> = (0..n).map(|_| rng.below(range)).collect();
+        let rig = SensitivityRig::new(SensitivityConfig {
+            cs_entries: cs,
+            fu_latency: 4,
+            mem_latency: 16,
+            mem_interval: interval,
+        });
+        rig.run_histogram(&indices, range)
+    });
+
+    let mut i = 0;
+    while i < points.len() {
+        let cs = points[i].0;
         let mut cells: Vec<(&str, String)> = Vec::new();
-        for interval in [1u32, 2, 4, 16] {
-            for (label_range, range) in [("16b", 16u64), ("65536b", 65_536)] {
-                let mut rng = Rng64::new(0xF16_0012 + u64::from(interval));
-                let indices: Vec<u64> = (0..n).map(|_| rng.below(range)).collect();
-                let rig = SensitivityRig::new(SensitivityConfig {
-                    cs_entries: cs,
-                    fu_latency: 4,
-                    mem_latency: 16,
-                    mem_interval: interval,
-                });
-                let r = rig.run_histogram(&indices, range);
-                r.record_metrics(
-                    &mut bench.scope(&format!("rig.cs{cs}.i{interval}.r{label_range}")),
-                );
-                // Leak a tiny label string; the binary is short-lived.
-                let label: &'static str =
-                    Box::leak(format!("i{interval}/{label_range}").into_boxed_str());
-                cells.push((label, us(r.micros())));
-            }
+        while i < points.len() && points[i].0 == cs {
+            let (_, interval, label_range, _) = points[i];
+            let r = &results[i];
+            r.record_metrics(&mut bench.scope(&format!("rig.cs{cs}.i{interval}.r{label_range}")));
+            // Leak a tiny label string; the binary is short-lived.
+            let label: &'static str =
+                Box::leak(format!("i{interval}/{label_range}").into_boxed_str());
+            cells.push((label, us(r.micros())));
+            i += 1;
         }
         bench.row(format!("CS entries={cs}"), &cells);
     }

@@ -20,8 +20,9 @@
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::Ebe;
+use sa_bench::args::Args;
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, quick_mode};
+use sa_bench::{header, quick_mode, sweep};
 use sa_multinode::MultiNode;
 use sa_sim::{MachineConfig, NetworkConfig, Rng64};
 
@@ -31,6 +32,11 @@ struct Variant {
     combining: bool,
 }
 
+/// Replay one trace for every (variant, node count) point. The points fan
+/// out over the sweep executor; `--step-threads` additionally parallelizes
+/// the cycle loop *inside* each multinode simulation (bit-identical to
+/// serial stepping, see `docs/PARALLELISM.md`).
+#[allow(clippy::too_many_arguments)]
 fn run_series(
     bench: &mut BenchRun,
     machine: &MachineConfig,
@@ -39,12 +45,22 @@ fn run_series(
     values: &[f64],
     variants: &[Variant],
     nodes_list: &[usize],
+    step_threads: usize,
 ) {
-    for v in variants {
+    let points: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|vi| nodes_list.iter().map(move |&n| (vi, n)))
+        .collect();
+    let results = sweep::map(points.clone(), |(vi, n)| {
+        let v = &variants[vi];
+        let mut mn = MultiNode::new(*machine, n, v.net, v.combining);
+        mn.run_trace_threads(trace, values, step_threads)
+    });
+    for (vi, v) in variants.iter().enumerate() {
         let mut cells = Vec::new();
-        for &n in nodes_list {
-            let mut mn = MultiNode::new(*machine, n, v.net, v.combining);
-            let r = mn.run_trace(trace, values);
+        for (&(pvi, n), r) in points.iter().zip(&results) {
+            if pvi != vi {
+                continue;
+            }
             r.record_metrics(&mut bench.scope(&format!("{label}.{}.n{n}", v.name)));
             let cell: &'static str = Box::leak(format!("{n}n").into_boxed_str());
             cells.push((cell, format!("{:.1}GB/s", r.throughput_gbps(machine.ghz))));
@@ -57,6 +73,7 @@ fn main() {
     let machine = MachineConfig::merrimac();
     let mut bench = BenchRun::from_env("fig13", &machine);
     let quick = quick_mode();
+    let step_threads = Args::from_env().get_or("step-threads", 1usize).unwrap_or(1);
     let nodes_list: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let hist_n = if quick { 8192 } else { 65_536 };
 
@@ -95,6 +112,7 @@ fn main() {
         &ones,
         &hist_variants,
         nodes_list,
+        step_threads,
     );
     run_series(
         &mut bench,
@@ -104,6 +122,7 @@ fn main() {
         &ones,
         &hist_variants,
         nodes_list,
+        step_threads,
     );
 
     // MD trace: first 590K references (paper) of the water kernel.
@@ -148,6 +167,7 @@ fn main() {
         &mole_vals,
         &comb_variants,
         nodes_list,
+        step_threads,
     );
     run_series(
         &mut bench,
@@ -157,6 +177,7 @@ fn main() {
         &spas_vals,
         &comb_variants,
         nodes_list,
+        step_threads,
     );
 
     println!(

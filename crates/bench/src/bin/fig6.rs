@@ -6,7 +6,7 @@
 
 use sa_apps::histogram::{run_hw, run_sort_scan_default, HistogramInput};
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, quick_mode, us};
+use sa_bench::{header, quick_mode, sweep, us};
 use sa_sim::MachineConfig;
 
 fn main() {
@@ -22,12 +22,17 @@ fn main() {
         "Figure 6",
         &format!("Histogram execution time, input range {range}; lower is better"),
     );
-    for &n in sizes {
+    // Simulate every input size concurrently; print and record in size
+    // order, so the output is identical to a serial run.
+    let runs = sweep::map(sizes.to_vec(), |n| {
         let input = HistogramInput::uniform(n, range, 0xF16_0006 + n as u64);
         let hw = run_hw(&cfg, &input);
         let sw = run_sort_scan_default(&cfg, &input);
         assert_eq!(hw.bins, input.reference(), "hw result check");
         assert_eq!(sw.bins, input.reference(), "sw result check");
+        (n, hw, sw)
+    });
+    for (n, hw, sw) in runs {
         hw.report.stats.record(&mut bench.scope("hw"));
         sw.report.stats.record(&mut bench.scope("sortscan"));
         bench.row(

@@ -8,7 +8,7 @@
 
 use sa_apps::histogram::{run_hw, run_sort_scan_default, HistogramInput};
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, quick_mode, us};
+use sa_bench::{header, quick_mode, sweep, us};
 use sa_sim::MachineConfig;
 
 fn main() {
@@ -37,7 +37,7 @@ fn main() {
         "Figure 7",
         &format!("Histogram execution time, {n} elements, varying index range"),
     );
-    for &range in ranges {
+    let runs = sweep::map(ranges.to_vec(), |range| {
         let input = HistogramInput::uniform(n, range, 0xF16_0007 + range);
         let hw = run_hw(&cfg, &input);
         let sw = run_sort_scan_default(&cfg, &input);
@@ -46,6 +46,9 @@ fn main() {
             assert_eq!(hw.bins, input.reference(), "hw result check");
             assert_eq!(sw.bins, input.reference(), "sw result check");
         }
+        (range, hw, sw)
+    });
+    for (range, hw, sw) in runs {
         hw.report.stats.record(&mut bench.scope("hw"));
         sw.report.stats.record(&mut bench.scope("sortscan"));
         bench.row(

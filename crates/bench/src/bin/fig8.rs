@@ -7,7 +7,7 @@
 
 use sa_apps::histogram::{run_hw, run_privatization_default, HistogramInput};
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, quick_mode, us};
+use sa_bench::{header, quick_mode, sweep, us};
 use sa_sim::MachineConfig;
 
 fn main() {
@@ -27,24 +27,29 @@ fn main() {
         "Figure 8",
         "Histogram execution time: privatization vs hardware scatter-add",
     );
-    for &n in lengths {
-        for &range in ranges {
-            let input = HistogramInput::uniform(n, range, 0xF16_0008 + n as u64 + range);
-            let hw = run_hw(&cfg, &input);
-            let pv = run_privatization_default(&cfg, &input);
-            assert_eq!(hw.bins, input.reference(), "hw result check");
-            assert_eq!(pv.bins, input.reference(), "privatization result check");
-            hw.report.stats.record(&mut bench.scope("hw"));
-            pv.report.stats.record(&mut bench.scope("privatization"));
-            bench.row(
-                format!("n={n} bins={range}"),
-                &[
-                    ("scatter-add", us(hw.micros())),
-                    ("privatization", us(pv.micros())),
-                    ("speedup", format!("{:.1}x", pv.micros() / hw.micros())),
-                ],
-            );
-        }
+    let points: Vec<(usize, u64)> = lengths
+        .iter()
+        .flat_map(|&n| ranges.iter().map(move |&range| (n, range)))
+        .collect();
+    let runs = sweep::map(points, |(n, range)| {
+        let input = HistogramInput::uniform(n, range, 0xF16_0008 + n as u64 + range);
+        let hw = run_hw(&cfg, &input);
+        let pv = run_privatization_default(&cfg, &input);
+        assert_eq!(hw.bins, input.reference(), "hw result check");
+        assert_eq!(pv.bins, input.reference(), "privatization result check");
+        (n, range, hw, pv)
+    });
+    for (n, range, hw, pv) in runs {
+        hw.report.stats.record(&mut bench.scope("hw"));
+        pv.report.stats.record(&mut bench.scope("privatization"));
+        bench.row(
+            format!("n={n} bins={range}"),
+            &[
+                ("scatter-add", us(hw.micros())),
+                ("privatization", us(pv.micros())),
+                ("speedup", format!("{:.1}x", pv.micros() / hw.micros())),
+            ],
+        );
     }
     println!(
         "\npaper: privatization cost grows with the range; >10x hardware advantage at 8K bins"

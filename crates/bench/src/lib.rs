@@ -85,4 +85,5 @@ mod tests {
 
 pub mod args;
 pub mod diff;
+pub mod sweep;
 pub mod telemetry;

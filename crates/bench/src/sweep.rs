@@ -1,0 +1,145 @@
+//! Deterministic parallel sweep executor for the figure/ablation binaries.
+//!
+//! The paper's evaluation is a sweep over independent simulator
+//! configurations, so the binaries fan the simulations out over a pool of
+//! scoped threads and keep everything observable strictly ordered: workers
+//! only *compute*, and [`map`] hands the results back in item order so the
+//! caller prints rows and records telemetry exactly as a serial run would.
+//! Combined with the `BTreeMap`-backed metrics registry this makes the
+//! sa-stats v2 document byte-identical for any `--jobs` value (the
+//! determinism contract in `docs/PARALLELISM.md`).
+//!
+//! Worker count: `--jobs N` argument, else the `SA_JOBS` environment
+//! variable, else every available core.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of available cores (the default worker count).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolve the requested sweep width: `--jobs N` beats `SA_JOBS=N` beats
+/// [`default_jobs`]. Zero and unparsable values fall through to the next
+/// source.
+pub fn jobs_from_env() -> usize {
+    let argv: Vec<String> = std::env::args().collect();
+    for pair in argv.windows(2) {
+        if pair[0] == "--jobs" {
+            if let Ok(n) = pair[1].parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    if let Some(v) = std::env::var_os("SA_JOBS") {
+        if let Ok(n) = v.to_string_lossy().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    default_jobs()
+}
+
+/// Run `f` over every item on [`jobs_from_env`] worker threads and return
+/// the results in item order. See [`map_jobs`].
+pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    map_jobs(jobs_from_env(), items, f)
+}
+
+/// Run `f` over every item on `jobs` worker threads and return the results
+/// in item order.
+///
+/// Items are claimed from a shared cursor, so threads stay busy even when
+/// per-item cost varies wildly (a sweep mixes tiny and huge configs). With
+/// one job — or one item — this degenerates to a plain serial map with no
+/// threads spawned. `f` must not print or otherwise observe ordering; do
+/// that with the returned values.
+pub fn map_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot")
+                    .take()
+                    .expect("each work item claimed once");
+                let out = f(item);
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("workers joined")
+                .expect("every item produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = map_jobs(1, items.clone(), |x| x * x);
+        for jobs in [2, 4, 64, 1000] {
+            assert_eq!(map_jobs(jobs, items.clone(), |x| x * x), serial);
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Make early items slow so later items finish first.
+        let items: Vec<u64> = (0..16).collect();
+        let out = map_jobs(8, items, |x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(map_jobs::<u64, u64, _>(8, vec![], |x| x), vec![]);
+        assert_eq!(map_jobs(8, vec![7u64], |x| x), vec![7]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+        assert!(jobs_from_env() >= 1);
+    }
+}

@@ -15,7 +15,7 @@ fn op_id(op: &ToMem) -> sa_sim::ReqId {
 }
 
 /// Outcome of one sensitivity-rig run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SensitivityResult {
     /// Cycles from first issue until the last sum was written to memory.
     pub cycles: u64,
@@ -162,6 +162,57 @@ impl SensitivityRig {
             bins: store.extract_i64(Addr(0), range as usize),
         }
     }
+
+    /// Run [`SensitivityRig::run_histogram`] for every configuration on up
+    /// to `threads` worker threads, returning results in configuration
+    /// order.
+    ///
+    /// Each run is an independent simulation over shared read-only input,
+    /// so the sweep is embarrassingly parallel and — because results come
+    /// back in configuration order — indistinguishable from running the
+    /// configs serially, for any thread count (Figures 11 and 12 sweep
+    /// dozens of points through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of `0..range` or a worker thread panics.
+    pub fn run_histogram_sweep(
+        configs: &[SensitivityConfig],
+        indices: &[u64],
+        range: u64,
+        threads: usize,
+    ) -> Vec<SensitivityResult> {
+        let n = configs.len();
+        if threads <= 1 || n <= 1 {
+            return configs
+                .iter()
+                .map(|&cfg| SensitivityRig::new(cfg).run_histogram(indices, range))
+                .collect();
+        }
+        let slots: Vec<std::sync::Mutex<Option<SensitivityResult>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(n) {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = SensitivityRig::new(configs[i]).run_histogram(indices, range);
+                    *slots[i].lock().expect("result slot") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("workers joined")
+                    .expect("every config produced a result")
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -273,5 +324,20 @@ mod tests {
     fn out_of_range_index_panics() {
         let rig = SensitivityRig::new(SensitivityConfig::default());
         let _ = rig.run_histogram(&[5], 4);
+    }
+
+    #[test]
+    fn sweep_matches_serial_for_any_thread_count() {
+        let idx = uniform_indices(256, 1024, 6);
+        let configs: Vec<SensitivityConfig> = [2usize, 8, 64]
+            .into_iter()
+            .flat_map(|cs| [8u32, 64].into_iter().map(move |lat| cfg(cs, 4, lat, 2)))
+            .collect();
+        let serial = SensitivityRig::run_histogram_sweep(&configs, &idx, 1024, 1);
+        assert_eq!(serial.len(), configs.len());
+        for threads in [2, 4, 32] {
+            let parallel = SensitivityRig::run_histogram_sweep(&configs, &idx, 1024, threads);
+            assert_eq!(serial, parallel, "sweep at {threads} threads diverged");
+        }
     }
 }

@@ -27,12 +27,15 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 
 use sa_cache::SumBack;
 use sa_core::{NodeMemSys, NodeStats};
-use sa_net::{Crossbar, Message, NetStats};
+use sa_net::{Crossbar, CrossbarPort, Message, NetStats};
 use sa_sim::{
-    Addr, Clock, MachineConfig, MemOp, MemRequest, NetworkConfig, Origin, ReqId, ScalarKind,
+    Addr, Clock, Cycle, MachineConfig, MemOp, MemRequest, NetworkConfig, Origin, ReqId, ScalarKind,
     ScatterOp, WORD_BYTES,
 };
 use sa_telemetry::ReqTracer;
@@ -192,24 +195,6 @@ impl MultiNode {
         }
     }
 
-    /// The next hop of a sum-back travelling from `from` toward `home`:
-    /// flip the highest differing address bit (one hypercube dimension per
-    /// flush round).
-    fn next_hop(&self, from: usize, home: usize) -> usize {
-        match self.topology {
-            Topology::Flat => home,
-            Topology::Hypercube => {
-                if from == home {
-                    home
-                } else {
-                    let diff = from ^ home;
-                    let bit = usize::BITS - 1 - diff.leading_zeros();
-                    from ^ (1 << bit)
-                }
-            }
-        }
-    }
-
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -217,7 +202,7 @@ impl MultiNode {
 
     /// The home node of a word address.
     pub fn home_of(&self, addr: Addr) -> usize {
-        (addr.line_index(self.machine.cache.line_bytes) % self.nodes.len() as u64) as usize
+        home_of_line(addr, self.machine.cache.line_bytes, self.nodes.len())
     }
 
     /// Read the coherent global value of one word (for verification).
@@ -230,271 +215,210 @@ impl MultiNode {
     /// the paper's software would partition its data. Returns timing and
     /// throughput.
     ///
+    /// Equivalent to [`MultiNode::run_trace_threads`] with one stepper
+    /// thread (the fully sequential scheduler).
+    ///
     /// # Panics
     ///
     /// Panics if the lengths differ or the run deadlocks.
     pub fn run_trace(&mut self, trace: &[u64], values: &[f64]) -> TraceReport {
+        self.run_trace_threads(trace, values, 1)
+    }
+
+    /// Replay a trace with `threads` node-stepper threads.
+    ///
+    /// Every cycle runs in two phases. In the *node phase*, each worker
+    /// steps a disjoint subset of nodes through [`step_node`] against
+    /// detached [`CrossbarPort`]s, so a node touches only its own memory
+    /// system and its own edge queues. In the *exchange phase* (between two
+    /// barriers, on the coordinating thread) the ports are re-attached, the
+    /// crossbar moves messages, and the quiescence/flush decision is made.
+    /// Because nodes never share mutable state within a phase, the schedule
+    /// is bit-identical to the sequential scheduler for any thread count —
+    /// same cycle count, same statistics, same lifecycle records (see
+    /// `docs/PARALLELISM.md`).
+    ///
+    /// `threads` is clamped to `1..=node_count()`; `1` runs inline without
+    /// spawning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, the run deadlocks, or a stepper thread
+    /// panics.
+    pub fn run_trace_threads(
+        &mut self,
+        trace: &[u64],
+        values: &[f64],
+        threads: usize,
+    ) -> TraceReport {
         assert_eq!(trace.len(), values.len(), "trace/value length mismatch");
         let n = self.nodes.len();
         let total = trace.len();
-        // Block partition: node i owns trace[lo_i..hi_i].
-        let mut injectors: Vec<Injector> = (0..n)
-            .map(|i| {
+        let params = StepParams {
+            n,
+            issue_width: (self.machine.ag.count as u32 * self.machine.ag.width) as usize,
+            line_words: self.machine.cache.words_per_line() as u32,
+            line_bytes: self.machine.cache.line_bytes,
+            combining: self.combining,
+            topology: self.topology,
+        };
+        let sample = self.machine.req_sample;
+
+        // Block partition: node i owns trace[lo_i..hi_i]. All mutable
+        // per-node run state lives in the node's context so a worker can
+        // step it without touching anything shared.
+        let mut ctxs: Vec<NodeCtx> = self
+            .nodes
+            .drain(..)
+            .enumerate()
+            .map(|(i, node)| {
                 let lo = total * i / n;
                 let hi = total * (i + 1) / n;
-                Injector {
-                    items: (lo..hi).map(|j| (trace[j], values[j])).collect(),
-                    cursor: 0,
-                    staged: None,
+                NodeCtx {
+                    index: i,
+                    node,
+                    inj: Injector {
+                        items: (lo..hi).map(|j| (trace[j], values[j])).collect(),
+                        cursor: 0,
+                        staged: None,
+                    },
+                    outbox: VecDeque::new(),
+                    port: None,
+                    tracer: ReqTracer::every(sample),
+                    next_seq: 0,
+                    app_acks: 0,
+                    apply_pending: 0,
+                    sum_back_lines: 0,
                 }
             })
             .collect();
 
-        let issue_width = (self.machine.ag.count as u32 * self.machine.ag.width) as usize;
-        let line_words = self.machine.cache.words_per_line() as u32;
-        let line_bytes = self.machine.cache.line_bytes;
         let mut clock = Clock::with_limit(4_000_000_000);
-        // Source-side lifecycle stamps for requests that cross the fabric;
-        // each node's own tracer covers the portion it observes, and the
-        // two are merged by id into the report at the end of the run.
-        let mut req_trace = ReqTracer::every(self.machine.req_sample);
-        let mut next_id: ReqId = 1;
-        let mut app_acks = 0usize;
-        let mut apply_pending = 0usize; // sum-back word applications in flight
-        let mut sum_back_lines = 0u64;
-        let mut outbox: Vec<VecDeque<Message<NetMsg>>> = (0..n).map(|_| VecDeque::new()).collect();
         let mut flush_rounds = 0u32;
+        let workers = threads.clamp(1, n);
 
-        loop {
-            let now = clock.advance();
-            self.net.tick(now);
-
-            for i in 0..n {
-                // Deliver network messages while the node can take them.
-                while let Some(msg) = self.net.peek_delivered(i) {
-                    match &msg.payload {
-                        NetMsg::Request(req) => {
-                            let req = *req;
-                            if self.nodes[i].inject_traced(req, now).is_ok() {
-                                let _ = self.net.pop_delivered(i);
-                            } else {
-                                break;
-                            }
-                        }
-                        NetMsg::SumBack(sb) => {
-                            // Apply each word of the line as a scatter-add.
-                            // At the home node this goes through the normal
-                            // cached path; at a hypercube intermediate node
-                            // the combining cache zero-allocates and merges
-                            // it (the address is still remote there). All
-                            // words of a line share one bank queue, so free
-                            // capacity must cover every non-zero word.
-                            let sb = sb.clone();
-                            let needed = sb.data.iter().filter(|&&b| b != 0).count();
-                            if self.nodes[i].inject_capacity(sb.base) < needed {
-                                break;
-                            }
-                            let _ = self.net.pop_delivered(i);
-                            for (w, &bits) in sb.data.iter().enumerate() {
-                                if bits == 0 {
-                                    continue; // additive identity: no work
-                                }
-                                next_id += 1;
-                                let req = MemRequest {
-                                    id: next_id,
-                                    addr: Addr(sb.base.0 + w as u64 * WORD_BYTES),
-                                    op: MemOp::Scatter {
-                                        bits,
-                                        kind: ScalarKind::F64,
-                                        op: ScatterOp::Add,
-                                        fetch: false,
-                                    },
-                                    origin: Origin::Remote { node: i },
-                                };
-                                self.nodes[i].inject_traced(req, now).expect("room checked");
-                                apply_pending += 1;
-                            }
-                        }
-                    }
+        if workers == 1 {
+            loop {
+                let now = clock.advance();
+                self.net.tick(now);
+                for ctx in &mut ctxs {
+                    ctx.port = Some(self.net.detach_port(ctx.index));
+                    step_node(ctx, now, &params);
+                    self.net
+                        .attach_port(ctx.port.take().expect("port attached this cycle"));
                 }
-
-                // Inject this node's share of the trace. A request that the
-                // node or the fabric rejects stays staged and retries with
-                // the *same* id next cycle, so its (idempotent) issue stamp
-                // keeps measuring the first attempt.
-                let inj = &mut injectors[i];
-                for _ in 0..issue_width {
-                    let req = match inj.staged.take() {
-                        Some(r) => r,
-                        None => {
-                            let Some(&(word, value)) = inj.items.get(inj.cursor) else {
-                                break;
-                            };
-                            next_id += 1;
-                            MemRequest {
-                                id: next_id,
-                                addr: Addr::from_word_index(word),
-                                op: MemOp::Scatter {
-                                    bits: value.to_bits(),
-                                    kind: ScalarKind::F64,
-                                    op: ScatterOp::Add,
-                                    fetch: false,
-                                },
-                                origin: Origin::AddrGen { node: i, ag: 0 },
-                            }
-                        }
-                    };
-                    let home = self.home_of(req.addr);
-                    if self.combining || home == i {
-                        match self.nodes[i].inject_traced(req, now) {
-                            Ok(()) => inj.cursor += 1,
-                            Err(r) => {
-                                inj.staged = Some(r);
-                                break;
-                            }
-                        }
-                    } else {
-                        // One word of payload (the paper's low-bandwidth
-                        // network carries one word per cycle per node).
-                        if self.net.can_inject(i) {
-                            // The request is issued here at node i's address
-                            // generator even though it executes at its home;
-                            // stamp the source-side stages into the run-level
-                            // tracer for the merge at end of run.
-                            req_trace.issue(req.id, i, now.raw());
-                            self.net
-                                .try_inject_traced(
-                                    Message::new(i, home, 1, NetMsg::Request(req)),
-                                    now,
-                                    Some(req.id),
-                                    &mut req_trace,
-                                )
-                                .expect("capacity checked");
-                            inj.cursor += 1;
-                        } else {
-                            inj.staged = Some(req);
-                            break;
-                        }
-                    }
-                }
-
-                // Forward evicted partial-sum lines toward their homes
-                // (one hypercube hop at a time under that topology).
-                while let Some((_, sb)) = self.nodes[i].pop_sum_back() {
-                    let dst = self.next_hop(i, self.home_of(sb.base));
-                    sum_back_lines += 1;
-                    outbox[i].push_back(Message::new(i, dst, line_words, NetMsg::SumBack(sb)));
-                }
-                while let Some(msg) = outbox[i].pop_front() {
-                    if msg.dst == i {
-                        // Locally-homed sum-back (possible right after the
-                        // flush): apply without crossing the fabric.
-                        outbox[i].push_front(msg);
-                        break;
-                    }
-                    match self.net.try_inject(msg) {
-                        Ok(()) => {}
-                        Err(m) => {
-                            outbox[i].push_front(m);
-                            break;
-                        }
-                    }
-                }
-                // Apply locally-homed sum-backs directly.
-                while outbox[i].front().is_some_and(|m| m.dst == i) {
-                    let msg = outbox[i].pop_front().expect("front checked");
-                    let Message {
-                        payload: NetMsg::SumBack(sb),
-                        ..
-                    } = msg
-                    else {
-                        unreachable!("only sum-backs are self-addressed");
-                    };
-                    let needed = sb.data.iter().filter(|&&b| b != 0).count();
-                    if self.nodes[i].inject_capacity(sb.base) < needed {
-                        outbox[i].push_front(Message::new(i, i, line_words, NetMsg::SumBack(sb)));
-                        break;
-                    }
-                    for (w, &bits) in sb.data.iter().enumerate() {
-                        if bits == 0 {
-                            continue;
-                        }
-                        next_id += 1;
-                        let req = MemRequest {
-                            id: next_id,
-                            addr: Addr(sb.base.0 + w as u64 * WORD_BYTES),
-                            op: MemOp::Scatter {
-                                bits,
-                                kind: ScalarKind::F64,
-                                op: ScatterOp::Add,
-                                fetch: false,
-                            },
-                            origin: Origin::Remote { node: i },
-                        };
-                        self.nodes[i].inject_traced(req, now).expect("room checked");
-                        apply_pending += 1;
-                    }
-                }
-
-                self.nodes[i].tick(now);
-
-                while let Some(c) = self.nodes[i].pop_completion() {
-                    match c.origin {
-                        Origin::AddrGen { .. } => app_acks += 1,
-                        Origin::Remote { .. } => apply_pending -= 1,
-                        _ => {}
-                    }
-                }
-            }
-
-            let injected_all = injectors.iter().all(|j| j.cursor == j.items.len());
-            let quiescent = injected_all
-                && app_acks == total
-                && apply_pending == 0
-                && self.net.is_idle()
-                && outbox.iter().all(VecDeque::is_empty)
-                && self.nodes.iter().all(NodeMemSys::is_idle);
-
-            if quiescent {
-                // Flush-with-sum-back synchronization (§3.2): every node
-                // evicts its remaining partial lines toward their homes.
-                // Under the hypercube topology partials move one dimension
-                // per round and merge at intermediate nodes, so rounds
-                // repeat until no node holds partial lines (≤ log₂ n + 1).
-                let topology = self.topology;
-                let mut produced = false;
-                for (i, (node, out)) in self.nodes.iter_mut().zip(outbox.iter_mut()).enumerate() {
-                    for sb in node.flush_sum_backs() {
-                        let home = (sb.base.line_index(line_bytes) % n as u64) as usize;
-                        let dst = match topology {
-                            Topology::Flat => home,
-                            Topology::Hypercube if i == home => home,
-                            Topology::Hypercube => {
-                                let diff = i ^ home;
-                                let bit = usize::BITS - 1 - diff.leading_zeros();
-                                i ^ (1 << bit)
-                            }
-                        };
-                        sum_back_lines += 1;
-                        produced = true;
-                        out.push_back(Message::new(i, dst, line_words, NetMsg::SumBack(sb)));
-                    }
-                }
-                if !produced {
+                let mut refs: Vec<&mut NodeCtx> = ctxs.iter_mut().collect();
+                if sync_phase(&self.net, &mut refs, total, &params, &mut flush_rounds) {
                     break;
                 }
-                flush_rounds += 1;
             }
+        } else {
+            let cells: Vec<Mutex<NodeCtx>> = ctxs.into_iter().map(Mutex::new).collect();
+            // Two barrier crossings per cycle separate the parallel node
+            // phase from the serialized exchange phase.
+            let barrier = Barrier::new(workers + 1);
+            let done = AtomicBool::new(false);
+            let now_raw = AtomicU64::new(0);
+            let worker_panicked = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                for t in 0..workers {
+                    let cells = &cells;
+                    let barrier = &barrier;
+                    let done = &done;
+                    let now_raw = &now_raw;
+                    let worker_panicked = &worker_panicked;
+                    let params = &params;
+                    s.spawn(move || loop {
+                        barrier.wait(); // cycle start: ports are detached
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let now = Cycle(now_raw.load(Ordering::Acquire));
+                        // Catch panics so the coordinator is never left
+                        // waiting on a dead worker at the end-of-cycle
+                        // barrier; it re-raises after the phase.
+                        let stepped = catch_unwind(AssertUnwindSafe(|| {
+                            let mut i = t;
+                            while i < cells.len() {
+                                let mut ctx = cells[i].lock().expect("node context lock");
+                                step_node(&mut ctx, now, params);
+                                i += workers;
+                            }
+                        }));
+                        if stepped.is_err() {
+                            worker_panicked.store(true, Ordering::Release);
+                        }
+                        barrier.wait(); // cycle end: hand back to coordinator
+                    });
+                }
+
+                // Release the workers on every exit path (normal completion
+                // or a coordinator panic such as the deadlock limit): they
+                // are parked at the cycle-start barrier.
+                struct ReleaseWorkers<'a> {
+                    barrier: &'a Barrier,
+                    done: &'a AtomicBool,
+                }
+                impl Drop for ReleaseWorkers<'_> {
+                    fn drop(&mut self) {
+                        self.done.store(true, Ordering::Release);
+                        self.barrier.wait();
+                    }
+                }
+                let _release = ReleaseWorkers {
+                    barrier: &barrier,
+                    done: &done,
+                };
+
+                loop {
+                    let now = clock.advance();
+                    self.net.tick(now);
+                    for (i, cell) in cells.iter().enumerate() {
+                        let mut ctx = cell.lock().expect("node context lock");
+                        ctx.port = Some(self.net.detach_port(i));
+                    }
+                    now_raw.store(now.raw(), Ordering::Release);
+                    barrier.wait(); // node phase runs on the workers
+                    barrier.wait();
+                    assert!(
+                        !worker_panicked.load(Ordering::Acquire),
+                        "a node stepper thread panicked"
+                    );
+                    let mut guards: Vec<_> = cells
+                        .iter()
+                        .map(|c| c.lock().expect("node context lock"))
+                        .collect();
+                    for guard in &mut guards {
+                        self.net
+                            .attach_port(guard.port.take().expect("port attached this cycle"));
+                    }
+                    let mut refs: Vec<&mut NodeCtx> = guards.iter_mut().map(|g| &mut **g).collect();
+                    if sync_phase(&self.net, &mut refs, total, &params, &mut flush_rounds) {
+                        break;
+                    }
+                }
+            });
+            ctxs = cells
+                .into_iter()
+                .map(|c| c.into_inner().expect("worker threads joined"))
+                .collect();
         }
 
-        // Materialize coherent per-node memory for verification reads.
-        // While at it, fold every node's lifecycle records into the
-        // run-level tracer: a remote request's source- and home-side stamps
-        // merge into one record keyed by id.
-        for node in &mut self.nodes {
+        // Materialize coherent per-node memory for verification reads, and
+        // fold every node's lifecycle records into the run-level tracer in
+        // node order: a remote request's source-side stamps (kept in its
+        // issuing node's context) and home-side stamps merge into one
+        // record keyed by id.
+        let mut req_trace = ReqTracer::every(sample);
+        let mut sum_back_lines = 0u64;
+        for ctx in ctxs {
+            sum_back_lines += ctx.sum_back_lines;
+            let mut node = ctx.node;
             node.flush_to_store();
+            req_trace.absorb(ctx.tracer);
             req_trace.absorb(node.take_req_trace());
-            node.set_req_sample(self.machine.req_sample);
+            node.set_req_sample(sample);
+            self.nodes.push(node);
         }
 
         TraceReport {
@@ -507,6 +431,307 @@ impl MultiNode {
             net: self.net.stats(),
             req_trace,
         }
+    }
+}
+
+/// Read-only per-run parameters shared by every node stepper.
+#[derive(Copy, Clone, Debug)]
+struct StepParams {
+    n: usize,
+    issue_width: usize,
+    line_words: u32,
+    line_bytes: u64,
+    combining: bool,
+    topology: Topology,
+}
+
+/// The home node of a word address under line interleaving.
+fn home_of_line(addr: Addr, line_bytes: u64, n: usize) -> usize {
+    (addr.line_index(line_bytes) % n as u64) as usize
+}
+
+/// The next hop of a sum-back travelling from `from` toward `home` (see
+/// [`MultiNode::with_topology`] / [`Topology`]).
+fn hop_toward(topology: Topology, from: usize, home: usize) -> usize {
+    match topology {
+        Topology::Flat => home,
+        Topology::Hypercube => {
+            if from == home {
+                home
+            } else {
+                let diff = from ^ home;
+                let bit = usize::BITS - 1 - diff.leading_zeros();
+                from ^ (1 << bit)
+            }
+        }
+    }
+}
+
+/// All mutable state one node owns during a run. A stepper thread holds
+/// exclusive access while the node phase runs; nothing in here is shared.
+#[derive(Debug)]
+struct NodeCtx {
+    index: usize,
+    node: NodeMemSys,
+    inj: Injector,
+    outbox: VecDeque<Message<NetMsg>>,
+    /// The node's detached crossbar edge queues; present only during the
+    /// node phase of a cycle.
+    port: Option<CrossbarPort<NetMsg>>,
+    /// Source-side lifecycle stamps for requests this node sent across the
+    /// fabric; merged by id with the home-side records at end of run.
+    tracer: ReqTracer,
+    next_seq: u64,
+    app_acks: usize,
+    /// Sum-back word applications in flight at this node.
+    apply_pending: usize,
+    sum_back_lines: u64,
+}
+
+impl NodeCtx {
+    /// Mint a request id from this node's private stream. Ids carry the
+    /// node index in the high bits so concurrent nodes never collide and
+    /// the id sequence depends only on the node's own progress — never on
+    /// cross-node interleaving — which keeps lifecycle sampling
+    /// (`id % sample`) identical for any thread count.
+    fn mint_id(&mut self) -> ReqId {
+        self.next_seq += 1;
+        ((self.index as u64 + 1) << 40) | self.next_seq
+    }
+}
+
+/// Advance one node by one cycle against its detached crossbar port. This
+/// is the entire per-node cycle body; both the sequential scheduler and the
+/// phase-parallel stepper run exactly this function, which is what makes
+/// them bit-identical.
+///
+/// # Panics
+///
+/// Panics if `ctx.port` is absent or a capacity-checked injection fails.
+fn step_node(ctx: &mut NodeCtx, now: Cycle, p: &StepParams) {
+    let i = ctx.index;
+
+    // Deliver network messages while the node can take them.
+    while let Some(msg) = ctx.port.as_ref().expect("port attached").peek_delivered() {
+        match &msg.payload {
+            NetMsg::Request(req) => {
+                let req = *req;
+                if ctx.node.inject_traced(req, now).is_ok() {
+                    let _ = ctx.port.as_mut().expect("port attached").pop_delivered();
+                } else {
+                    break;
+                }
+            }
+            NetMsg::SumBack(sb) => {
+                // Apply each word of the line as a scatter-add. At the home
+                // node this goes through the normal cached path; at a
+                // hypercube intermediate node the combining cache
+                // zero-allocates and merges it (the address is still remote
+                // there). All words of a line share one bank queue, so free
+                // capacity must cover every non-zero word.
+                let sb = sb.clone();
+                let needed = sb.data.iter().filter(|&&b| b != 0).count();
+                if ctx.node.inject_capacity(sb.base) < needed {
+                    break;
+                }
+                let _ = ctx.port.as_mut().expect("port attached").pop_delivered();
+                for (w, &bits) in sb.data.iter().enumerate() {
+                    if bits == 0 {
+                        continue; // additive identity: no work
+                    }
+                    let req = MemRequest {
+                        id: ctx.mint_id(),
+                        addr: Addr(sb.base.0 + w as u64 * WORD_BYTES),
+                        op: MemOp::Scatter {
+                            bits,
+                            kind: ScalarKind::F64,
+                            op: ScatterOp::Add,
+                            fetch: false,
+                        },
+                        origin: Origin::Remote { node: i },
+                    };
+                    ctx.node.inject_traced(req, now).expect("room checked");
+                    ctx.apply_pending += 1;
+                }
+            }
+        }
+    }
+
+    // Inject this node's share of the trace. A request that the node or
+    // the fabric rejects stays staged and retries with the *same* id next
+    // cycle, so its (idempotent) issue stamp keeps measuring the first
+    // attempt.
+    for _ in 0..p.issue_width {
+        let req = match ctx.inj.staged.take() {
+            Some(r) => r,
+            None => {
+                let Some(&(word, value)) = ctx.inj.items.get(ctx.inj.cursor) else {
+                    break;
+                };
+                MemRequest {
+                    id: ctx.mint_id(),
+                    addr: Addr::from_word_index(word),
+                    op: MemOp::Scatter {
+                        bits: value.to_bits(),
+                        kind: ScalarKind::F64,
+                        op: ScatterOp::Add,
+                        fetch: false,
+                    },
+                    origin: Origin::AddrGen { node: i, ag: 0 },
+                }
+            }
+        };
+        let home = home_of_line(req.addr, p.line_bytes, p.n);
+        if p.combining || home == i {
+            match ctx.node.inject_traced(req, now) {
+                Ok(()) => ctx.inj.cursor += 1,
+                Err(r) => {
+                    ctx.inj.staged = Some(r);
+                    break;
+                }
+            }
+        } else {
+            // One word of payload (the paper's low-bandwidth network
+            // carries one word per cycle per node).
+            let port = ctx.port.as_mut().expect("port attached");
+            if port.can_inject() {
+                // The request is issued here at node i's address generator
+                // even though it executes at its home; stamp the
+                // source-side stages into this node's tracer for the merge
+                // at end of run.
+                ctx.tracer.issue(req.id, i, now.raw());
+                port.try_inject_traced(
+                    Message::new(i, home, 1, NetMsg::Request(req)),
+                    now,
+                    Some(req.id),
+                    &mut ctx.tracer,
+                )
+                .expect("capacity checked");
+                ctx.inj.cursor += 1;
+            } else {
+                ctx.inj.staged = Some(req);
+                break;
+            }
+        }
+    }
+
+    // Forward evicted partial-sum lines toward their homes (one hypercube
+    // hop at a time under that topology).
+    while let Some((_, sb)) = ctx.node.pop_sum_back() {
+        let dst = hop_toward(p.topology, i, home_of_line(sb.base, p.line_bytes, p.n));
+        ctx.sum_back_lines += 1;
+        ctx.outbox
+            .push_back(Message::new(i, dst, p.line_words, NetMsg::SumBack(sb)));
+    }
+    while let Some(msg) = ctx.outbox.pop_front() {
+        if msg.dst == i {
+            // Locally-homed sum-back (possible right after the flush):
+            // apply without crossing the fabric.
+            ctx.outbox.push_front(msg);
+            break;
+        }
+        match ctx.port.as_mut().expect("port attached").try_inject(msg) {
+            Ok(()) => {}
+            Err(m) => {
+                ctx.outbox.push_front(m);
+                break;
+            }
+        }
+    }
+    // Apply locally-homed sum-backs directly.
+    while ctx.outbox.front().is_some_and(|m| m.dst == i) {
+        let msg = ctx.outbox.pop_front().expect("front checked");
+        let Message {
+            payload: NetMsg::SumBack(sb),
+            ..
+        } = msg
+        else {
+            unreachable!("only sum-backs are self-addressed");
+        };
+        let needed = sb.data.iter().filter(|&&b| b != 0).count();
+        if ctx.node.inject_capacity(sb.base) < needed {
+            ctx.outbox
+                .push_front(Message::new(i, i, p.line_words, NetMsg::SumBack(sb)));
+            break;
+        }
+        for (w, &bits) in sb.data.iter().enumerate() {
+            if bits == 0 {
+                continue;
+            }
+            let req = MemRequest {
+                id: ctx.mint_id(),
+                addr: Addr(sb.base.0 + w as u64 * WORD_BYTES),
+                op: MemOp::Scatter {
+                    bits,
+                    kind: ScalarKind::F64,
+                    op: ScatterOp::Add,
+                    fetch: false,
+                },
+                origin: Origin::Remote { node: i },
+            };
+            ctx.node.inject_traced(req, now).expect("room checked");
+            ctx.apply_pending += 1;
+        }
+    }
+
+    ctx.node.tick(now);
+
+    while let Some(c) = ctx.node.pop_completion() {
+        match c.origin {
+            Origin::AddrGen { .. } => ctx.app_acks += 1,
+            Origin::Remote { .. } => ctx.apply_pending -= 1,
+            _ => {}
+        }
+    }
+}
+
+/// The serialized end-of-cycle phase: decide quiescence from the summed
+/// per-node counters and, when quiescent, run one flush-with-sum-back
+/// synchronization round (§3.2). Returns `true` when the run is complete.
+/// Runs with all ports re-attached, so `net.is_idle()` sees the real edge
+/// queues.
+fn sync_phase(
+    net: &Crossbar<NetMsg>,
+    ctxs: &mut [&mut NodeCtx],
+    total: usize,
+    p: &StepParams,
+    flush_rounds: &mut u32,
+) -> bool {
+    let injected_all = ctxs.iter().all(|c| c.inj.cursor == c.inj.items.len());
+    let app_acks: usize = ctxs.iter().map(|c| c.app_acks).sum();
+    let apply_pending: usize = ctxs.iter().map(|c| c.apply_pending).sum();
+    let quiescent = injected_all
+        && app_acks == total
+        && apply_pending == 0
+        && net.is_idle()
+        && ctxs.iter().all(|c| c.outbox.is_empty())
+        && ctxs.iter().all(|c| c.node.is_idle());
+    if !quiescent {
+        return false;
+    }
+
+    // Flush-with-sum-back synchronization: every node evicts its remaining
+    // partial lines toward their homes. Under the hypercube topology
+    // partials move one dimension per round and merge at intermediate
+    // nodes, so rounds repeat until no node holds partial lines
+    // (≤ log₂ n + 1).
+    let mut produced = false;
+    for ctx in ctxs.iter_mut() {
+        let i = ctx.index;
+        for sb in ctx.node.flush_sum_backs() {
+            let home = home_of_line(sb.base, p.line_bytes, p.n);
+            let dst = hop_toward(p.topology, i, home);
+            ctx.sum_back_lines += 1;
+            produced = true;
+            ctx.outbox
+                .push_back(Message::new(i, dst, p.line_words, NetMsg::SumBack(sb)));
+        }
+    }
+    if produced {
+        *flush_rounds += 1;
+        false
+    } else {
+        true
     }
 }
 
@@ -679,6 +904,70 @@ mod tests {
         let r2 =
             MultiNode::new(machine(), 2, NetworkConfig::low(), true).run_trace(&trace, &values);
         assert_eq!(r1.cycles, r2.cycles);
+    }
+
+    /// Every observable field of two reports must agree (the req tracers
+    /// are compared through their rendered latency documents).
+    fn assert_reports_identical(a: &TraceReport, b: &TraceReport, what: &str) {
+        assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+        assert_eq!(a.adds, b.adds, "{what}: adds");
+        assert_eq!(a.sum_back_lines, b.sum_back_lines, "{what}: sum-backs");
+        assert_eq!(a.flush_rounds, b.flush_rounds, "{what}: flush rounds");
+        assert_eq!(a.node_stats, b.node_stats, "{what}: node stats");
+        assert_eq!(a.net, b.net, "{what}: net stats");
+        assert_eq!(
+            a.req_trace.retired_len(),
+            b.req_trace.retired_len(),
+            "{what}: retired records"
+        );
+        assert_eq!(
+            a.req_trace.latency_json(),
+            b.req_trace.latency_json(),
+            "{what}: latency document"
+        );
+    }
+
+    #[test]
+    fn parallel_stepping_is_bit_identical_to_serial() {
+        // The heart of the determinism contract: for every mode the
+        // phase-parallel stepper must reproduce the sequential scheduler's
+        // cycle count, statistics, and lifecycle records exactly, at every
+        // thread count.
+        let (trace, values) = uniform_trace(3000, 512, 21);
+        let mut cfg = machine();
+        cfg.req_sample = 8;
+        let cases: [(usize, NetworkConfig, bool, Topology); 4] = [
+            (4, NetworkConfig::high(), false, Topology::Flat),
+            (4, NetworkConfig::low(), true, Topology::Flat),
+            (8, NetworkConfig::low(), true, Topology::Hypercube),
+            (2, NetworkConfig::low(), false, Topology::Flat),
+        ];
+        for (n, net, combining, topo) in cases {
+            let run = |threads: usize| {
+                let mut mn = MultiNode::with_topology(cfg, n, net, combining, topo);
+                let r = mn.run_trace_threads(&trace, &values, threads);
+                verify(&mn, &trace, &values);
+                r
+            };
+            let serial = run(1);
+            for threads in [2, n, 2 * n] {
+                let parallel = run(threads);
+                assert_reports_identical(
+                    &serial,
+                    &parallel,
+                    &format!("n={n} combining={combining} topo={topo:?} threads={threads}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_exceeding_nodes_is_clamped() {
+        let (trace, values) = uniform_trace(400, 64, 22);
+        let mut mn = MultiNode::new(machine(), 2, NetworkConfig::high(), false);
+        let r = mn.run_trace_threads(&trace, &values, 64);
+        verify(&mn, &trace, &values);
+        assert_eq!(r.adds, 400);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::{run_ebe_hw, Csr};
 use sa_core::{drive_scatter, ScatterKernel, SensitivityRig};
-use sa_multinode::MultiNode;
+use sa_multinode::{MultiNode, Topology, TraceReport};
 use sa_sim::{MachineConfig, NetworkConfig, Rng64, SensitivityConfig};
 
 fn machine() -> MachineConfig {
@@ -83,6 +83,63 @@ fn multinode_repeats_exactly() {
             .run_trace(&trace, &values);
         assert_eq!(a.cycles, b.cycles, "combining={combining}");
         assert_eq!(a.sum_back_lines, b.sum_back_lines);
+    }
+}
+
+/// Render a trace report exactly the way `--stats-json` does: every counter
+/// through the metrics registry, plus the request-latency document.
+fn stats_json(r: &TraceReport) -> String {
+    let mut reg = sa_telemetry::MetricsRegistry::new();
+    r.record_metrics(&mut reg.scope("multinode"));
+    format!(
+        "{}\n{}",
+        reg.to_json().to_string_pretty(),
+        r.req_trace.latency_json().to_string_pretty()
+    )
+}
+
+#[test]
+fn multinode_parallel_stepping_stats_json_is_byte_identical() {
+    // The determinism contract of `docs/PARALLELISM.md`: the phase-parallel
+    // stepper must produce the same sa-stats v2 bytes as serial stepping for
+    // *any* worker count — 1, 2, and more workers than nodes.
+    let mut rng = Rng64::new(9);
+    let trace: Vec<u64> = (0..4000).map(|_| rng.below(192)).collect();
+    let values: Vec<f64> = (0..trace.len()).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+    let mut cfg = machine();
+    cfg.req_sample = 16; // exercise the tracer merge path too
+    for (combining, topology) in [(false, Topology::Flat), (true, Topology::Hypercube)] {
+        let serial = MultiNode::with_topology(cfg, 4, NetworkConfig::low(), combining, topology)
+            .run_trace(&trace, &values);
+        let expect = stats_json(&serial);
+        for threads in [1usize, 2, 4, 16] {
+            let parallel =
+                MultiNode::with_topology(cfg, 4, NetworkConfig::low(), combining, topology)
+                    .run_trace_threads(&trace, &values, threads);
+            assert_eq!(
+                stats_json(&parallel),
+                expect,
+                "combining={combining} threads={threads}: stats bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn rig_sweep_is_thread_count_invariant() {
+    let mut rng = Rng64::new(10);
+    let indices: Vec<u64> = (0..512).map(|_| rng.below(4096)).collect();
+    let configs: Vec<SensitivityConfig> = [2usize, 8, 64]
+        .iter()
+        .map(|&cs| SensitivityConfig {
+            cs_entries: cs,
+            ..SensitivityConfig::default()
+        })
+        .collect();
+    let serial = SensitivityRig::run_histogram_sweep(&configs, &indices, 4096, 1);
+    for threads in [2usize, 8] {
+        let parallel = SensitivityRig::run_histogram_sweep(&configs, &indices, 4096, threads);
+        assert_eq!(serial, parallel, "threads={threads}");
     }
 }
 
