@@ -1,0 +1,187 @@
+//! Hot-loop throughput: simulated cycles per wall-clock second with the
+//! event-horizon scheduler (`--fast-forward`) on vs off.
+//!
+//! ```text
+//! hotloop                                # print the table
+//! hotloop --out BENCH_hotloop.json       # also record the measurement
+//! hotloop --baseline BENCH_hotloop.json  # warn (never fail) on regression
+//! hotloop --quick                        # smaller inputs, single repeat
+//! ```
+//!
+//! Three workloads cover the simulator's distinct hot loops:
+//!
+//! * `histogram-fig6` — Figure 6's histogram on the executor path;
+//! * `spmv-ebe` — the EBE sparse matrix-vector product;
+//! * `rig-stall` — the sensitivity rig at 400-cycle memory latency and a
+//!   1-in-8-cycle memory interval: a memory-stall-dominated shape where
+//!   almost every cycle is provably idle, so fast-forward must win big
+//!   (the acceptance floor is 2x).
+//!
+//! Both modes must report identical simulated cycle counts — the binary
+//! asserts it — so the comparison isolates pure wall-clock cost. Baseline
+//! comparison is warn-only: wall-clock numbers depend on the host, so CI
+//! publishes them as a tracked metric rather than a hard gate.
+
+use std::time::Instant;
+
+use sa_apps::histogram::{run_hw, HistogramInput};
+use sa_apps::mesh::Mesh;
+use sa_apps::spmv::run_ebe_hw;
+use sa_bench::args::Args;
+use sa_bench::{header, quick_mode, row};
+use sa_core::SensitivityRig;
+use sa_sim::{MachineConfig, Rng64, SensitivityConfig};
+use sa_telemetry::Json;
+
+struct Workload {
+    name: &'static str,
+    run: Box<dyn Fn() -> u64>,
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    let cfg = MachineConfig::merrimac();
+    let n = if quick { 1024 } else { 8192 };
+    let hist = HistogramInput::uniform(n, 2048, 0xF16_0006 + n as u64);
+    let mesh = if quick {
+        Mesh::generate(60, 8, 220, 14)
+    } else {
+        Mesh::generate(200, 20, 1040, 14)
+    };
+    let x = mesh.test_vector(15);
+    let rig_n = if quick { 4096 } else { 16_384 };
+    let mut rng = Rng64::new(0x407_1007);
+    let rig_idx: Vec<u64> = (0..rig_n).map(|_| rng.below(512)).collect();
+    vec![
+        Workload {
+            name: "histogram-fig6",
+            run: Box::new(move || run_hw(&cfg, &hist).report.cycles),
+        },
+        Workload {
+            name: "spmv-ebe",
+            run: Box::new(move || run_ebe_hw(&cfg, &mesh, &x).report.cycles),
+        },
+        Workload {
+            name: "rig-stall",
+            run: Box::new(move || {
+                let rig = SensitivityRig::new(SensitivityConfig {
+                    cs_entries: 4,
+                    fu_latency: 4,
+                    mem_latency: 400,
+                    mem_interval: 8,
+                });
+                rig.run_histogram(&rig_idx, 512).cycles
+            }),
+        },
+    ]
+}
+
+/// Best-of-`repeats` wall seconds and the (deterministic) simulated cycles.
+fn measure(run: &dyn Fn() -> u64, repeats: usize) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        cycles = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (cycles, best)
+}
+
+/// Warn (never fail) when a run's `cycles_per_sec_ff_on` fell below half
+/// its baseline value. Returns the number of warnings for the summary line.
+fn compare_to_baseline(baseline: &Json, runs: &[Json]) -> usize {
+    let Some(base_runs) = baseline.get("runs").and_then(Json::as_arr) else {
+        eprintln!("warning: baseline has no \"runs\" array; skipping comparison");
+        return 0;
+    };
+    let mut warnings = 0;
+    for run in runs {
+        let name = run.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(base) = base_runs
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            eprintln!("note: {name}: no baseline entry");
+            continue;
+        };
+        let get = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64);
+        if let (Some(now), Some(then)) = (
+            get(run, "cycles_per_sec_ff_on"),
+            get(base, "cycles_per_sec_ff_on"),
+        ) {
+            if now < then * 0.5 {
+                eprintln!("warning: {name}: {now:.0} cycles/s vs baseline {then:.0} (>2x slower)");
+                warnings += 1;
+            }
+        }
+    }
+    warnings
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = quick_mode();
+    let repeats = if quick { 1 } else { 3 };
+    header(
+        "Hot loop",
+        "Simulated cycles per wall second; fast-forward on vs off",
+    );
+    let mut runs = Vec::new();
+    for w in workloads(quick) {
+        sa_sim::set_fast_forward_default(false);
+        let (cycles_off, wall_off) = measure(&*w.run, repeats);
+        sa_sim::set_fast_forward_default(true);
+        let (cycles_on, wall_on) = measure(&*w.run, repeats);
+        assert_eq!(
+            cycles_on, cycles_off,
+            "{}: fast-forward changed simulated time",
+            w.name
+        );
+        let speedup = wall_off / wall_on;
+        let cps = cycles_on as f64 / wall_on;
+        row(
+            w.name,
+            &[
+                ("sim cycles", format!("{cycles_on}")),
+                ("ff off", format!("{:.2}ms", wall_off * 1e3)),
+                ("ff on", format!("{:.2}ms", wall_on * 1e3)),
+                ("speedup", format!("{speedup:.2}x")),
+                ("cycles/s", format!("{cps:.2e}")),
+            ],
+        );
+        let mut o = Json::obj();
+        o.push("name", Json::Str(w.name.to_owned()));
+        o.push("sim_cycles", Json::UInt(cycles_on));
+        o.push("wall_ms_ff_off", Json::Num(wall_off * 1e3));
+        o.push("wall_ms_ff_on", Json::Num(wall_on * 1e3));
+        o.push("speedup", Json::Num(speedup));
+        o.push("cycles_per_sec_ff_on", Json::Num(cps));
+        runs.push(o);
+    }
+    if let Some(path) = args.raw("baseline") {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) => {
+                    let warnings = compare_to_baseline(&doc, &runs);
+                    if warnings == 0 {
+                        println!("\nbaseline {path}: within warn threshold");
+                    }
+                }
+                Err(e) => eprintln!("warning: could not parse baseline {path}: {e}"),
+            },
+            Err(e) => eprintln!("warning: could not read baseline {path}: {e}"),
+        }
+    }
+    if let Some(path) = args.raw("out") {
+        let mut doc = Json::obj();
+        doc.push("bench", Json::Str("hotloop".to_owned()));
+        doc.push("quick", Json::Bool(quick));
+        doc.push("repeats", Json::UInt(repeats as u64));
+        doc.push("runs", Json::Arr(runs));
+        if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote hot-loop measurement to {path}");
+    }
+}

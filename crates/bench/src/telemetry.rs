@@ -8,7 +8,14 @@
 //! fig6 --stats-json fig6.json          # versioned sa-stats v1 document
 //! fig6 --trace fig6.trace.json         # Chrome trace_event file (Perfetto)
 //! fig6 --sample-interval 16 --trace t  # denser cycle sampling
+//! fig6 --fast-forward off              # disable event-horizon skipping
 //! ```
+//!
+//! `--fast-forward` (default `on`) controls the event-horizon scheduler: a
+//! wall-clock optimization that jumps the simulated clock over provably-idle
+//! stretches. Simulated cycle counts, statistics, and figure outputs are
+//! byte-identical either way (CI enforces this); `off` exists for debugging
+//! and for measuring the speedup itself.
 //!
 //! With neither flag the run does no extra work. With either flag, `finish`
 //! replays a small deterministic histogram — the *canonical workload* — on
@@ -100,6 +107,13 @@ impl BenchRun {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             });
+        let fast_forward = args
+            .choice("fast-forward", &["on", "off"], "on")
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+        sa_sim::set_fast_forward_default(fast_forward == "on");
         BenchRun {
             bench: bench.to_owned(),
             cfg: *cfg,
@@ -238,6 +252,7 @@ impl BenchRun {
             run.node.record_metrics(&mut scope);
             scope.counter("cycles", run.cycles);
             scope.counter("drain_cycles", run.drain_cycles);
+            scope.counter("skipped_cycles", run.skipped_cycles);
         }
         self.record_latency("canonical", run.node.req_tracer());
         self.record_attribution("canonical", &run.stall_breakdown());

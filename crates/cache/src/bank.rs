@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use fxhash::FxHashMap;
 use sa_mem::{DramCommand, DramKind, DramResponse};
 use sa_sim::{Addr, BoundedQueue, CacheConfig, Cycle, MemResponse, Origin, ReqId, WORD_BYTES};
 
@@ -161,6 +162,10 @@ pub struct CacheBank {
     bank_index: usize,
     sets: Vec<Vec<Line>>,
     mshrs: Vec<Mshr>,
+    /// Line base → index into `mshrs`. Line bases are unique across MSHRs by
+    /// construction, and every access probes this on the miss path, so the
+    /// deterministic fast hash replaces the former linear scans.
+    mshr_lookup: FxHashMap<u64, usize>,
     mem_out: BoundedQueue<DramCommand>,
     pending_fills: VecDeque<DramResponse>,
     ready: VecDeque<MemResponse>,
@@ -195,6 +200,7 @@ impl CacheBank {
             bank_index,
             sets,
             mshrs: Vec::with_capacity(cfg.mshrs_per_bank),
+            mshr_lookup: FxHashMap::default(),
             mem_out: BoundedQueue::new(cfg.mshrs_per_bank * 2),
             pending_fills: VecDeque::new(),
             ready: VecDeque::new(),
@@ -320,7 +326,8 @@ impl CacheBank {
                     self.push_ready(access, bits, now);
                     return Ok(());
                 }
-                if let Some(m) = self.mshrs.iter_mut().find(|m| m.line_base == line_base) {
+                if let Some(&idx) = self.mshr_lookup.get(&line_base.0) {
+                    let m = &mut self.mshrs[idx];
                     if zero_alloc {
                         // A zero-alloc read racing a real fill would fork the
                         // line's value; wait for the fill instead.
@@ -376,6 +383,7 @@ impl CacheBank {
                     },
                 };
                 self.mem_out.try_push(cmd).expect("capacity checked");
+                self.mshr_lookup.insert(line_base.0, self.mshrs.len());
                 self.mshrs.push(Mshr {
                     line_base,
                     targets: vec![MshrTarget::Read(access.id, offset, access.origin)],
@@ -393,7 +401,8 @@ impl CacheBank {
                     self.stats.write_hits += 1;
                     return Ok(());
                 }
-                if let Some(m) = self.mshrs.iter_mut().find(|m| m.line_base == line_base) {
+                if let Some(&idx) = self.mshr_lookup.get(&line_base.0) {
+                    let m = &mut self.mshrs[idx];
                     if m.occupancy() >= self.cfg.targets_per_mshr {
                         self.stats.blocked += 1;
                         self.stats.mshr_full += 1;
@@ -505,12 +514,18 @@ impl CacheBank {
             return; // eviction blocked on the command queue; retry next cycle
         };
         let resp = self.pending_fills.pop_front().expect("front checked");
-        let mshr_idx = self
-            .mshrs
-            .iter()
-            .position(|m| m.line_base == base)
-            .expect("fill without MSHR");
+        let mshr_idx = self.mshr_lookup.remove(&base.0).expect("fill without MSHR");
         let mshr = self.mshrs.swap_remove(mshr_idx);
+        // swap_remove moved the former tail into `mshr_idx`; re-index it.
+        if mshr_idx < self.mshrs.len() {
+            self.mshr_lookup
+                .insert(self.mshrs[mshr_idx].line_base.0, mshr_idx);
+        }
+        debug_assert_eq!(self.mshr_lookup.len(), self.mshrs.len());
+        debug_assert!(self
+            .mshr_lookup
+            .iter()
+            .all(|(&b, &i)| self.mshrs[i].line_base.0 == b));
         {
             let l = &mut self.sets[set][way];
             l.valid = true;
@@ -547,6 +562,32 @@ impl CacheBank {
     /// Next outgoing DRAM command, if any (the node routes it to a channel).
     pub fn pop_mem_cmd(&mut self) -> Option<DramCommand> {
         self.mem_out.pop()
+    }
+
+    /// Pop the next outgoing DRAM command only if `accept` commits to it
+    /// (single-touch routing; see [`sa_sim::BoundedQueue::pop_if`]).
+    pub fn pop_mem_cmd_if<F: FnMut(&DramCommand) -> bool>(
+        &mut self,
+        accept: F,
+    ) -> Option<DramCommand> {
+        self.mem_out.pop_if(accept)
+    }
+
+    /// Earliest future cycle at which a tick can change this bank's state.
+    ///
+    /// Pending fills, queued DRAM commands, and queued sum-backs all make
+    /// progress (or may be drained by the node) on the very next cycle. A
+    /// waiting read response becomes poppable at its hit-latency expiry.
+    /// `None` means the bank is dormant: any remaining MSHRs are waiting on
+    /// DRAM, and that wakeup belongs to the channels' horizons.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.pending_fills.is_empty() || !self.mem_out.is_empty() || !self.sum_backs.is_empty()
+        {
+            return Some(now + 1);
+        }
+        // `ready` is pushed in completion order (constant hit latency), so
+        // the front is the earliest.
+        self.ready.front().map(|r| r.at.max(now + 1))
     }
 
     /// Peek whether an outgoing DRAM command is waiting.
@@ -965,6 +1006,43 @@ mod tests {
         let addr = Addr(3 * c.line_bytes); // line 3
         bank.try_access(read(1, addr.0), Cycle(0)).unwrap();
         assert_eq!(bank.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn next_event_tracks_bank_state() {
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        assert_eq!(bank.next_event(Cycle(0)), None, "fresh bank is dormant");
+        // A read miss queues a DRAM command: progress next cycle.
+        bank.try_access(read(1, 8), Cycle(0)).unwrap();
+        assert_eq!(bank.next_event(Cycle(0)), Some(Cycle(1)));
+        // Once the command is drained, the MSHR waits on DRAM: dormant.
+        let cmd = bank.pop_mem_cmd().unwrap();
+        assert_eq!(bank.next_event(Cycle(0)), None);
+        // The fill makes the bank busy again...
+        bank.on_mem_response(DramResponse {
+            id: cmd.id,
+            base: cmd.base,
+            data: vec![0; 4],
+            origin: cmd.origin,
+            at: Cycle(20),
+        });
+        assert_eq!(bank.next_event(Cycle(20)), Some(Cycle(21)));
+        bank.tick(Cycle(21));
+        // ...and the replayed read waits out the hit latency (1 in tiny()).
+        assert_eq!(bank.next_event(Cycle(21)), Some(Cycle(22)));
+        assert!(bank.pop_ready(Cycle(22)).is_some());
+        assert_eq!(bank.next_event(Cycle(22)), None);
+    }
+
+    #[test]
+    fn pop_mem_cmd_if_leaves_rejected_command_queued() {
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(read(1, 8), Cycle(0)).unwrap();
+        assert!(bank.pop_mem_cmd_if(|_| false).is_none());
+        assert!(bank.has_mem_cmd(), "rejected command stays at the head");
+        let got = bank.pop_mem_cmd_if(|c| c.kind == DramKind::Read).unwrap();
+        assert_eq!(got.base, Addr(0));
+        assert!(!bank.has_mem_cmd());
     }
 
     #[test]

@@ -164,6 +164,10 @@ pub struct RunResult<T: TraceSink = NullTrace> {
     pub cycles: u64,
     /// Cycles until every final sum reached memory (drain time).
     pub drain_cycles: u64,
+    /// Cycles the run loop fast-forwarded over instead of ticking (0 with
+    /// fast-forward off; wall-clock accounting only — every other field is
+    /// byte-identical either way).
+    pub skipped_cycles: u64,
     /// Aggregated machine statistics.
     pub stats: NodeStats,
     /// Old values returned by fetch-ops, in completion order
@@ -279,6 +283,8 @@ pub fn drive_scatter_with<T: TraceSink>(
     let mut acked = 0usize;
     let mut fetched = Vec::new();
     let mut ack_time = 0u64;
+    let mut skipped_cycles = 0u64;
+    let fast_forward = node.fast_forward();
 
     loop {
         let now = clock.advance();
@@ -308,6 +314,20 @@ pub fn drive_scatter_with<T: TraceSink>(
         if pending.is_empty() && node.is_idle() {
             break;
         }
+        // Event-horizon fast-forward: once everything is issued, jump to the
+        // cycle before the node's next event. While requests are still
+        // pending, every cycle retries injection (mutating queue-rejection
+        // counters), so the loop must tick through those cycles.
+        if fast_forward && pending.is_empty() {
+            if let Some(h) = node.next_event(now) {
+                if h > now + 1 {
+                    let k = h.raw() - now.raw() - 1;
+                    node.skip_cycles(now, k);
+                    clock.skip_to(Cycle(h.raw() - 1));
+                    skipped_cycles += k;
+                }
+            }
+        }
     }
 
     // Materialize the coherent memory image for result extraction.
@@ -317,6 +337,7 @@ pub fn drive_scatter_with<T: TraceSink>(
     RunResult {
         cycles: ack_time + startup,
         drain_cycles: clock.now().raw() + startup,
+        skipped_cycles,
         stats: node.stats(),
         fetched,
         base_word: kernel.base_word,
@@ -412,6 +433,25 @@ mod tests {
         let b = drive_scatter(&merrimac(), &kernel, false);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.result_i64(64), b.result_i64(64));
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical() {
+        let mut rng = sa_sim::Rng64::new(11);
+        let indices: Vec<u64> = (0..2048).map(|_| rng.below(4096)).collect();
+        let kernel = ScatterKernel::histogram(0, indices);
+        let mut on = NodeMemSys::new(merrimac(), 0, false);
+        on.set_fast_forward(true);
+        let mut off = NodeMemSys::new(merrimac(), 0, false);
+        off.set_fast_forward(false);
+        let a = drive_scatter_with(on, &kernel, false);
+        let b = drive_scatter_with(off, &kernel, false);
+        assert_eq!(b.skipped_cycles, 0, "ff off must tick every cycle");
+        assert!(a.skipped_cycles > 0, "drain phase should fast-forward");
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.drain_cycles, b.drain_cycles);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.result_i64(4096), b.result_i64(4096));
     }
 
     #[test]

@@ -93,6 +93,10 @@ pub struct NodeMemSys<T: TraceSink = NullTrace> {
     /// Per-channel `words_transferred` at the previous sample, for bus
     /// utilization deltas.
     last_dram_words: Vec<u64>,
+    /// Whether run loops driving this node may fast-forward over cycles in
+    /// which [`NodeMemSys::next_event`] proves nothing can change. Seeded
+    /// from [`sa_sim::fast_forward_default`] at construction.
+    fast_forward: bool,
 }
 
 impl NodeMemSys {
@@ -152,8 +156,21 @@ impl<T: TraceSink> NodeMemSys<T> {
             next_sample: 0,
             series: SeriesSet::new(sample_interval),
             last_dram_words: vec![0; cfg.dram.channels],
+            fast_forward: sa_sim::fast_forward_default(),
             cfg,
         }
+    }
+
+    /// Enable or disable event-horizon fast-forward for run loops driving
+    /// this node (wall-clock only; simulated results are identical either
+    /// way). Overrides the process-wide default for this instance.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether run loops may fast-forward over provably-idle cycles.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// Set the occupancy sampling interval in cycles (0 disables sampling).
@@ -221,11 +238,20 @@ impl<T: TraceSink> NodeMemSys<T> {
     /// sum-back). A home-owned line is never combined: applying it through
     /// the cache with a real fill is what lets arriving sum-backs terminate
     /// (zero-allocating them would recurse through eviction forever).
-    fn combine_as_remote(&self, addr: Addr) -> bool {
-        self.combining
-            && match self.n_nodes {
+    ///
+    /// An associated fn (not a method) so [`try_serve_sa`](Self::try_serve_sa)
+    /// can call it while the bank is mutably borrowed.
+    fn combine_as_remote(
+        combining: bool,
+        n_nodes: Option<usize>,
+        line_bytes: u64,
+        node: usize,
+        addr: Addr,
+    ) -> bool {
+        combining
+            && match n_nodes {
                 None => true,
-                Some(_) => self.home_of(addr) != self.node,
+                Some(n) => (addr.line_index(line_bytes) % n as u64) as usize != node,
             }
     }
 
@@ -337,33 +363,33 @@ impl<T: TraceSink> NodeMemSys<T> {
             // 2. Install pending fills.
             self.banks[b].tick(now);
 
-            // 3. Move one outgoing DRAM command toward its channel.
-            if let Some(cmd) = self.banks[b].peek_mem_cmd() {
-                let line = cmd.base.line_index(self.cfg.cache.line_bytes);
-                let ch = self.cfg.dram.channel_of_line(line);
-                if self.channels[ch].can_accept() {
-                    let cmd = self.banks[b].pop_mem_cmd().expect("peeked");
-                    if let Some(rid) = cmd.req {
-                        self.req_trace.stamp(rid, ReqStage::Dram, now.raw());
-                    }
-                    self.channels[ch]
-                        .try_submit(cmd, now)
-                        .expect("capacity checked");
+            // 3. Move one outgoing DRAM command toward its channel (a single
+            //    conditional pop: the head stays queued when its channel is
+            //    busy).
+            let line_bytes = self.cfg.cache.line_bytes;
+            let dram_cfg = self.cfg.dram;
+            let channels = &self.channels;
+            if let Some(cmd) = self.banks[b].pop_mem_cmd_if(|cmd| {
+                channels[dram_cfg.channel_of_line(cmd.base.line_index(line_bytes))].can_accept()
+            }) {
+                if let Some(rid) = cmd.req {
+                    self.req_trace.stamp(rid, ReqStage::Dram, now.raw());
                 }
+                let ch = dram_cfg.channel_of_line(cmd.base.line_index(line_bytes));
+                self.channels[ch]
+                    .try_submit(cmd, now)
+                    .expect("capacity checked");
             }
 
             // 4. Ingest a scatter request into the scatter-add unit (does not
             //    consume the cache port; Figure 4a places the unit in front
-            //    of the bank).
-            if let Some(req) = self.bank_in[b].front().copied() {
-                if req.op.is_scatter()
-                    && self.sa[b]
-                        .try_submit_traced(req, now, &mut self.req_trace)
-                        .is_ok()
-                {
-                    self.bank_in[b].pop();
-                }
-            }
+            //    of the bank). Single conditional pop: the head is consumed
+            //    exactly when the unit accepts it.
+            let sa = &mut self.sa[b];
+            let req_trace = &mut self.req_trace;
+            self.bank_in[b].pop_if(|req| {
+                req.op.is_scatter() && sa.try_submit_traced(*req, now, req_trace).is_ok()
+            });
 
             // 5. One cache access per bank per cycle, round-robin between the
             //    scatter-add unit's internal traffic and bypass traffic.
@@ -485,94 +511,87 @@ impl<T: TraceSink> NodeMemSys<T> {
     }
 
     /// Serve one of the scatter-add unit's memory operations at bank `b`'s
-    /// cache port. Returns whether the port was used.
+    /// cache port. Returns whether the port was used (a single conditional
+    /// pop: the head op stays queued when the cache port rejects it).
     fn try_serve_sa(&mut self, b: usize, now: Cycle) -> bool {
-        let Some(op) = self.sa[b].peek_to_mem().copied() else {
-            return false;
-        };
-        let access = match op {
-            ToMem::Read { id, addr } => CacheAccess {
-                id,
-                addr,
-                kind: AccessKind::Read {
-                    zero_alloc: self.combine_as_remote(addr),
-                },
-                origin: Origin::SaUnit {
-                    node: self.node,
-                    bank: b,
-                },
-            },
-            ToMem::Write { id, addr, bits } => CacheAccess {
-                id,
-                addr,
-                kind: AccessKind::Write {
-                    bits,
-                    partial_sum: self.combine_as_remote(addr),
-                },
-                origin: Origin::SaUnit {
-                    node: self.node,
-                    bank: b,
-                },
-            },
-        };
-        if self.banks[b]
-            .try_access_traced(access, now, &mut self.req_trace)
-            .is_ok()
-        {
-            let _ = self.sa[b].pop_to_mem();
-            true
-        } else {
-            false
-        }
+        let node = self.node;
+        let combining = self.combining;
+        let n_nodes = self.n_nodes;
+        let line_bytes = self.cfg.cache.line_bytes;
+        let combine_as_remote =
+            |addr: Addr| Self::combine_as_remote(combining, n_nodes, line_bytes, node, addr);
+        let bank = &mut self.banks[b];
+        let req_trace = &mut self.req_trace;
+        self.sa[b]
+            .pop_to_mem_if(|op| {
+                let origin = Origin::SaUnit { node, bank: b };
+                let access = match *op {
+                    ToMem::Read { id, addr } => CacheAccess {
+                        id,
+                        addr,
+                        kind: AccessKind::Read {
+                            zero_alloc: combine_as_remote(addr),
+                        },
+                        origin,
+                    },
+                    ToMem::Write { id, addr, bits } => CacheAccess {
+                        id,
+                        addr,
+                        kind: AccessKind::Write {
+                            bits,
+                            partial_sum: combine_as_remote(addr),
+                        },
+                        origin,
+                    },
+                };
+                bank.try_access_traced(access, now, req_trace).is_ok()
+            })
+            .is_some()
     }
 
     /// Serve one bypass (non-scatter) request at bank `b`'s cache port.
-    /// Returns whether the port was used.
+    /// Returns whether the port was used (a single conditional pop: the
+    /// head request stays queued when the cache port rejects it).
     fn try_serve_bypass(&mut self, b: usize, now: Cycle) -> bool {
-        let Some(front) = self.bank_in[b].front() else {
-            return false;
-        };
-        if front.op.is_scatter() {
-            return false;
-        }
-        let req = *front;
-        let access = match req.op {
-            MemOp::Read => CacheAccess {
-                id: req.id,
-                addr: req.addr,
-                kind: AccessKind::Read { zero_alloc: false },
-                origin: req.origin,
-            },
-            MemOp::Write { bits } => CacheAccess {
-                id: req.id,
-                addr: req.addr,
-                kind: AccessKind::Write {
-                    bits,
-                    partial_sum: false,
-                },
-                origin: req.origin,
-            },
-            MemOp::Scatter { .. } => unreachable!("checked above"),
-        };
-        if self.banks[b]
-            .try_access_traced(access, now, &mut self.req_trace)
-            .is_ok()
-        {
-            let req = self.bank_in[b].pop().expect("front checked");
-            if matches!(req.op, MemOp::Write { .. }) {
-                // Posted write: acknowledged on acceptance.
-                self.retire_req(req.id, now);
-                self.completions.push_back(MemResponse {
+        let bank = &mut self.banks[b];
+        let req_trace = &mut self.req_trace;
+        let served = self.bank_in[b].pop_if(|req| {
+            let access = match req.op {
+                MemOp::Read => CacheAccess {
                     id: req.id,
                     addr: req.addr,
-                    bits: 0,
+                    kind: AccessKind::Read { zero_alloc: false },
                     origin: req.origin,
-                    at: now,
-                });
+                },
+                MemOp::Write { bits } => CacheAccess {
+                    id: req.id,
+                    addr: req.addr,
+                    kind: AccessKind::Write {
+                        bits,
+                        partial_sum: false,
+                    },
+                    origin: req.origin,
+                },
+                MemOp::Scatter { .. } => return false,
+            };
+            bank.try_access_traced(access, now, req_trace).is_ok()
+        });
+        match served {
+            Some(req) => {
+                if matches!(req.op, MemOp::Write { .. }) {
+                    // Posted write: acknowledged on acceptance.
+                    self.retire_req(req.id, now);
+                    self.completions.push_back(MemResponse {
+                        id: req.id,
+                        addr: req.addr,
+                        bits: 0,
+                        origin: req.origin,
+                        at: now,
+                    });
+                }
+                true
             }
-            true
-        } else {
-            false
+            None => false,
         }
     }
 
@@ -630,6 +649,73 @@ impl<T: TraceSink> NodeMemSys<T> {
             && self.banks.iter().all(|b| b.is_idle())
             && self.sa.iter().all(|u| u.is_idle())
             && self.channels.iter().all(|c| c.is_idle())
+    }
+
+    /// Earliest future cycle at which this node can change state on its own
+    /// (the event horizon). `None` means the node is fully drained and only
+    /// external input can wake it; a driver may then fast-forward its clock.
+    ///
+    /// Conservative by construction — it may report a cycle earlier than the
+    /// first real state change, but never later:
+    ///
+    /// * undrained completions, queued bank inputs, and pending scatter-add
+    ///   memory ops are retried (and mutate stall counters) every cycle, so
+    ///   any of them pins the horizon to `now + 1`;
+    /// * otherwise the horizon is the minimum over every scatter-add unit,
+    ///   cache bank, and DRAM channel `next_event`;
+    /// * when occupancy sampling is on, the horizon is clamped to the next
+    ///   sample cycle so sampled series stay byte-identical under skipping.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.completions.is_empty()
+            || self.bank_in.iter().any(|q| !q.is_empty())
+            || self.sa.iter().any(|u| u.peek_to_mem().is_some())
+        {
+            return Some(now + 1);
+        }
+        let mut horizon: Option<Cycle> = None;
+        let mut fold = |t: Option<Cycle>| {
+            if let Some(t) = t {
+                horizon = Some(horizon.map_or(t, |h| h.min(t)));
+            }
+        };
+        for u in &self.sa {
+            fold(u.next_event(now));
+        }
+        for b in &self.banks {
+            fold(b.next_event(now));
+        }
+        for c in &self.channels {
+            fold(c.next_event(now));
+        }
+        if self.sample_interval != 0 {
+            fold(Some(Cycle(self.next_sample.max(now.raw() + 1))));
+        }
+        horizon
+    }
+
+    /// Fold `skipped` provably-idle cycles (fast-forward) into time-weighted
+    /// statistics, keeping them byte-identical with per-cycle ticking. The
+    /// caller must have verified `now + skipped < next_event(now)` — i.e. no
+    /// component changes state and no request is retried during the window.
+    pub fn skip_cycles(&mut self, now: Cycle, skipped: u64) {
+        debug_assert!(
+            self.next_event(now).is_none_or(|t| t > now + skipped),
+            "fast-forward skipped past a node event"
+        );
+        for u in &mut self.sa {
+            u.skip_cycles(now, skipped, false);
+        }
+        for c in &mut self.channels {
+            c.skip_idle(now, skipped);
+        }
+        // The bank input queues are empty during a skip window, but their
+        // occupancy integral folds lazily on the next tick — and callers
+        // inject *before* ticking, so a post-skip push would otherwise be
+        // weighted across the whole window. Advance them (at occupancy 0)
+        // to the end of the window now.
+        for q in &mut self.bank_in {
+            q.advance(now.raw() + skipped);
+        }
     }
 
     /// Aggregate statistics over all banks, units, and channels.

@@ -1,5 +1,6 @@
 //! The §4.4 sensitivity rig: one scatter-add unit, no cache, uniform memory.
 
+use fxhash::FxHashSet;
 use sa_mem::{BackingStore, SimpleMemory, SimpleMemoryStats};
 use sa_sim::{
     Addr, Clock, Cycle, MemOp, MemRequest, Origin, SaUnitConfig, ScalarKind, ScatterOp,
@@ -8,17 +9,15 @@ use sa_sim::{
 
 use crate::unit::{SaStats, ScatterAddUnit, ToMem};
 
-fn op_id(op: &ToMem) -> sa_sim::ReqId {
-    match op {
-        ToMem::Read { id, .. } | ToMem::Write { id, .. } => *id,
-    }
-}
-
 /// Outcome of one sensitivity-rig run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SensitivityResult {
     /// Cycles from first issue until the last sum was written to memory.
     pub cycles: u64,
+    /// Cycles the run loop fast-forwarded over instead of ticking (0 with
+    /// fast-forward off; wall-clock accounting only — `cycles` and every
+    /// other field are byte-identical either way).
+    pub skipped_cycles: u64,
     /// Scatter-add unit counters.
     pub sa: SaStats,
     /// Memory counters.
@@ -36,6 +35,7 @@ impl SensitivityResult {
     /// Record this run's counters into a telemetry scope.
     pub fn record_metrics(&self, scope: &mut sa_telemetry::Scope<'_>) {
         scope.counter("cycles", self.cycles);
+        scope.counter("skipped_cycles", self.skipped_cycles);
         self.sa.record(&mut scope.scope("sa"));
         self.mem.record(&mut scope.scope("mem"));
     }
@@ -58,13 +58,32 @@ impl SensitivityResult {
 #[derive(Copy, Clone, Debug)]
 pub struct SensitivityRig {
     cfg: SensitivityConfig,
+    /// Whether the run loop may fast-forward over provably-idle cycles
+    /// (e.g. the whole combining store waiting out a 400-cycle memory
+    /// latency). Wall-clock only; results are byte-identical either way.
+    fast_forward: bool,
 }
 
 impl SensitivityRig {
     /// A rig with the given combining-store size, FU latency, memory latency
-    /// and memory interval.
+    /// and memory interval. Fast-forward follows the process-wide default
+    /// ([`sa_sim::fast_forward_default`]).
     pub fn new(cfg: SensitivityConfig) -> SensitivityRig {
-        SensitivityRig { cfg }
+        SensitivityRig {
+            cfg,
+            fast_forward: sa_sim::fast_forward_default(),
+        }
+    }
+
+    /// Enable or disable event-horizon fast-forward for this rig's runs,
+    /// overriding the process-wide default.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether runs fast-forward over provably-idle cycles.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// The rig's configuration.
@@ -91,7 +110,8 @@ impl SensitivityRig {
         let mut store = BackingStore::new();
         let mut clock = Clock::with_limit(2_000_000_000);
         let mut next = 0usize;
-        let mut read_ids = std::collections::HashSet::new();
+        let mut read_ids: FxHashSet<sa_sim::ReqId> = FxHashSet::default();
+        let mut skipped_cycles = 0u64;
 
         while next < indices.len() || !sa.is_idle() || !mem.is_idle() {
             let now = clock.advance();
@@ -117,30 +137,32 @@ impl SensitivityRig {
             sa.tick(now);
 
             // The unit's reads/writes go straight to the uniform memory,
-            // throttled by its fixed access interval.
-            while let Some(op) = sa.peek_to_mem().copied() {
-                let req = match op {
-                    ToMem::Read { id, addr } => MemRequest {
-                        id,
-                        addr,
-                        op: MemOp::Read,
-                        origin: Origin::SaUnit { node: 0, bank: 0 },
-                    },
-                    ToMem::Write { id, addr, bits } => MemRequest {
-                        id,
-                        addr,
-                        op: MemOp::Write { bits },
-                        origin: Origin::SaUnit { node: 0, bank: 0 },
-                    },
-                };
-                let is_read = matches!(op, ToMem::Read { .. });
-                if mem.try_access(req, now, &mut store) {
-                    if is_read {
-                        read_ids.insert(op_id(&op));
+            // throttled by its fixed access interval. A single conditional
+            // pop per op: the head stays queued when memory throttles it.
+            loop {
+                let accepted = sa.pop_to_mem_if(|op| {
+                    let req = match *op {
+                        ToMem::Read { id, addr } => MemRequest {
+                            id,
+                            addr,
+                            op: MemOp::Read,
+                            origin: Origin::SaUnit { node: 0, bank: 0 },
+                        },
+                        ToMem::Write { id, addr, bits } => MemRequest {
+                            id,
+                            addr,
+                            op: MemOp::Write { bits },
+                            origin: Origin::SaUnit { node: 0, bank: 0 },
+                        },
+                    };
+                    mem.try_access(req, now, &mut store)
+                });
+                match accepted {
+                    Some(ToMem::Read { id, .. }) => {
+                        read_ids.insert(id);
                     }
-                    let _ = sa.pop_to_mem();
-                } else {
-                    break;
+                    Some(ToMem::Write { .. }) => {}
+                    None => break,
                 }
             }
 
@@ -153,10 +175,41 @@ impl SensitivityRig {
             }
 
             while sa.pop_ack().is_some() {}
+
+            // Event-horizon fast-forward: when no submit can succeed next
+            // cycle, jump to the cycle before the earliest component event.
+            // Every per-cycle stall counter the skipped retries would have
+            // bumped is folded in by the `skip_cycles` calls, so results are
+            // byte-identical with skipping off.
+            if self.fast_forward && (next >= indices.len() || !sa.can_accept()) {
+                let pending_mem = sa.peek_to_mem().is_some();
+                let mut horizon: Option<Cycle> = None;
+                let mut fold = |t: Option<Cycle>| {
+                    if let Some(t) = t {
+                        horizon = Some(horizon.map_or(t, |h| h.min(t)));
+                    }
+                };
+                fold(sa.next_event(now));
+                fold(mem.next_event(now));
+                if pending_mem {
+                    // The head op retries when the access interval frees.
+                    fold(Some(mem.ready_at(now).max(now + 1)));
+                }
+                if let Some(h) = horizon {
+                    if h > now + 1 {
+                        let k = h.raw() - now.raw() - 1;
+                        sa.skip_cycles(now, k, next < indices.len());
+                        mem.skip_cycles(now, k, pending_mem);
+                        clock.skip_to(Cycle(h.raw() - 1));
+                        skipped_cycles += k;
+                    }
+                }
+            }
         }
 
         SensitivityResult {
             cycles: clock.now().raw(),
+            skipped_cycles,
             sa: sa.stats(),
             mem: mem.stats(),
             bins: store.extract_i64(Addr(0), range as usize),
@@ -317,6 +370,29 @@ mod tests {
             ratio < 1.1,
             "FU latency should be hidden at 16 entries: ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical() {
+        let idx = uniform_indices(512, 65_536, 7);
+        let mut any_skipped = false;
+        for c in [cfg(2, 4, 400, 2), cfg(64, 4, 256, 1), cfg(8, 16, 16, 8)] {
+            let mut on = SensitivityRig::new(c);
+            on.set_fast_forward(true);
+            let mut off = SensitivityRig::new(c);
+            off.set_fast_forward(false);
+            let a = on.run_histogram(&idx, 65_536);
+            let b = off.run_histogram(&idx, 65_536);
+            assert_eq!(b.skipped_cycles, 0, "ff off must tick every cycle");
+            any_skipped |= a.skipped_cycles > 0;
+            let mut a_wallclock = a.clone();
+            a_wallclock.skipped_cycles = 0;
+            assert_eq!(
+                a_wallclock, b,
+                "fast-forward changed simulated results for {c:?}"
+            );
+        }
+        assert!(any_skipped, "no config exercised the skip path");
     }
 
     #[test]

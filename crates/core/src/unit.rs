@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use fxhash::FxHashMap;
 use sa_sim::{
     combine, Addr, Cycle, MemOp, MemRequest, MemResponse, Origin, ReqId, SaUnitConfig, ScalarKind,
     ScatterOp,
@@ -143,6 +144,13 @@ struct FuOp {
 pub struct ScatterAddUnit {
     cfg: SaUnitConfig,
     entries: Vec<Option<CsEntry>>,
+    /// Occupied combining-store entries (mirror of the `Some` count in
+    /// `entries`, kept so `occupancy`/`can_accept` are O(1)).
+    occupied: usize,
+    /// The CAM: word address → (entries holding it, entries of those in the
+    /// FU). The hardware searches all entries associatively in one cycle;
+    /// the model gets the same answer from this index without the scan.
+    addr_index: FxHashMap<u64, (u32, u32)>,
     fu: VecDeque<FuOp>,
     values_in: VecDeque<(Addr, u64)>,
     to_mem: VecDeque<ToMem>,
@@ -164,10 +172,12 @@ impl ScatterAddUnit {
         );
         ScatterAddUnit {
             entries: vec![None; cfg.cs_entries],
-            fu: VecDeque::new(),
-            values_in: VecDeque::new(),
-            to_mem: VecDeque::new(),
-            acks: VecDeque::new(),
+            occupied: 0,
+            addr_index: FxHashMap::default(),
+            fu: VecDeque::with_capacity(cfg.cs_entries),
+            values_in: VecDeque::with_capacity(cfg.cs_entries),
+            to_mem: VecDeque::with_capacity(2 * cfg.cs_entries),
+            acks: VecDeque::with_capacity(2 * cfg.cs_entries),
             stats: SaStats::default(),
             cfg,
         }
@@ -180,12 +190,16 @@ impl ScatterAddUnit {
 
     /// Combining-store entries currently occupied.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        debug_assert_eq!(
+            self.occupied,
+            self.entries.iter().filter(|e| e.is_some()).count()
+        );
+        self.occupied
     }
 
     /// Whether a new scatter request would be accepted right now.
     pub fn can_accept(&self) -> bool {
-        self.entries.iter().any(|e| e.is_none())
+        self.occupied < self.entries.len()
     }
 
     /// Submit a scatter request (step 1 of Figure 4a).
@@ -210,12 +224,23 @@ impl ScatterAddUnit {
         else {
             panic!("non-scatter request routed into the scatter-add unit");
         };
-        let Some(slot) = self.entries.iter().position(|e| e.is_none()) else {
+        if !self.can_accept() {
             self.stats.stalled_full += 1;
             return Err(req);
-        };
+        }
+        let slot = self
+            .entries
+            .iter()
+            .position(|e| e.is_none())
+            .expect("occupied < len");
         // CAM search (step a): is this address already being combined?
-        let in_flight = self.entries.iter().flatten().any(|e| e.addr == req.addr);
+        let counts = self.addr_index.entry(req.addr.0).or_insert((0, 0));
+        let in_flight = counts.0 > 0;
+        counts.0 += 1;
+        debug_assert_eq!(
+            in_flight,
+            self.entries.iter().flatten().any(|e| e.addr == req.addr)
+        );
         let state = if in_flight {
             self.stats.combined += 1;
             EntryState::Pending
@@ -237,6 +262,7 @@ impl ScatterAddUnit {
             origin: req.origin,
             state,
         });
+        self.occupied += 1;
         self.stats.accepted += 1;
         if fetch {
             self.stats.fetch_ops += 1;
@@ -292,6 +318,7 @@ impl ScatterAddUnit {
             let op = self.fu.pop_front().expect("front checked");
             let entry = self.entries[op.slot].take().expect("FU op for free slot");
             debug_assert_eq!(entry.state, EntryState::InFu);
+            self.occupied -= 1;
             let sum = combine(op.old_bits, entry.bits, entry.kind, entry.op);
             // Acknowledge the original request (step 6); fetch-ops carry the
             // pre-op value back (§3.3 extension).
@@ -302,12 +329,26 @@ impl ScatterAddUnit {
                 origin: entry.origin,
                 at: now,
             });
-            // Step d: check the store once more for the same address.
-            let has_pending = self
-                .entries
-                .iter()
-                .flatten()
-                .any(|e| e.addr == entry.addr && e.state != EntryState::InFu);
+            // Step d: check the store once more for the same address. The
+            // CAM index answers without scanning: entries on this address
+            // that are not in the FU are exactly the pending ones.
+            let counts = self
+                .addr_index
+                .get_mut(&entry.addr.0)
+                .expect("retiring entry is indexed");
+            counts.0 -= 1;
+            counts.1 -= 1;
+            let has_pending = counts.0 - counts.1 > 0;
+            if counts.0 == 0 {
+                self.addr_index.remove(&entry.addr.0);
+            }
+            debug_assert_eq!(
+                has_pending,
+                self.entries
+                    .iter()
+                    .flatten()
+                    .any(|e| e.addr == entry.addr && e.state != EntryState::InFu)
+            );
             if has_pending {
                 // "The newly computed sum acts as a returned memory value."
                 self.values_in.push_front((entry.addr, sum));
@@ -338,6 +379,10 @@ impl ScatterAddUnit {
                 .unwrap_or_else(|| panic!("value for {addr} with no waiting entry"));
             let e = self.entries[slot].as_mut().expect("position found");
             e.state = EntryState::InFu;
+            self.addr_index
+                .get_mut(&addr.0)
+                .expect("issuing entry is indexed")
+                .1 += 1;
             tracer.stamp(e.id, ReqStage::FuPipe, now.raw());
             self.fu.push_back(FuOp {
                 done_at: now + u64::from(self.cfg.fu_latency),
@@ -357,6 +402,16 @@ impl ScatterAddUnit {
         self.to_mem.front()
     }
 
+    /// Pop the next outgoing memory operation only if `accept` commits to it
+    /// — the single-touch replacement for `peek_to_mem().copied()` + re-pop.
+    pub fn pop_to_mem_if<F: FnMut(&ToMem) -> bool>(&mut self, mut accept: F) -> Option<ToMem> {
+        if accept(self.to_mem.front()?) {
+            self.to_mem.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// Next completion acknowledgement (ack per scatter request, carrying
     /// the pre-op value for fetch-ops).
     pub fn pop_ack(&mut self) -> Option<MemResponse> {
@@ -365,11 +420,44 @@ impl ScatterAddUnit {
 
     /// Whether the unit holds no work at all.
     pub fn is_idle(&self) -> bool {
-        self.entries.iter().all(|e| e.is_none())
+        self.occupied == 0
             && self.fu.is_empty()
             && self.values_in.is_empty()
             && self.to_mem.is_empty()
             && self.acks.is_empty()
+    }
+
+    /// Earliest future cycle at which a tick can change this unit's state
+    /// *on its own*: a queued returned value issues next cycle; otherwise
+    /// the oldest FU operation retires at its `done_at` (the FU pushes in
+    /// submission order with a constant latency, so the front is earliest).
+    ///
+    /// Deliberately **excludes** the outgoing `to_mem`/`acks` queues: those
+    /// only move when the surrounding node or rig drains them, so they are
+    /// the caller's events, not this unit's. A caller that still has
+    /// undrained output must not sleep on this horizon alone.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.values_in.is_empty() {
+            return Some(now + 1);
+        }
+        self.fu.front().map(|op| op.done_at.max(now + 1))
+    }
+
+    /// Fold `skipped` provably-idle cycles (fast-forward) into the unit's
+    /// per-cycle accounting so the stats stay byte-identical with skipping
+    /// off: the occupancy integral accrues at the frozen occupancy, and when
+    /// the caller held a rejected request it would have retried (and been
+    /// refused) every skipped cycle, the full-stall counter accrues too.
+    pub fn skip_cycles(&mut self, now: Cycle, skipped: u64, attempting_submit: bool) {
+        debug_assert!(
+            self.next_event(now).is_none_or(|t| t > now + skipped),
+            "fast-forward skipped past a scatter-add unit event"
+        );
+        self.stats.occupancy_integral += self.occupied as u64 * skipped;
+        if attempting_submit {
+            debug_assert!(!self.can_accept(), "a submit would have succeeded");
+            self.stats.stalled_full += skipped;
+        }
     }
 
     /// Counters accumulated so far.
@@ -811,6 +899,47 @@ mod tests {
         assert_eq!(rec.stamp_at(ReqStage::CombStore), Some(2));
         let fu = rec.stamp_at(ReqStage::FuPipe).expect("FU entry stamped");
         assert!(fu > 2, "FU entry follows combining-store entry");
+    }
+
+    #[test]
+    fn next_event_reports_fu_drain_and_queued_values() {
+        let mut u = unit(4, 4);
+        assert_eq!(u.next_event(Cycle(0)), None, "idle unit has no horizon");
+        u.try_submit(sa_req(1, 0, 1)).unwrap();
+        // A read is queued to_mem, but that is the caller's event; the unit
+        // itself has nothing to do until the value returns.
+        assert_eq!(u.next_event(Cycle(0)), None);
+        u.on_value(Addr::from_word_index(0), 0);
+        assert_eq!(u.next_event(Cycle(0)), Some(Cycle(1)), "value issues next");
+        u.tick(Cycle(1)); // issue into the FU: done at 1 + 4
+        assert_eq!(u.next_event(Cycle(1)), Some(Cycle(5)));
+        // An overdue retirement still reports the next cycle, never `now`.
+        assert_eq!(u.next_event(Cycle(9)), Some(Cycle(10)));
+    }
+
+    #[test]
+    fn skip_cycles_matches_per_cycle_stall_accounting() {
+        // A full store being retried every cycle: bulk skip accounting must
+        // equal per-cycle tick + failed submit.
+        let mk = || {
+            let mut u = unit(2, 400);
+            u.try_submit(sa_req(1, 0, 1)).unwrap();
+            u.try_submit(sa_req(2, 1, 1)).unwrap();
+            u.on_value(Addr::from_word_index(0), 0);
+            u.on_value(Addr::from_word_index(1), 0);
+            u.tick(Cycle(1));
+            u.tick(Cycle(2));
+            u
+        };
+        let mut stepped = mk();
+        for c in 3..=10 {
+            stepped.tick(Cycle(c));
+            assert!(stepped.try_submit(sa_req(3, 2, 1)).is_err());
+        }
+        let mut skipped = mk();
+        // next_event at cycle 2 is the FU drain at 401; skip cycles 3..=10.
+        skipped.skip_cycles(Cycle(2), 8, true);
+        assert_eq!(stepped.stats(), skipped.stats());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! A dependency-free, offline stand-in for the `fxhash`/`rustc-hash`
+//! crates.
+//!
+//! The build environment for this workspace has no network access to a
+//! crates registry, so the real crate cannot be vendored from crates.io.
+//! This implements the same well-known Fx construction — fold each 8-byte
+//! word into the state with a rotate, an xor, and a multiply by a fixed
+//! odd constant — which is what makes it so much cheaper than the standard
+//! library's SipHash for the small integer keys the simulator hashes on
+//! every memory access (word addresses, line indices, request ids).
+//!
+//! Determinism matters as much as speed here: the hasher has no per-process
+//! random seed (unlike `std`'s `RandomState`), so hash values — and
+//! therefore map capacity growth and probe sequences — are identical across
+//! runs and processes. No simulator map is ever iterated for output, so the
+//! hasher choice cannot affect simulation results either way; see
+//! `docs/PERFORMANCE.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Firefox hash constant: a large odd number with well-mixed bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher for small keys.
+///
+/// Not resistant to hash-flooding; use only on keys an adversary does not
+/// control (simulator-internal addresses and ids).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(v: u64) -> u64 {
+        let mut h = FxBuildHasher::default().build_hasher();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        for v in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(hash_of(v), hash_of(v));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a collision-resistance claim, just a sanity check that the
+        // mixer is not degenerate on small sequential keys.
+        let hashes: FxHashSet<u64> = (0..10_000u64).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_matches_padding_rules() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0]);
+        // Length is folded into the tail word, so a short write and its
+        // zero-padded extension do not trivially collide.
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(8, "line");
+        assert_eq!(m.get(&8), Some(&"line"));
+        let s: FxHashSet<u64> = [1, 2, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+}

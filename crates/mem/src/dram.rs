@@ -290,6 +290,49 @@ impl DramChannel {
         self.queue.is_empty() && self.service.is_none() && self.next.is_none()
     }
 
+    /// Earliest future cycle at which a tick can change this channel's
+    /// state. `None` when idle (a state change requires a new command).
+    ///
+    /// The only span a channel can sleep through is a row access in progress
+    /// (`now < access_done`) with the one-deep pipeline already primed and
+    /// nothing left to schedule; everything else — data transfer, promotion,
+    /// scheduling — makes progress on the very next tick.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match &self.service {
+            Some(s) => {
+                if now >= s.access_done {
+                    // Transferring: bus credit and words_left move every tick.
+                    Some(now + 1)
+                } else if self.next.is_none() && !self.queue.is_empty() {
+                    // The overlapped scheduler would pick a command next tick.
+                    Some(now + 1)
+                } else {
+                    Some(s.access_done.max(now + 1))
+                }
+            }
+            None => {
+                if self.next.is_some() || !self.queue.is_empty() {
+                    // Promotion or scheduling happens next tick.
+                    Some(now + 1)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Fold `skipped` un-ticked cycles (fast-forward) into the bandwidth
+    /// token bucket. Exact because the transfer loop never runs during a
+    /// skippable span (`now < access_done` throughout), so each skipped tick
+    /// would only have refilled credit.
+    pub fn skip_idle(&mut self, now: Cycle, skipped: u64) {
+        debug_assert!(
+            self.next_event(now).is_none_or(|t| t > now + skipped),
+            "fast-forward skipped past a DRAM channel event"
+        );
+        self.rate.tick_idle(skipped);
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> DramStats {
         self.stats
@@ -518,6 +561,55 @@ mod tests {
         // After the write opens the row, id 3 is a row hit scheduled after it.
         let order: Vec<ReqId> = resp.iter().map(|r| r.id).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn horizon_skipping_reproduces_per_cycle_ticking() {
+        // Drive the same command stream through a per-cycle channel and a
+        // horizon-skipping channel; responses and counters must be identical.
+        let c = cfg();
+        let submit_all = |ch: &mut DramChannel| {
+            let mut addrs = [0u64, 8, 4096, 32, 8192, 40, 12288, 16];
+            addrs.rotate_left(3);
+            for (i, &a) in addrs.iter().enumerate() {
+                ch.try_submit(read_cmd(i as u64 + 1, a, 2), Cycle(0))
+                    .unwrap();
+            }
+        };
+        let mut store_a = BackingStore::new();
+        let mut stepped = DramChannel::new(c);
+        submit_all(&mut stepped);
+        let mut got_stepped = Vec::new();
+        let mut now = Cycle(0);
+        while !stepped.is_idle() {
+            now += 1;
+            assert!(now.raw() < 100_000, "runaway");
+            if let Some(r) = stepped.tick(now, &mut store_a) {
+                got_stepped.push((r.id, r.at));
+            }
+        }
+
+        let mut store_b = BackingStore::new();
+        let mut skipping = DramChannel::new(c);
+        submit_all(&mut skipping);
+        let mut got_skipping = Vec::new();
+        let mut now = Cycle(0);
+        while !skipping.is_idle() {
+            if let Some(h) = skipping.next_event(now) {
+                if h > now + 1 {
+                    skipping.skip_idle(now, h - now - 1);
+                    now = Cycle(h.raw() - 1);
+                }
+            }
+            now += 1;
+            assert!(now.raw() < 100_000, "runaway");
+            if let Some(r) = skipping.tick(now, &mut store_b) {
+                got_skipping.push((r.id, r.at));
+            }
+        }
+        assert_eq!(got_stepped, got_skipping);
+        assert_eq!(stepped.stats(), skipping.stats());
+        assert!(got_stepped.len() == 8);
     }
 
     #[test]

@@ -137,6 +137,44 @@ impl SimpleMemory {
         self.inflight.is_empty()
     }
 
+    /// The first cycle at or after `now` when the interval allows another
+    /// access. In the past-tense case (already free) this is `now` itself.
+    pub fn ready_at(&self, now: Cycle) -> Cycle {
+        self.next_free.max(now)
+    }
+
+    /// Earliest future cycle at which this memory can change state on its
+    /// own: the completion time of the oldest in-flight response. `None`
+    /// when idle (any future change requires a new access from outside).
+    ///
+    /// Latency is constant and acceptance is serialized, so the in-flight
+    /// deque is sorted by completion time and the front is the horizon.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // A completion with `at <= now` is still undelivered (tick returns at
+        // most one per call), so the earliest it can surface is next cycle.
+        self.inflight.front().map(|r| r.at.max(now + 1))
+    }
+
+    /// Fold `skipped` provably-idle cycles (fast-forward) into the counters.
+    ///
+    /// `pending` says whether the caller held a request it would have retried
+    /// on every skipped cycle; each such retry would have been throttled
+    /// (the caller must only skip while `now < ready_at`), so the stat stays
+    /// byte-identical with skipping off.
+    pub fn skip_cycles(&mut self, now: Cycle, skipped: u64, pending: bool) {
+        if pending {
+            debug_assert!(
+                now + skipped < self.next_free,
+                "skipped into the interval-free window with a pending request"
+            );
+            self.stats.throttled += skipped;
+        }
+        debug_assert!(
+            self.next_event(now).is_none_or(|t| t > now + skipped),
+            "fast-forward skipped past a memory completion"
+        );
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> SimpleMemoryStats {
         self.stats
@@ -233,6 +271,49 @@ mod tests {
     #[should_panic(expected = "interval must be at least 1")]
     fn zero_interval_panics() {
         let _ = SimpleMemory::new(1, 0);
+    }
+
+    #[test]
+    fn next_event_is_oldest_completion() {
+        let mut store = BackingStore::new();
+        let mut m = SimpleMemory::new(10, 2);
+        assert_eq!(m.next_event(Cycle(0)), None, "idle memory has no horizon");
+        assert!(m.try_access(req(1, 0, MemOp::Read), Cycle(0), &mut store));
+        assert!(m.try_access(req(2, 1, MemOp::Read), Cycle(2), &mut store));
+        assert_eq!(m.next_event(Cycle(2)), Some(Cycle(10)));
+        // An overdue completion still reports the next cycle, never `now`.
+        assert_eq!(m.next_event(Cycle(50)), Some(Cycle(51)));
+    }
+
+    #[test]
+    fn skip_cycles_bulk_throttle_matches_per_cycle() {
+        let mut store = BackingStore::new();
+        let mut stepped = SimpleMemory::new(40, 8);
+        let mut skipped = SimpleMemory::new(40, 8);
+        assert!(stepped.try_access(req(1, 0, MemOp::Read), Cycle(0), &mut store));
+        assert!(skipped.try_access(req(1, 0, MemOp::Read), Cycle(0), &mut store));
+        // Per-cycle retries of a pending request over cycles 1..=5...
+        for c in 1..=5 {
+            assert!(!stepped.try_access(req(2, 1, MemOp::Read), Cycle(c), &mut store));
+        }
+        // ...equal one bulk skip of those five cycles.
+        skipped.skip_cycles(Cycle(0), 5, true);
+        assert_eq!(stepped.stats(), skipped.stats());
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "skipped past a memory completion")
+    )]
+    fn skipping_past_a_completion_trips_debug_assert() {
+        if !cfg!(debug_assertions) {
+            return; // the guard is compiled out in release builds
+        }
+        let mut store = BackingStore::new();
+        let mut m = SimpleMemory::new(4, 1);
+        assert!(m.try_access(req(1, 0, MemOp::Read), Cycle(0), &mut store));
+        m.skip_cycles(Cycle(0), 10, false);
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! The functional contents of global memory.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use sa_sim::{combine, Addr, ScalarKind, ScatterOp, WORD_BYTES};
 
 /// Sparse, word-granularity functional memory.
@@ -22,7 +21,10 @@ use sa_sim::{combine, Addr, ScalarKind, ScatterOp, WORD_BYTES};
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct BackingStore {
-    words: HashMap<u64, u64>,
+    // Fx-hashed: this map is touched on every simulated word access (the
+    // hottest map in the workspace) and is never iterated for output, so the
+    // deterministic fast hasher is safe. See docs/PERFORMANCE.md.
+    words: FxHashMap<u64, u64>,
 }
 
 impl BackingStore {

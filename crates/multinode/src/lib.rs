@@ -56,6 +56,10 @@ pub struct TraceReport {
     /// Total execution cycles (including the final flush/synchronization
     /// for combining runs).
     pub cycles: u64,
+    /// Cycles the coordinator fast-forwarded over instead of stepping (0
+    /// with fast-forward off; wall-clock accounting only — every other
+    /// field is byte-identical either way).
+    pub skipped_cycles: u64,
     /// Application scatter-add operations performed (the trace length).
     pub adds: u64,
     /// Number of nodes.
@@ -99,6 +103,7 @@ impl TraceReport {
     /// the network, and each node's machine statistics under `node{i}`.
     pub fn record_metrics(&self, scope: &mut sa_telemetry::Scope<'_>) {
         scope.counter("cycles", self.cycles);
+        scope.counter("skipped_cycles", self.skipped_cycles);
         scope.counter("adds", self.adds);
         scope.counter("nodes", self.nodes as u64);
         scope.counter("sum_back_lines", self.sum_back_lines);
@@ -139,6 +144,10 @@ pub struct MultiNode {
     net: Crossbar<NetMsg>,
     combining: bool,
     topology: Topology,
+    /// Whether the coordinator may fast-forward over cycles in which no
+    /// node, queue, or fabric element can change state. Seeded from
+    /// [`sa_sim::fast_forward_default`] at construction.
+    fast_forward: bool,
 }
 
 impl MultiNode {
@@ -192,7 +201,20 @@ impl MultiNode {
             net: Crossbar::new(n, network),
             combining,
             topology,
+            fast_forward: sa_sim::fast_forward_default(),
         }
+    }
+
+    /// Enable or disable event-horizon fast-forward for this machine's
+    /// runs (wall-clock only; reports are byte-identical either way),
+    /// overriding the process-wide default.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether runs may fast-forward over provably-idle cycles.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// Number of nodes.
@@ -295,6 +317,8 @@ impl MultiNode {
 
         let mut clock = Clock::with_limit(4_000_000_000);
         let mut flush_rounds = 0u32;
+        let mut skipped_cycles = 0u64;
+        let fast_forward = self.fast_forward;
         let workers = threads.clamp(1, n);
 
         if workers == 1 {
@@ -310,6 +334,9 @@ impl MultiNode {
                 let mut refs: Vec<&mut NodeCtx> = ctxs.iter_mut().collect();
                 if sync_phase(&self.net, &mut refs, total, &params, &mut flush_rounds) {
                     break;
+                }
+                if fast_forward {
+                    skipped_cycles += fast_forward_skip(&mut clock, &self.net, &mut refs, now);
                 }
             }
         } else {
@@ -396,6 +423,12 @@ impl MultiNode {
                     if sync_phase(&self.net, &mut refs, total, &params, &mut flush_rounds) {
                         break;
                     }
+                    // Identical code to the sequential scheduler's skip, run
+                    // on the same post-sync state, so the schedule stays
+                    // bit-identical for every thread count.
+                    if fast_forward {
+                        skipped_cycles += fast_forward_skip(&mut clock, &self.net, &mut refs, now);
+                    }
                 }
             });
             ctxs = cells
@@ -423,6 +456,7 @@ impl MultiNode {
 
         TraceReport {
             cycles: clock.now().raw(),
+            skipped_cycles,
             adds: total as u64,
             nodes: n,
             sum_back_lines,
@@ -685,6 +719,49 @@ fn step_node(ctx: &mut NodeCtx, now: Cycle, p: &StepParams) {
     }
 }
 
+/// Event-horizon fast-forward for the coordinator: when every node has
+/// issued its whole trace share, holds nothing staged or outboxed, and
+/// neither the fabric nor any node can change state before cycle `h`, jump
+/// the clock to `h - 1` (the next [`Clock::advance`] lands exactly on the
+/// horizon). Returns the number of cycles skipped (0 when any retry or
+/// state change is possible next cycle).
+///
+/// Any cycle this skips is one in which `step_node` would only have ticked
+/// idle components: delivery queues empty (fabric horizon covers them),
+/// nothing to inject or forward (checked here), and no completions pending
+/// (node horizon covers them). Per-cycle stall counters cannot advance in
+/// such a cycle, and the time-weighted integrals are folded by
+/// [`NodeMemSys::skip_cycles`], so reports stay byte-identical.
+fn fast_forward_skip(
+    clock: &mut Clock,
+    net: &Crossbar<NetMsg>,
+    ctxs: &mut [&mut NodeCtx],
+    now: Cycle,
+) -> u64 {
+    if ctxs
+        .iter()
+        .any(|c| c.inj.staged.is_some() || c.inj.cursor < c.inj.items.len() || !c.outbox.is_empty())
+    {
+        return 0;
+    }
+    let mut horizon = net.next_event(now);
+    for c in ctxs.iter() {
+        if let Some(t) = c.node.next_event(now) {
+            horizon = Some(horizon.map_or(t, |h| h.min(t)));
+        }
+    }
+    let Some(h) = horizon else { return 0 };
+    if h <= now + 1 {
+        return 0;
+    }
+    let k = h.raw() - now.raw() - 1;
+    for ctx in ctxs.iter_mut() {
+        ctx.node.skip_cycles(now, k);
+    }
+    clock.skip_to(Cycle(h.raw() - 1));
+    k
+}
+
 /// The serialized end-of-cycle phase: decide quiescence from the summed
 /// per-node counters and, when quiescent, run one flush-with-sum-back
 /// synchronization round (§3.2). Returns `true` when the run is complete.
@@ -910,6 +987,7 @@ mod tests {
     /// are compared through their rendered latency documents).
     fn assert_reports_identical(a: &TraceReport, b: &TraceReport, what: &str) {
         assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+        assert_eq!(a.skipped_cycles, b.skipped_cycles, "{what}: skipped");
         assert_eq!(a.adds, b.adds, "{what}: adds");
         assert_eq!(a.sum_back_lines, b.sum_back_lines, "{what}: sum-backs");
         assert_eq!(a.flush_rounds, b.flush_rounds, "{what}: flush rounds");
@@ -959,6 +1037,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical() {
+        let (trace, values) = uniform_trace(2000, 512, 33);
+        let mut any_skipped = false;
+        let cases: [(usize, NetworkConfig, bool, Topology); 3] = [
+            (4, NetworkConfig::high(), false, Topology::Flat),
+            (4, NetworkConfig::low(), true, Topology::Flat),
+            (8, NetworkConfig::low(), true, Topology::Hypercube),
+        ];
+        for (n, net, combining, topo) in cases {
+            let run = |ff: bool| {
+                let mut mn = MultiNode::with_topology(machine(), n, net, combining, topo);
+                mn.set_fast_forward(ff);
+                let r = mn.run_trace(&trace, &values);
+                verify(&mn, &trace, &values);
+                r
+            };
+            let a = run(true);
+            let b = run(false);
+            assert_eq!(b.skipped_cycles, 0, "ff off must step every cycle");
+            any_skipped |= a.skipped_cycles > 0;
+            let mut a_wallclock = a.clone();
+            a_wallclock.skipped_cycles = 0;
+            assert_reports_identical(
+                &a_wallclock,
+                &b,
+                &format!("ff on/off n={n} combining={combining} topo={topo:?}"),
+            );
+        }
+        assert!(any_skipped, "no case exercised the coordinator skip path");
     }
 
     #[test]

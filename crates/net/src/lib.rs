@@ -309,6 +309,30 @@ impl<T> Crossbar<T> {
         self.out_q[dst].front().map(|(m, _)| m)
     }
 
+    /// Earliest future cycle at which the fabric can change state on its own
+    /// (the event horizon). `None` means it is completely empty and only new
+    /// injections can wake it; a coordinator may then fast-forward.
+    ///
+    /// Any active port transfer or queued message pins the horizon to
+    /// `now + 1`: ports move words every cycle, and undrained delivery
+    /// queues wait on the caller (which may consume them next cycle).
+    /// Otherwise the only future event is the arrival of the oldest
+    /// in-flight message — the hop latency is constant, so the flight queue
+    /// is sorted by arrival time and its front is the horizon.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.tx.iter().any(Option::is_some)
+            || self.rx.iter().any(Option::is_some)
+            || self.rx_wait.iter().any(|q| !q.is_empty())
+            || self.in_q.iter().any(|q| !q.is_empty())
+            || self.out_q.iter().any(|q| !q.is_empty())
+        {
+            return Some(now + 1);
+        }
+        self.flight
+            .front()
+            .map(|&(arrive, _, _)| arrive.max(now + 1))
+    }
+
     /// Whether nothing is queued or in flight anywhere.
     pub fn is_idle(&self) -> bool {
         self.in_q.iter().all(|q| q.is_empty())
@@ -721,6 +745,47 @@ mod tests {
         assert_eq!(rec.stamp_at(ReqStage::Crossbar), Some(2));
         let (m, _) = run_until_delivered(&mut net, 1, Cycle(2), 1000);
         assert_eq!(m.payload, 7);
+    }
+
+    #[test]
+    fn next_event_tracks_fabric_state() {
+        let cfg = NetworkConfig {
+            node_words_per_cycle: 8,
+            hop_latency: 20,
+            queue_depth: 4,
+        };
+        let mut net: Crossbar<u32> = Crossbar::new(2, cfg);
+        assert_eq!(
+            net.next_event(Cycle(0)),
+            None,
+            "empty fabric has no horizon"
+        );
+        net.try_inject(Message::new(0, 1, 1, 7)).unwrap();
+        assert_eq!(
+            net.next_event(Cycle(0)),
+            Some(Cycle(1)),
+            "queued injection pins the horizon to the next cycle"
+        );
+        // One tick moves the 1-word message through tx into flight; the
+        // fabric then waits out the hop latency.
+        net.tick(Cycle(1));
+        assert_eq!(
+            net.next_event(Cycle(1)),
+            Some(Cycle(21)),
+            "in-flight horizon is the arrival cycle"
+        );
+        // Never report the past: an overdue arrival is claimed next cycle.
+        assert_eq!(net.next_event(Cycle(30)), Some(Cycle(31)));
+        // Tick at arrival: the message lands in the destination wait queue
+        // (ejection runs before flight release), pinning the horizon.
+        net.tick(Cycle(21));
+        assert_eq!(net.next_event(Cycle(21)), Some(Cycle(22)));
+        // The next tick ejects it into the delivery queue, which waits on
+        // the caller and still pins the horizon until drained.
+        net.tick(Cycle(22));
+        assert_eq!(net.next_event(Cycle(22)), Some(Cycle(23)));
+        assert_eq!(net.pop_delivered(1).map(|m| m.payload), Some(7));
+        assert_eq!(net.next_event(Cycle(23)), None);
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Scoreboarded execution of a [`StreamProgram`] on one node.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use sa_core::NodeMemSys;
-use sa_sim::{Clock, MachineConfig, MemOp, MemRequest, Origin, ReqId};
+use sa_sim::{Clock, Cycle, MachineConfig, MemOp, MemRequest, Origin, ReqId};
 
 use crate::program::{OpId, StreamOp, StreamProgram};
 
@@ -40,6 +39,10 @@ pub struct ExecReport {
     /// Request-lifecycle records harvested from the node (empty unless
     /// [`MachineConfig::req_sample`](sa_sim::MachineConfig) enabled tracing).
     pub req_trace: sa_telemetry::ReqTracer,
+    /// Cycles the executor fast-forwarded over instead of ticking one by
+    /// one. Wall-clock accounting only: simulated time (`cycles`), spans,
+    /// and stats are identical with skipping on or off.
+    pub skipped_cycles: u64,
 }
 
 impl ExecReport {
@@ -143,12 +146,14 @@ impl Executor {
         let mut spans = vec![OpSpan::default(); n_ops];
         let mut ags: Vec<Option<MemRun>> = (0..self.cfg.ag.count).map(|_| None).collect();
         let mut kernel: Option<KernelRun> = None;
-        let mut req_owner: HashMap<ReqId, OpId> = HashMap::new();
+        let mut req_owner: FxHashMap<ReqId, OpId> = FxHashMap::default();
         let mut next_id: ReqId = 0;
         let mut clock = Clock::with_limit(8_000_000_000);
         let mut remaining = n_ops;
         let mut live_srf: u64 = 0;
         let mut peak_srf: u64 = 0;
+        let fast_forward = node.fast_forward();
+        let mut skipped_cycles: u64 = 0;
 
         while remaining > 0 {
             let now = clock.advance();
@@ -301,6 +306,49 @@ impl Executor {
                     }
                 }
             }
+
+            // Fast-forward: when no op can start next cycle and no AG is
+            // actively issuing, nothing on the scoreboard changes until the
+            // next kernel/AG wakeup or node event — jump the clock there.
+            if fast_forward && remaining > 0 {
+                let can_start = (0..n_ops).any(|id| {
+                    state[id] == OpState::Waiting && {
+                        let (op, deps) = prog.op(id);
+                        deps.iter().all(|&d| state[d] == OpState::Done)
+                            && match op {
+                                StreamOp::Kernel { .. } => kernel.is_none(),
+                                _ => ags.iter().any(|a| a.is_none()),
+                            }
+                    }
+                });
+                let issuing = ags
+                    .iter()
+                    .flatten()
+                    .any(|run| run.issue_from <= t && run.cursor < run.total);
+                if !can_start && !issuing {
+                    let mut horizon: Option<u64> = None;
+                    let mut fold = |v: u64| horizon = Some(horizon.map_or(v, |h| h.min(v)));
+                    if let Some(k) = &kernel {
+                        fold(k.end_at); // > t: completion was checked above
+                    }
+                    for run in ags.iter().flatten() {
+                        if run.issue_from > t && run.cursor < run.total {
+                            fold(run.issue_from);
+                        }
+                    }
+                    if let Some(e) = node.next_event(now) {
+                        fold(e.raw());
+                    }
+                    if let Some(h) = horizon {
+                        if h > t + 1 {
+                            let k = h - t - 1;
+                            node.skip_cycles(now, k);
+                            clock.skip_to(Cycle(h - 1));
+                            skipped_cycles += k;
+                        }
+                    }
+                }
+            }
         }
 
         // Drain any in-flight write-backs so the machine is quiescent, then
@@ -309,6 +357,16 @@ impl Executor {
             let now = clock.advance();
             node.tick(now);
             while node.pop_completion().is_some() {}
+            if fast_forward {
+                if let Some(h) = node.next_event(now) {
+                    if h > now + 1 {
+                        let k = h.raw() - now.raw() - 1;
+                        node.skip_cycles(now, k);
+                        clock.skip_to(Cycle(h.raw() - 1));
+                        skipped_cycles += k;
+                    }
+                }
+            }
         }
         node.flush_to_store();
 
@@ -322,6 +380,7 @@ impl Executor {
             peak_srf_words: peak_srf,
             srf_overflow: peak_srf > srf_capacity,
             req_trace: node.take_req_trace(),
+            skipped_cycles,
         }
     }
 }
@@ -571,6 +630,49 @@ mod tests {
         let r = Executor::new(cfg()).run(&p, &mut n);
         assert!(r.srf_overflow, "oversized stage must be flagged");
         assert_eq!(r.peak_srf_words, 200_000);
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical() {
+        // The same gather → kernel → scatter-add program must produce
+        // identical cycles, spans, and machine stats with event-horizon
+        // skipping on or off; only wall-clock accounting may differ.
+        let run = |ff: bool| {
+            let mut n = node();
+            n.set_fast_forward(ff);
+            n.store_mut().load_i64(Addr(0), &[3; 1024]);
+            let mut p = StreamProgram::new();
+            let g = p.add(
+                StreamOp::gather(AccessPattern::Sequential {
+                    base_word: 0,
+                    n: 1024,
+                }),
+                &[],
+            );
+            let k = p.add(StreamOp::kernel("f", 1024, 8, 2, 2), &[g]);
+            let idx: Vec<u64> = (0..1024u64).map(|i| i % 64).collect();
+            p.add(
+                StreamOp::scatter_add_i64(
+                    AccessPattern::Indexed {
+                        base_word: 4096,
+                        indices: idx,
+                    },
+                    &[1; 1024],
+                ),
+                &[k],
+            );
+            let r = Executor::new(cfg()).run(&p, &mut n);
+            let image = n.store().extract_i64(Addr::from_word_index(4096), 64);
+            (r, image)
+        };
+        let (on, img_on) = run(true);
+        let (off, img_off) = run(false);
+        assert!(on.skipped_cycles > 0, "expected some fast-forwarded cycles");
+        assert_eq!(off.skipped_cycles, 0);
+        assert_eq!(on.cycles, off.cycles);
+        assert_eq!(on.spans, off.spans);
+        assert_eq!(on.stats, off.stats);
+        assert_eq!(img_on, img_off);
     }
 
     #[test]

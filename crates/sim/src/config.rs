@@ -67,6 +67,19 @@ impl Throughput {
             .min(u64::from(self.words) * u64::from(self.cycles));
     }
 
+    /// Refill credit for `cycles` elapsed cycles at once, none of which spent
+    /// any bandwidth. Equivalent to calling [`Throughput::tick`] `cycles`
+    /// times with no intervening [`Throughput::try_consume`]; used by the
+    /// event-horizon fast-forward to fold skipped idle cycles into the token
+    /// bucket exactly.
+    #[inline]
+    pub fn tick_idle(&mut self, cycles: u64) {
+        self.credit = self
+            .credit
+            .saturating_add(u64::from(self.words).saturating_mul(cycles))
+            .min(u64::from(self.words) * u64::from(self.cycles));
+    }
+
     /// Try to spend one word of bandwidth; returns whether it was available.
     #[inline]
     pub fn try_consume(&mut self) -> bool {
@@ -445,6 +458,31 @@ mod tests {
         t.tick();
         assert!(t.try_consume());
         assert!(!t.try_consume(), "only one word per cycle");
+    }
+
+    #[test]
+    fn tick_idle_matches_repeated_ticks() {
+        // tick_idle(k) must be indistinguishable from k no-consume ticks for
+        // any starting credit, or fast-forward would perturb DRAM pacing.
+        for drain in 0..4 {
+            let mut bulk = Throughput::new(3, 10);
+            let mut step = Throughput::new(3, 10);
+            for _ in 0..drain {
+                bulk.tick();
+                step.tick();
+                bulk.try_consume();
+                step.try_consume();
+            }
+            for k in [0u64, 1, 2, 7, 1_000] {
+                let mut b = bulk;
+                let mut s = step;
+                b.tick_idle(k);
+                for _ in 0..k {
+                    s.tick();
+                }
+                assert_eq!(b, s, "drain={drain} k={k}");
+            }
+        }
     }
 
     #[test]

@@ -156,6 +156,33 @@ impl Clock {
         );
         self.now
     }
+
+    /// Jump time forward to `target` without ticking the cycles in between
+    /// — the event-horizon fast-forward primitive (see
+    /// `docs/PERFORMANCE.md`). The caller is responsible for having proven
+    /// that every skipped cycle would have been a no-op and for folding any
+    /// per-cycle accounting into its components in bulk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is behind the current time or beyond the runaway
+    /// limit (the same deadlock guard as [`Clock::advance`]).
+    #[inline]
+    pub fn skip_to(&mut self, target: Cycle) -> Cycle {
+        assert!(
+            target.0 >= self.now.0,
+            "clock cannot move backwards: {} -> {}",
+            self.now,
+            target
+        );
+        assert!(
+            target.0 <= self.limit,
+            "simulation exceeded {} cycles: likely deadlock",
+            self.limit
+        );
+        self.now = target;
+        self.now
+    }
 }
 
 #[cfg(test)]

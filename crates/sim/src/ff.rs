@@ -1,0 +1,44 @@
+//! Process-wide default for event-horizon fast-forward.
+//!
+//! Fast-forward (see `docs/PERFORMANCE.md`) is a wall-clock optimization
+//! with a byte-identity contract: simulated results are the same with it on
+//! or off. Every run loop that supports skipping reads this default at
+//! construction time into a per-instance flag, so a CLI `--fast-forward off`
+//! set before any simulation starts applies everywhere, while tests that
+//! compare on-vs-off runs use the per-instance setters and stay immune to
+//! concurrent tests flipping the global.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FAST_FORWARD: AtomicBool = AtomicBool::new(true);
+
+/// Whether newly constructed run loops should skip provably-idle cycles.
+/// Defaults to `true`.
+#[inline]
+pub fn fast_forward_default() -> bool {
+    FAST_FORWARD.load(Ordering::Relaxed)
+}
+
+/// Set the process-wide fast-forward default (e.g. from `--fast-forward`).
+///
+/// Only affects simulations constructed after the call.
+pub fn set_fast_forward_default(enabled: bool) {
+    FAST_FORWARD.store(enabled, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_on_and_settable() {
+        // Runs in its own process group rarely, so restore the flag to avoid
+        // perturbing concurrently running tests that read the default.
+        let prev = fast_forward_default();
+        set_fast_forward_default(false);
+        assert!(!fast_forward_default());
+        set_fast_forward_default(true);
+        assert!(fast_forward_default());
+        set_fast_forward_default(prev);
+    }
+}

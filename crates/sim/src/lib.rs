@@ -34,6 +34,7 @@
 
 mod config;
 mod cycle;
+mod ff;
 mod queue;
 mod req;
 mod rng;
@@ -44,6 +45,7 @@ pub use config::{
     SensitivityConfig, Throughput,
 };
 pub use cycle::{Clock, Cycle};
+pub use ff::{fast_forward_default, set_fast_forward_default};
 pub use queue::BoundedQueue;
 pub use req::{
     combine, identity_bits, Addr, MemOp, MemRequest, MemResponse, Origin, ReqId, ScalarKind,

@@ -141,6 +141,21 @@ impl<T> BoundedQueue<T> {
         self.items.iter()
     }
 
+    /// Remove and return the oldest item only if `accept` approves it.
+    ///
+    /// This is the single-touch replacement for the `front().copied()` +
+    /// re-`pop()` pattern: the consumer inspects the head in place, commits
+    /// to it (e.g. by submitting it downstream) inside `accept`, and the item
+    /// is popped only on approval — no clone, no double lookup.
+    #[inline]
+    pub fn pop_if<F: FnMut(&T) -> bool>(&mut self, mut accept: F) -> Option<T> {
+        if accept(self.items.front()?) {
+            self.items.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// Remove and return the first item matching `pred`, preserving the order
     /// of the others.
     ///
@@ -239,6 +254,19 @@ mod tests {
         // cycles (the old bug) would report far less than the true figure.
         let diluted = mid_run.occ_integral as f64 / (100_100.0 * 4.0);
         assert!(diluted < mid_run.cycle_utilization() / 100.0);
+    }
+
+    #[test]
+    fn pop_if_touches_head_once() {
+        let mut q = BoundedQueue::new(4);
+        q.try_push(5).unwrap();
+        q.try_push(6).unwrap();
+        assert_eq!(q.pop_if(|&x| x > 10), None, "head stays when rejected");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_if(|&x| x == 5), Some(5));
+        assert_eq!(q.front(), Some(&6));
+        let mut empty: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(empty.pop_if(|_| true), None);
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! deterministic: same inputs → same cycle counts, same statistics, same
 //! memory image.
 
+use proptest::prelude::*;
 use sa_apps::histogram::{run_hw, run_sort_scan_default, HistogramInput};
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
-use sa_apps::spmv::{run_ebe_hw, Csr};
-use sa_core::{drive_scatter, ScatterKernel, SensitivityRig};
+use sa_apps::spmv::{run_ebe_hw, Csr, Ebe};
+use sa_core::{drive_scatter, drive_scatter_with, NodeMemSys, ScatterKernel, SensitivityRig};
 use sa_multinode::{MultiNode, Topology, TraceReport};
 use sa_sim::{MachineConfig, NetworkConfig, Rng64, SensitivityConfig};
 
@@ -140,6 +141,88 @@ fn rig_sweep_is_thread_count_invariant() {
     for threads in [2usize, 8] {
         let parallel = SensitivityRig::run_histogram_sweep(&configs, &indices, 4096, threads);
         assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum FfWorkload {
+    Histogram,
+    Spmv,
+    Md,
+}
+
+fn ff_trace(workload: FfWorkload, seed: u64) -> Vec<u64> {
+    match workload {
+        FfWorkload::Histogram => {
+            let mut rng = Rng64::new(seed);
+            (0..1024).map(|_| rng.below(256)).collect()
+        }
+        FfWorkload::Spmv => Ebe::new(&Mesh::generate(40, 8, 160, seed)).scatter_trace(),
+        FfWorkload::Md => WaterSystem::generate(24, seed).scatter_trace(),
+    }
+}
+
+/// Render a single-node run the way `--stats-json` does (counters through
+/// the registry plus the request-latency document), so byte comparison
+/// covers exactly what ships in the stats file.
+fn run_stats_json(run: &sa_core::RunResult) -> String {
+    let mut reg = sa_telemetry::MetricsRegistry::new();
+    {
+        let mut scope = reg.scope("run");
+        run.node.record_metrics(&mut scope);
+        scope.counter("cycles", run.cycles);
+        scope.counter("drain_cycles", run.drain_cycles);
+        scope.counter("skipped_cycles", run.skipped_cycles);
+    }
+    format!(
+        "{}\n{}",
+        reg.to_json().to_string_pretty(),
+        run.node.req_tracer().latency_json().to_string_pretty()
+    )
+}
+
+/// Drop the `skipped_cycles` counter — the one line that legitimately
+/// differs between fast-forward modes (CI strips it the same way).
+fn strip_skipped(doc: &str) -> String {
+    doc.lines()
+        .filter(|l| !l.contains("skipped_cycles"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The event-horizon scheduler contract: for random histogram, SpMV and
+    /// MD workloads over varying combining-store sizes and both scatter-add
+    /// modes, the rendered sa-stats bytes with fast-forward ON equal the
+    /// bytes with it OFF (modulo the skipped-cycle counter itself), and the
+    /// OFF run never skips.
+    #[test]
+    fn fast_forward_stats_json_is_byte_identical(
+        workload in prop::sample::select(vec![
+            FfWorkload::Histogram,
+            FfWorkload::Spmv,
+            FfWorkload::Md,
+        ]),
+        fetch in any::<bool>(),
+        cs_entries in prop::sample::select(vec![4usize, 8, 16]),
+        seed in 1u64..32,
+    ) {
+        let mut cfg = machine();
+        cfg.sa.cs_entries = cs_entries;
+        cfg.req_sample = 32;
+        let kernel = ScatterKernel::histogram(0, ff_trace(workload, seed));
+        let run_mode = |ff: bool| {
+            let mut node = NodeMemSys::new(cfg, 0, false);
+            node.set_fast_forward(ff);
+            let run = drive_scatter_with(node, &kernel, fetch);
+            (run_stats_json(&run), run.skipped_cycles)
+        };
+        let (on, _skipped_on) = run_mode(true);
+        let (off, skipped_off) = run_mode(false);
+        prop_assert_eq!(skipped_off, 0, "ff off must not skip");
+        prop_assert_eq!(strip_skipped(&on), strip_skipped(&off));
     }
 }
 
