@@ -704,7 +704,7 @@ mod tests {
             no.report.cycles,
             hw.report.cycles
         );
-        let flop_ratio = no.report.flops as f64 / hw.report.flops as f64;
+        let flop_ratio = no.report.flops() as f64 / hw.report.flops() as f64;
         assert!(
             (1.5..2.5).contains(&flop_ratio),
             "duplicated compute should double FP work: {flop_ratio:.2}"

@@ -465,8 +465,8 @@ mod tests {
         let run = run_csr(&cfg(), &csr, &x);
         assert_close(&run.y, &csr.multiply(&x), 1e-9);
         // 4 streams of nnz plus the y store.
-        assert_eq!(run.report.mem_refs, 4 * csr.nnz() as u64 + csr.n as u64);
-        assert_eq!(run.report.flops, CSR_FLOPS_PER_NNZ * csr.nnz() as u64);
+        assert_eq!(run.report.mem_refs(), 4 * csr.nnz() as u64 + csr.n as u64);
+        assert_eq!(run.report.flops(), CSR_FLOPS_PER_NNZ * csr.nnz() as u64);
     }
 
     #[test]
@@ -478,8 +478,8 @@ mod tests {
         // Per element: k DOF words + k x words + k² matrix words + k adds.
         let k = mesh.dofs_per_element() as u64;
         let e = mesh.elements() as u64;
-        assert_eq!(run.report.mem_refs, e * (3 * k + k * k));
-        assert_eq!(run.report.flops, e * 2 * k * k);
+        assert_eq!(run.report.mem_refs(), e * (3 * k + k * k));
+        assert_eq!(run.report.flops(), e * 2 * k * k);
     }
 
     #[test]
@@ -499,8 +499,8 @@ mod tests {
         let hw = run_ebe_hw(&cfg(), &mesh, &x);
         let sw = run_ebe_sw_default(&cfg(), &mesh, &x);
         assert!(sw.report.cycles > hw.report.cycles);
-        assert!(sw.report.flops > hw.report.flops);
-        assert!(sw.report.mem_refs > hw.report.mem_refs);
+        assert!(sw.report.flops() > hw.report.flops());
+        assert!(sw.report.mem_refs() > hw.report.mem_refs());
     }
 
     #[test]

@@ -49,16 +49,16 @@ fn summarize_stats(path: &str) -> Result<(), String> {
     let doc = load_stats(path)?;
     validate_stats_json(&doc)?;
     let bench = doc.get("bench").and_then(Json::as_str).unwrap_or("?");
+    // The document's own version, not this binary's: the validator accepts
+    // every schema since v1, so old baselines summarize too.
+    let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
     let metrics = doc
         .get("metrics")
         .and_then(Json::as_obj)
         .ok_or("no metrics")?;
     header(
         &format!("Stats document: {path}"),
-        &format!(
-            "bench '{bench}', schema v{}",
-            sa_telemetry::STATS_SCHEMA_VERSION
-        ),
+        &format!("bench '{bench}', schema v{version}"),
     );
     let counters = metrics.iter().filter(|(_, v)| v.as_u64().is_some()).count();
     let histograms = metrics
@@ -86,6 +86,15 @@ fn summarize_stats(path: &str) -> Result<(), String> {
                 row(key, &[("value", format!("{n}"))]);
             }
         }
+    }
+    // v3: resilience counters appear only when a fault plan fired.
+    let faults: u64 = metrics
+        .iter()
+        .filter(|(p, _)| p.contains("resilience."))
+        .filter_map(|(_, v)| v.as_u64())
+        .sum();
+    if faults > 0 {
+        row("resilience", &[("events", format!("{faults}"))]);
     }
     if let Some(series) = doc
         .get("series")

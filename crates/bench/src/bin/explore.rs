@@ -17,6 +17,7 @@
 
 use sa_apps::histogram::{run_hw, run_privatization_default, run_sort_scan, HistogramInput};
 use sa_bench::args::Args;
+use sa_bench::cli::Cli;
 use sa_bench::telemetry::BenchRun;
 use sa_core::{drive_scan, drive_scatter, ScatterKernel, SensitivityRig};
 use sa_multinode::{MultiNode, Topology};
@@ -67,8 +68,8 @@ fn cmd_histogram(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         input.range,
         run.micros(),
         run.report.cycles,
-        run.report.flops,
-        run.report.mem_refs
+        run.report.flops(),
+        run.report.mem_refs()
     );
     run.report.stats.record(&mut bench.scope("histogram"));
     bench.finish();
@@ -130,7 +131,7 @@ fn cmd_multinode(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         _ => Topology::Flat,
     };
     let combining = args.has("combining");
-    let step_threads: usize = args.get_or("step-threads", 1)?;
+    let step_threads = Cli::try_from_args(args.clone())?.step_threads();
     let input = input_from(args)?;
     let values = vec![1.0f64; input.len()];
     let mut mn = MultiNode::with_topology(cfg, nodes, net, combining, topology);

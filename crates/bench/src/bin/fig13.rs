@@ -20,9 +20,9 @@
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::Ebe;
-use sa_bench::args::Args;
+use sa_bench::cli::Cli;
 use sa_bench::telemetry::BenchRun;
-use sa_bench::{header, quick_mode, sweep};
+use sa_bench::{header, sweep};
 use sa_multinode::MultiNode;
 use sa_sim::{MachineConfig, NetworkConfig, Rng64};
 
@@ -71,9 +71,10 @@ fn run_series(
 
 fn main() {
     let machine = MachineConfig::merrimac();
-    let mut bench = BenchRun::from_env("fig13", &machine);
-    let quick = quick_mode();
-    let step_threads = Args::from_env().get_or("step-threads", 1usize).unwrap_or(1);
+    let cli = Cli::from_env();
+    let mut bench = BenchRun::from_cli("fig13", &machine, &cli);
+    let quick = cli.quick();
+    let step_threads = cli.step_threads();
     let nodes_list: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let hist_n = if quick { 8192 } else { 65_536 };
 

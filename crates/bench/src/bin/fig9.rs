@@ -70,8 +70,8 @@ fn main() {
         {
             let mut s = bench.scope(scope);
             s.counter("cycles", r.report.cycles);
-            s.counter("flops", r.report.flops);
-            s.counter("mem_refs", r.report.mem_refs);
+            s.counter("flops", r.report.flops());
+            s.counter("mem_refs", r.report.mem_refs());
             r.report.stats.record(&mut s);
         }
         bench.record_latency(scope, &r.report.req_trace);
@@ -83,8 +83,8 @@ fn main() {
             name,
             &[
                 ("cycles", mcycles(r.report.cycles)),
-                ("fp-ops", mops(r.report.flops)),
-                ("mem-refs", mops(r.report.mem_refs)),
+                ("fp-ops", mops(r.report.flops())),
+                ("mem-refs", mops(r.report.mem_refs())),
             ],
         );
     }

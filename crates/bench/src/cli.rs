@@ -1,0 +1,188 @@
+//! One shared command-line surface for every sa-bench binary.
+//!
+//! The figure binaries grew identical run-control flags one copy at a time
+//! (`--jobs` scanned raw argv in `sweep`, `--step-threads` was parsed in
+//! both `fig13` and `explore`, `--fast-forward` lived inside `BenchRun`).
+//! [`Cli`] parses them once and installs the process-wide defaults they
+//! control, so a binary only handles flags specific to its experiment:
+//!
+//! - `--jobs N` — sweep worker threads (beats `SA_JOBS`, defaults to cores)
+//! - `--step-threads N` — phase-parallel multinode stepping width
+//! - `--fast-forward on|off` — event-horizon cycle skipping (default `on`)
+//! - `--stats-json PATH`, `--trace PATH`, `--sample-interval N`,
+//!   `--req-sample N` — telemetry outputs (consumed by
+//!   [`BenchRun`](crate::telemetry::BenchRun))
+//! - `--faults PLAN.json` — install a fault plan for every machine the
+//!   binary builds (see `docs/RESILIENCE.md`)
+//! - `--fault-seed N` — override the plan's seed without editing the file
+//! - `--quick` — reduced-size smoke run
+//!
+//! Construction has side effects by design: [`Cli::from_args`] applies
+//! `--fast-forward` via [`sa_sim::set_fast_forward_default`] and `--faults`
+//! via [`sa_faults::set_default_plan`], so simulators built afterwards pick
+//! the settings up without explicit plumbing. Both installs are idempotent
+//! for a given argument vector.
+
+use crate::args::Args;
+use sa_faults::FaultPlan;
+
+/// Parsed common flags plus the raw [`Args`] for binary-specific ones.
+///
+/// Exits the process with status 2 on a malformed flag (consistent with
+/// the historical per-binary parsers), so binaries can assume a valid
+/// configuration after construction.
+#[derive(Debug)]
+pub struct Cli {
+    args: Args,
+    jobs: usize,
+    step_threads: usize,
+    fast_forward: bool,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl Cli {
+    /// Parse the process arguments and install the process-wide defaults.
+    pub fn from_env() -> Cli {
+        Cli::from_args(Args::from_env())
+    }
+
+    /// Parse pre-collected arguments and install the process-wide defaults.
+    pub fn from_args(args: Args) -> Cli {
+        match Cli::try_from_args(args) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`Cli::from_args`] returning parse failures instead of exiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed flag (bad number, an
+    /// unknown `--fast-forward` mode, or an unreadable/invalid fault plan).
+    pub fn try_from_args(args: Args) -> Result<Cli, String> {
+        let jobs = crate::sweep::resolve_jobs(match args.get_or("jobs", 0usize) {
+            Ok(n) if n > 0 => Some(n),
+            Ok(_) => None,
+            Err(e) => return Err(e.to_string()),
+        });
+        let step_threads = args
+            .get_or("step-threads", 1usize)
+            .map_err(|e| e.to_string())?
+            .max(1);
+        let fast_forward = args
+            .choice("fast-forward", &["on", "off"], "on")
+            .map_err(|e| e.to_string())?
+            == "on";
+        sa_sim::set_fast_forward_default(fast_forward);
+
+        let fault_plan = match args.raw("faults") {
+            None => None,
+            Some(path) => {
+                let mut plan = FaultPlan::load(std::path::Path::new(path))?;
+                if let Some(seed) = args.raw("fault-seed") {
+                    plan.seed = seed
+                        .parse()
+                        .map_err(|_| format!("--fault-seed: could not parse {seed:?}"))?;
+                }
+                Some(plan)
+            }
+        };
+        sa_faults::set_default_plan(fault_plan.clone());
+
+        Ok(Cli {
+            args,
+            jobs,
+            step_threads,
+            fast_forward,
+            fault_plan,
+        })
+    }
+
+    /// The raw arguments, for flags specific to one binary.
+    pub fn args(&self) -> &Args {
+        &self.args
+    }
+
+    /// Sweep worker threads (`--jobs` / `SA_JOBS` / available cores).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Phase-parallel multinode stepping width (`--step-threads`, min 1).
+    pub fn step_threads(&self) -> usize {
+        self.step_threads
+    }
+
+    /// Whether event-horizon fast-forward is enabled (`--fast-forward`).
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// The installed fault plan, when `--faults` was given.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Whether a reduced-size smoke run was requested (`--quick`).
+    pub fn quick(&self) -> bool {
+        self.args.has("quick") || std::env::var_os("SA_QUICK").is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Cli, String> {
+        Cli::try_from_args(Args::parse(s.split_whitespace().map(str::to_owned)))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse("").expect("empty argv parses");
+        assert!(cli.jobs() >= 1);
+        assert_eq!(cli.step_threads(), 1);
+        assert!(cli.fast_forward());
+        assert!(cli.fault_plan().is_none());
+    }
+
+    #[test]
+    fn common_flags_parse() {
+        let cli = parse("--jobs 3 --step-threads 2 --fast-forward off --quick").expect("parses");
+        assert_eq!(cli.jobs(), 3);
+        assert_eq!(cli.step_threads(), 2);
+        assert!(!cli.fast_forward());
+        assert!(cli.quick());
+        // restore the global for neighbouring tests
+        sa_sim::set_fast_forward_default(true);
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(parse("--jobs frog").unwrap_err().contains("jobs"));
+        assert!(parse("--fast-forward sometimes")
+            .unwrap_err()
+            .contains("fast-forward"));
+        assert!(parse("--faults /nonexistent/plan.json").is_err());
+    }
+
+    #[test]
+    fn fault_seed_overrides_plan() {
+        let dir = std::env::temp_dir().join("sa-bench-cli-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("plan.json");
+        let plan = FaultPlan::parse(
+            r#"{"schema":"sa-faultplan","version":1,"seed":1,
+                "faults":[{"kind":"ecc_single","period":5}]}"#,
+        )
+        .expect("valid plan");
+        std::fs::write(&path, plan.to_json().to_string_pretty()).expect("write plan");
+        let cli = parse(&format!("--faults {} --fault-seed 99", path.display())).expect("parses");
+        assert_eq!(cli.fault_plan().expect("plan installed").seed, 99);
+        sa_faults::set_default_plan(None);
+    }
+}

@@ -84,6 +84,7 @@ mod tests {
 }
 
 pub mod args;
+pub mod cli;
 pub mod diff;
 pub mod sweep;
 pub mod telemetry;

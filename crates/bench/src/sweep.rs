@@ -26,15 +26,19 @@ pub fn default_jobs() -> usize {
 /// [`default_jobs`]. Zero and unparsable values fall through to the next
 /// source.
 pub fn jobs_from_env() -> usize {
-    let argv: Vec<String> = std::env::args().collect();
-    for pair in argv.windows(2) {
-        if pair[0] == "--jobs" {
-            if let Ok(n) = pair[1].parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
-        }
+    resolve_jobs(
+        crate::args::Args::from_env()
+            .get_or("jobs", 0usize)
+            .ok()
+            .filter(|&n| n > 0),
+    )
+}
+
+/// The `SA_JOBS` / [`default_jobs`] fallback chain behind [`jobs_from_env`],
+/// taking an already-parsed `--jobs` value (shared with [`crate::cli::Cli`]).
+pub fn resolve_jobs(flag: Option<usize>) -> usize {
+    if let Some(n) = flag {
+        return n;
     }
     if let Some(v) = std::env::var_os("SA_JOBS") {
         if let Ok(n) = v.to_string_lossy().parse::<usize>() {

@@ -36,6 +36,7 @@ use sa_telemetry::{
 };
 
 use crate::args::Args;
+use crate::cli::Cli;
 
 /// Elements in the canonical histogram workload replayed by [`BenchRun::finish`].
 pub const CANONICAL_ELEMENTS: u64 = 4096;
@@ -88,13 +89,21 @@ pub struct BenchRun {
 
 impl BenchRun {
     /// A collector reading `--stats-json`, `--trace` and `--sample-interval`
-    /// from the process arguments.
+    /// from the process arguments. Also installs the process-wide run
+    /// controls (`--fast-forward`, `--faults`) via [`Cli`].
     pub fn from_env(bench: &str, cfg: &MachineConfig) -> BenchRun {
-        BenchRun::from_args(bench, cfg, &Args::from_env())
+        BenchRun::from_cli(bench, cfg, &Cli::from_env())
     }
 
-    /// A collector reading its flags from pre-parsed `args`.
+    /// A collector reading its flags from pre-parsed `args` (routed through
+    /// [`Cli`], which installs the process-wide run controls).
     pub fn from_args(bench: &str, cfg: &MachineConfig, args: &Args) -> BenchRun {
+        BenchRun::from_cli(bench, cfg, &Cli::from_args(args.clone()))
+    }
+
+    /// A collector reading its flags from an already-parsed [`Cli`].
+    pub fn from_cli(bench: &str, cfg: &MachineConfig, cli: &Cli) -> BenchRun {
+        let args = cli.args();
         let sample_interval = args
             .get_or("sample-interval", sa_core::DEFAULT_SAMPLE_INTERVAL)
             .unwrap_or_else(|e| {
@@ -107,13 +116,6 @@ impl BenchRun {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             });
-        let fast_forward = args
-            .choice("fast-forward", &["on", "off"], "on")
-            .unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            });
-        sa_sim::set_fast_forward_default(fast_forward == "on");
         BenchRun {
             bench: bench.to_owned(),
             cfg: *cfg,

@@ -75,7 +75,10 @@ fn exported_document_covers_required_metric_families() {
 fn exported_document_carries_v2_latency_and_attribution() {
     let text = export(&MachineConfig::merrimac(), &tmp("v2.json"));
     let doc = Json::parse(&text).unwrap();
-    assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        doc.get("version").and_then(Json::as_u64),
+        Some(sa_telemetry::STATS_SCHEMA_VERSION)
+    );
     let lat = doc
         .get("latency")
         .and_then(|l| l.get("canonical"))

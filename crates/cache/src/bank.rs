@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use fxhash::FxHashMap;
+use sa_faults::{ResilienceStats, ECC_REPLAY_LIMIT};
 use sa_mem::{DramCommand, DramKind, DramResponse};
 use sa_sim::{Addr, BoundedQueue, CacheConfig, Cycle, MemResponse, Origin, ReqId, WORD_BYTES};
 
@@ -146,6 +147,9 @@ enum MshrTarget {
 struct Mshr {
     line_base: Addr,
     targets: Vec<MshrTarget>,
+    /// Fill replays issued for this line after ECC-detected errors; capped
+    /// at [`ECC_REPLAY_LIMIT`], after which the data is accepted as-is.
+    replays: u32,
 }
 
 impl Mshr {
@@ -173,6 +177,7 @@ pub struct CacheBank {
     lru_tick: u64,
     next_cmd_id: ReqId,
     stats: CacheStats,
+    resilience: ResilienceStats,
 }
 
 impl CacheBank {
@@ -208,6 +213,7 @@ impl CacheBank {
             lru_tick: 0,
             next_cmd_id: 0,
             stats: CacheStats::default(),
+            resilience: ResilienceStats::default(),
             cfg,
         }
     }
@@ -387,6 +393,7 @@ impl CacheBank {
                 self.mshrs.push(Mshr {
                     line_base,
                     targets: vec![MshrTarget::Read(access.id, offset, access.origin)],
+                    replays: 0,
                 });
                 self.stats.read_misses += 1;
                 Ok(())
@@ -508,6 +515,10 @@ impl CacheBank {
         let Some(resp) = self.pending_fills.front() else {
             return;
         };
+        if resp.ecc_error {
+            self.replay_poisoned_fill();
+            return;
+        }
         let base = resp.base;
         let (set, tag, _) = self.locate(base);
         let Some(way) = self.make_room(set) else {
@@ -557,6 +568,45 @@ impl CacheBank {
                 }
             }
         }
+    }
+
+    /// The fill at the head of the queue carries an ECC-detected error:
+    /// refuse to install it and re-read the line from DRAM instead. The
+    /// MSHR (and its deferred targets) stays allocated, so the replayed
+    /// fill replays them in the original arrival order — recovery never
+    /// reorders same-address traffic. After [`ECC_REPLAY_LIMIT`] strikes on
+    /// one line the error is declared uncorrectable and the (functionally
+    /// intact) data is accepted so the run completes.
+    fn replay_poisoned_fill(&mut self) {
+        let base = self.pending_fills.front().expect("front checked").base;
+        let idx = *self.mshr_lookup.get(&base.0).expect("fill without MSHR");
+        if self.mshrs[idx].replays >= ECC_REPLAY_LIMIT {
+            self.resilience.ecc_uncorrected += 1;
+            let resp = self.pending_fills.front_mut().expect("front checked");
+            resp.ecc_error = false; // installs normally next tick
+            return;
+        }
+        if !self.mem_out.can_accept() {
+            return; // command queue full; retry next cycle
+        }
+        let resp = self.pending_fills.pop_front().expect("front checked");
+        self.mshrs[idx].replays += 1;
+        self.resilience.mshr_replays += 1;
+        self.next_cmd_id += 1;
+        // Like write-backs, the replay serves every target of the MSHR; no
+        // single originating request to attribute.
+        let cmd = DramCommand {
+            id: self.next_cmd_id,
+            req: None,
+            base: resp.base,
+            words: resp.data.len() as u32,
+            kind: DramKind::Read,
+            origin: Origin::CacheBank {
+                node: self.node,
+                bank: self.bank_index,
+            },
+        };
+        self.mem_out.try_push(cmd).expect("capacity checked");
     }
 
     /// Next outgoing DRAM command, if any (the node routes it to a channel).
@@ -682,6 +732,12 @@ impl CacheBank {
         self.stats
     }
 
+    /// ECC recovery counters accumulated so far (all zero unless poisoned
+    /// fills arrived).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
+    }
+
     /// Read-only probe of a resident word (for tests); `None` on miss.
     pub fn probe(&self, addr: Addr) -> Option<u64> {
         let (set, tag, offset) = self.locate(addr);
@@ -768,6 +824,7 @@ mod tests {
                     data,
                     origin: cmd.origin,
                     at: now,
+                    ecc_error: false,
                 });
             }
             while let Some(r) = bank.pop_ready(now) {
@@ -1025,6 +1082,7 @@ mod tests {
             data: vec![0; 4],
             origin: cmd.origin,
             at: Cycle(20),
+            ecc_error: false,
         });
         assert_eq!(bank.next_event(Cycle(20)), Some(Cycle(21)));
         bank.tick(Cycle(21));
@@ -1043,6 +1101,76 @@ mod tests {
         let got = bank.pop_mem_cmd_if(|c| c.kind == DramKind::Read).unwrap();
         assert_eq!(got.base, Addr(0));
         assert!(!bank.has_mem_cmd());
+    }
+
+    #[test]
+    fn ecc_poisoned_fill_is_replayed_not_installed() {
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(read(1, 8), Cycle(0)).unwrap();
+        let cmd = bank.pop_mem_cmd().unwrap();
+        // A poisoned fill must not install; the bank re-reads the line.
+        bank.on_mem_response(DramResponse {
+            id: cmd.id,
+            base: cmd.base,
+            data: vec![1, 2, 3, 4],
+            origin: cmd.origin,
+            at: Cycle(5),
+            ecc_error: true,
+        });
+        bank.tick(Cycle(6));
+        assert_eq!(bank.probe(Addr(8)), None, "poisoned data not installed");
+        assert!(!bank.is_idle(), "MSHR stays allocated across the replay");
+        let replay = bank.pop_mem_cmd().expect("replacement fill issued");
+        assert_eq!(replay.base, cmd.base);
+        assert_eq!(replay.kind, DramKind::Read);
+        assert_eq!(bank.resilience_stats().mshr_replays, 1);
+        // The clean retry installs and replays the waiting read target.
+        bank.on_mem_response(DramResponse {
+            id: replay.id,
+            base: replay.base,
+            data: vec![10, 20, 30, 40],
+            origin: replay.origin,
+            at: Cycle(30),
+            ecc_error: false,
+        });
+        bank.tick(Cycle(31));
+        let r = bank.pop_ready(Cycle(40)).expect("deferred read replayed");
+        assert_eq!(r.bits, 20);
+        assert_eq!(bank.resilience_stats().ecc_uncorrected, 0);
+    }
+
+    #[test]
+    fn ecc_replay_budget_exhaustion_accepts_data() {
+        let mut bank = CacheBank::new(tiny(), 0, 0);
+        bank.try_access(read(1, 0), Cycle(0)).unwrap();
+        let mut cmd = bank.pop_mem_cmd().unwrap();
+        let mut now = Cycle(0);
+        // Every replay comes back poisoned too; after the budget runs out
+        // the bank must accept the data and flag it uncorrectable.
+        for _ in 0..=ECC_REPLAY_LIMIT {
+            now += 1;
+            bank.on_mem_response(DramResponse {
+                id: cmd.id,
+                base: cmd.base,
+                data: vec![7, 8, 9, 10],
+                origin: cmd.origin,
+                at: now,
+                ecc_error: true,
+            });
+            now += 1;
+            bank.tick(now);
+            match bank.pop_mem_cmd() {
+                Some(next) => cmd = next,
+                None => break, // budget exhausted: no further replay
+            }
+        }
+        now += 1;
+        bank.tick(now); // installs the accepted (de-poisoned) fill
+        let rs = bank.resilience_stats();
+        assert_eq!(rs.mshr_replays, u64::from(ECC_REPLAY_LIMIT));
+        assert_eq!(rs.ecc_uncorrected, 1);
+        let r = bank.pop_ready(now + 10).expect("read completes regardless");
+        assert_eq!(r.bits, 7);
     }
 
     #[test]

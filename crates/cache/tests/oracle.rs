@@ -118,6 +118,7 @@ proptest! {
                     data,
                     origin: cmd.origin,
                     at: now,
+                    ecc_error: false,
                 });
             }
             while let Some(r) = bank.pop_ready(now) {

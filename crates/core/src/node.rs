@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use sa_cache::{AccessKind, CacheAccess, CacheBank, CacheStats, SumBack};
+use sa_faults::{FaultPlan, FaultSite, ResilienceStats};
 use sa_mem::{BackingStore, DramChannel, DramStats};
 use sa_sim::{
     Addr, BoundedQueue, Cycle, MachineConfig, MemOp, MemRequest, MemResponse, Origin, QueueStats,
@@ -31,6 +32,9 @@ pub struct NodeStats {
     pub dram: DramStats,
     /// Merged bank input queue statistics.
     pub bank_in: QueueStats,
+    /// Merged resilience counters (ECC corrections, MSHR replays, stalls);
+    /// all zero unless a fault plan is installed.
+    pub resilience: ResilienceStats,
 }
 
 impl NodeStats {
@@ -42,11 +46,16 @@ impl NodeStats {
 
     /// Record the aggregated counters into a telemetry scope, under the
     /// `sa.*`, `cache.*`, `dram.*`, and `queue.bank_in.*` sub-scopes.
+    /// Resilience counters appear under `resilience.*` only when nonzero,
+    /// so fault-free runs keep byte-identical stats output.
     pub fn record(&self, scope: &mut Scope<'_>) {
         self.sa.record(&mut scope.scope("sa"));
         self.cache.record(&mut scope.scope("cache"));
         self.dram.record(&mut scope.scope("dram"));
         self.bank_in.record(&mut scope.scope("queue.bank_in"));
+        if !self.resilience.is_zero() {
+            self.resilience.record(&mut scope.scope("resilience"));
+        }
     }
 }
 
@@ -97,6 +106,11 @@ pub struct NodeMemSys<T: TraceSink = NullTrace> {
     /// which [`NodeMemSys::next_event`] proves nothing can change. Seeded
     /// from [`sa_sim::fast_forward_default`] at construction.
     fast_forward: bool,
+    /// Whether a non-empty fault plan is installed (gates the per-tick
+    /// watchdog scan so fault-free runs pay one branch).
+    faults_active: bool,
+    /// Watchdog threshold for fault-injected combining-store stalls.
+    cs_timeout: u64,
 }
 
 impl NodeMemSys {
@@ -139,7 +153,7 @@ impl<T: TraceSink> NodeMemSys<T> {
         } else {
             0
         };
-        NodeMemSys {
+        let mut sys = NodeMemSys {
             node,
             combining,
             banks,
@@ -157,8 +171,32 @@ impl<T: TraceSink> NodeMemSys<T> {
             series: SeriesSet::new(sample_interval),
             last_dram_words: vec![0; cfg.dram.channels],
             fast_forward: sa_sim::fast_forward_default(),
+            faults_active: false,
+            cs_timeout: sa_faults::DEFAULT_CS_TIMEOUT,
             cfg,
+        };
+        if let Some(plan) = sa_faults::default_plan() {
+            sys.set_fault_plan(&plan);
         }
+        sys
+    }
+
+    /// Install the fault plan's schedules for this node: per-channel DRAM
+    /// ECC faults, per-unit combining-store stalls, and the stall watchdog
+    /// threshold. [`NodeMemSys::with_tracer`] applies the process-wide
+    /// [`sa_faults::default_plan`] automatically; call this to override it.
+    /// Every schedule is keyed by `(plan seed, site, node, component)`, so
+    /// fault decisions are reproducible regardless of stepping order or
+    /// fast-forward.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for (c, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_fault_injector(plan.injector(FaultSite::DramRead, self.node as u64, c as u64));
+        }
+        for (b, u) in self.sa.iter_mut().enumerate() {
+            u.set_fault_injector(plan.injector(FaultSite::CsEntry, self.node as u64, b as u64));
+        }
+        self.cs_timeout = plan.cs_timeout;
+        self.faults_active = !plan.is_empty();
     }
 
     /// Enable or disable event-horizon fast-forward for run loops driving
@@ -411,7 +449,11 @@ impl<T: TraceSink> NodeMemSys<T> {
                 self.rr_sa_first[b] = !sa_first;
             }
 
-            // 6. Advance the scatter-add unit.
+            // 6. Advance the scatter-add unit; with faults installed, the
+            //    watchdog first expires any stall that outlived its budget.
+            if self.faults_active {
+                self.sa[b].cancel_stalls_older_than(now, self.cs_timeout);
+            }
             self.sa[b].tick_traced(now, &mut self.req_trace);
 
             // 7. Route cache data responses.
@@ -723,12 +765,15 @@ impl<T: TraceSink> NodeMemSys<T> {
         let mut s = NodeStats::default();
         for u in &self.sa {
             s.sa.merge(u.stats());
+            s.resilience.merge(&u.resilience_stats());
         }
         for b in &self.banks {
             s.cache.merge(b.stats());
+            s.resilience.merge(&b.resilience_stats());
         }
         for c in &self.channels {
             s.dram.merge(c.stats());
+            s.resilience.merge(&c.resilience_stats());
         }
         for q in &self.bank_in {
             s.bank_in.merge(q.stats());
@@ -1085,6 +1130,68 @@ mod tests {
             }
         }
         assert_eq!(node.req_tracer().issued_len(), 0);
+    }
+
+    #[test]
+    fn recoverable_faults_leave_results_bit_identical() {
+        // ECC faults on DRAM reads plus combining-store stalls: the run gets
+        // slower and the resilience counters move, but every architectural
+        // result (memory image, completion count) matches the clean run.
+        let plan = FaultPlan::parse(
+            r#"{"schema":"sa-faultplan","version":1,"seed":33,"cs_timeout":32,
+                "faults":[{"kind":"ecc_single","period":3},
+                          {"kind":"ecc_double","period":4},
+                          {"kind":"cs_stall","cycles":20,"period":2}]}"#,
+        )
+        .expect("valid plan");
+        let run = |plan: Option<&FaultPlan>| {
+            let mut node = NodeMemSys::new(MachineConfig::merrimac(), 0, false);
+            if let Some(p) = plan {
+                node.set_fault_plan(p);
+            }
+            let mut pending: VecDeque<MemRequest> = (0..96)
+                .map(|i| sa_req(i, i % 24, 1 + (i as i64 % 5)))
+                .collect();
+            let mut now = Cycle(0);
+            let mut acked = 0u64;
+            for _ in 0..1_000_000 {
+                now += 1;
+                while let Some(req) = pending.pop_front() {
+                    if let Err(req) = node.inject(req) {
+                        pending.push_front(req);
+                        break;
+                    }
+                }
+                node.tick(now);
+                while node.pop_completion().is_some() {
+                    acked += 1;
+                }
+                if pending.is_empty() && node.is_idle() {
+                    break;
+                }
+            }
+            assert!(node.is_idle(), "node drained");
+            node.flush_to_store();
+            let image = node.store().extract_i64(Addr(0), 24);
+            (image, acked, now.raw(), node.stats())
+        };
+        let (image_clean, acked_clean, t_clean, stats_clean) = run(None);
+        let (image_fault, acked_fault, t_fault, stats_fault) = run(Some(&plan));
+        assert!(stats_clean.resilience.is_zero());
+        let res = stats_fault.resilience;
+        assert!(res.ecc_corrected > 0, "single-bit faults fired: {res:?}");
+        assert!(res.ecc_detected > 0, "double-bit faults fired: {res:?}");
+        assert!(
+            res.mshr_replays > 0,
+            "poisoned fills were replayed: {res:?}"
+        );
+        assert!(res.cs_stalls > 0, "combining-store stalls fired: {res:?}");
+        assert_eq!(image_clean, image_fault, "results must be bit-identical");
+        assert_eq!(acked_clean, acked_fault);
+        assert!(
+            t_fault > t_clean,
+            "faulty run ({t_fault}) must be slower than clean ({t_clean})"
+        );
     }
 
     #[test]

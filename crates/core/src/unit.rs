@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use fxhash::FxHashMap;
+use sa_faults::{FaultInjector, FaultKind, ResilienceStats};
 use sa_sim::{
     combine, Addr, Cycle, MemOp, MemRequest, MemResponse, Origin, ReqId, SaUnitConfig, ScalarKind,
     ScatterOp,
@@ -112,6 +113,10 @@ struct CsEntry {
     id: ReqId,
     origin: Origin,
     state: EntryState,
+    /// Fault-injected stall: `(started, until)`. While `until` is in the
+    /// future the entry refuses to issue its addition; the watchdog
+    /// ([`ScatterAddUnit::cancel_stalls_older_than`]) may expire it early.
+    stall: Option<(Cycle, Cycle)>,
 }
 
 #[derive(Copy, Clone, Debug)]
@@ -156,6 +161,10 @@ pub struct ScatterAddUnit {
     to_mem: VecDeque<ToMem>,
     acks: VecDeque<MemResponse>,
     stats: SaStats,
+    /// Combining-store stall schedule (inert without a fault plan);
+    /// consulted once per entry at its first FU-issue attempt.
+    faults: FaultInjector,
+    resilience: ResilienceStats,
 }
 
 impl ScatterAddUnit {
@@ -179,7 +188,39 @@ impl ScatterAddUnit {
             to_mem: VecDeque::with_capacity(2 * cfg.cs_entries),
             acks: VecDeque::with_capacity(2 * cfg.cs_entries),
             stats: SaStats::default(),
+            faults: FaultInjector::none(),
+            resilience: ResilienceStats::default(),
             cfg,
+        }
+    }
+
+    /// Install this unit's combining-store stall schedule (taken from a
+    /// fault plan by the owning node, which knows the unit's identity).
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Resilience counters: injected stalls and watchdog timeouts. All zero
+    /// unless a fault injector is installed.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
+    }
+
+    /// Watchdog: expire any fault-injected stall that has lasted at least
+    /// `timeout` cycles, so a stuck entry re-issues next tick instead of
+    /// holding its address chain (and the store slot) indefinitely. A no-op
+    /// without an active fault schedule.
+    pub fn cancel_stalls_older_than(&mut self, now: Cycle, timeout: u64) {
+        if !self.faults.is_active() {
+            return;
+        }
+        for e in self.entries.iter_mut().flatten() {
+            if let Some((started, until)) = e.stall {
+                if until > now && now.since(started) >= timeout {
+                    e.stall = Some((started, now));
+                    self.resilience.cs_timeouts += 1;
+                }
+            }
         }
     }
 
@@ -261,6 +302,7 @@ impl ScatterAddUnit {
             id: req.id,
             origin: req.origin,
             state,
+            stall: None,
         });
         self.occupied += 1;
         self.stats.accepted += 1;
@@ -378,6 +420,21 @@ impl ScatterAddUnit {
                 })
                 .unwrap_or_else(|| panic!("value for {addr} with no waiting entry"));
             let e = self.entries[slot].as_mut().expect("position found");
+            // Fault schedule: the entry's first issue attempt may stall it.
+            // A stalled entry keeps its value circulating through the issue
+            // queue (one rotation per cycle, occupying this cycle's issue
+            // slot) until the stall expires or the watchdog cancels it, so
+            // the value is never lost and fast-forward stays pinned.
+            if self.faults.is_active() && e.stall.is_none() {
+                if let Some(FaultKind::CsStall { cycles }) = self.faults.next() {
+                    e.stall = Some((now, now + cycles));
+                    self.resilience.cs_stalls += 1;
+                }
+            }
+            if e.stall.is_some_and(|(_, until)| until > now) {
+                self.values_in.push_back((addr, bits));
+                return;
+            }
             e.state = EntryState::InFu;
             self.addr_index
                 .get_mut(&addr.0)
@@ -940,6 +997,80 @@ mod tests {
         // next_event at cycle 2 is the FU drain at 401; skip cycles 3..=10.
         skipped.skip_cycles(Cycle(2), 8, true);
         assert_eq!(stepped.stats(), skipped.stats());
+    }
+
+    fn stall_injector(cycles: u64, period: u64, max: u64) -> FaultInjector {
+        let plan = sa_faults::FaultPlan {
+            seed: 5,
+            cs_timeout: 64,
+            rules: vec![sa_faults::FaultRule {
+                kind: FaultKind::CsStall { cycles },
+                period,
+                max,
+                after: 0,
+            }],
+        };
+        plan.injector(sa_faults::FaultSite::CsEntry, 0, 0)
+    }
+
+    #[test]
+    fn injected_stall_delays_issue_but_result_is_identical() {
+        let run = |faults: Option<FaultInjector>| {
+            let mut u = unit(8, 2);
+            if let Some(f) = faults {
+                u.set_fault_injector(f);
+            }
+            for i in 0..6 {
+                u.try_submit(sa_req(i, i % 2, 1 + i as i64)).unwrap();
+            }
+            let mut mem = std::collections::HashMap::new();
+            let cycles = run_to_idle(&mut u, &mut mem);
+            (mem, cycles, u.resilience_stats())
+        };
+        let (mem_clean, t_clean, res_clean) = run(None);
+        let (mem_fault, t_fault, res_fault) = run(Some(stall_injector(25, 1, 2)));
+        assert!(res_clean.is_zero());
+        assert_eq!(res_fault.cs_stalls, 2, "two stalls were injected");
+        assert_eq!(mem_clean, mem_fault, "stalls never change results");
+        assert!(
+            t_fault > t_clean,
+            "stalled run ({t_fault}) slower than clean ({t_clean})"
+        );
+    }
+
+    #[test]
+    fn watchdog_cancels_an_overdue_stall() {
+        let mut u = unit(4, 2);
+        // One very long stall on the first issue attempt.
+        u.set_fault_injector(stall_injector(1_000_000, 1, 1));
+        u.try_submit(sa_req(1, 0, 7)).unwrap();
+        let mut now = Cycle(0);
+        let mut mem = std::collections::HashMap::new();
+        let mut done_at = None;
+        for _ in 0..500 {
+            now += 1;
+            u.cancel_stalls_older_than(now, 16);
+            u.tick(now);
+            while let Some(op) = u.pop_to_mem() {
+                match op {
+                    ToMem::Read { addr, .. } => u.on_value(addr, 0),
+                    ToMem::Write { addr, bits, .. } => {
+                        mem.insert(addr.word_index(), bits);
+                    }
+                }
+            }
+            while u.pop_ack().is_some() {}
+            if u.is_idle() {
+                done_at = Some(now.raw());
+                break;
+            }
+        }
+        let done_at = done_at.expect("watchdog must unstick the entry");
+        assert!(done_at < 100, "timed out at {done_at}, not after 1M cycles");
+        assert_eq!(mem[&0] as i64, 7);
+        let res = u.resilience_stats();
+        assert_eq!(res.cs_stalls, 1);
+        assert_eq!(res.cs_timeouts, 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! simulating concurrent activates. This keeps the model simple while
 //! preserving the bandwidth/latency behaviour the paper's experiments probe.
 
+use sa_faults::{FaultInjector, FaultKind, ResilienceStats};
 use sa_sim::{Addr, BoundedQueue, Cycle, DramConfig, Origin, ReqId, Throughput};
 
 use crate::BackingStore;
@@ -60,6 +61,10 @@ pub struct DramResponse {
     pub origin: Origin,
     /// Completion time.
     pub at: Cycle,
+    /// ECC detected an uncorrectable (double-bit) error in the fetched
+    /// data. The consumer must not install it and should replay the read;
+    /// always false for writes and fault-free runs.
+    pub ecc_error: bool,
 }
 
 /// Aggregate counters for one channel.
@@ -137,6 +142,10 @@ pub struct DramChannel {
     /// command's data transfer, as on a real channel.
     next: Option<Service>,
     stats: DramStats,
+    /// ECC fault schedule for this channel's read completions (inert unless
+    /// a fault plan is installed).
+    faults: FaultInjector,
+    resilience: ResilienceStats,
 }
 
 impl DramChannel {
@@ -149,8 +158,22 @@ impl DramChannel {
             service: None,
             next: None,
             stats: DramStats::default(),
+            faults: FaultInjector::none(),
+            resilience: ResilienceStats::default(),
             cfg,
         }
+    }
+
+    /// Install the ECC fault schedule for this channel. The injector is
+    /// consulted once per read completion; [`FaultInjector::none`] restores
+    /// fault-free behaviour.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// ECC recovery counters accumulated so far.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
     }
 
     /// Whether the command queue can take one more command.
@@ -214,9 +237,25 @@ impl DramChannel {
             return None;
         }
         let s = self.service.take().expect("service in progress");
+        let mut ecc_error = false;
         let data = match s.cmd.kind {
             DramKind::Read => {
                 self.stats.reads += 1;
+                // ECC model: each read completion is one fault-site event.
+                // A single-bit flip is corrected inline (the data stays
+                // functionally intact); a double-bit flip is detected and
+                // poisons the response so the consumer replays the read.
+                // The backing store is untouched — faults are transient.
+                if self.faults.is_active() {
+                    match self.faults.next() {
+                        Some(FaultKind::EccSingle) => self.resilience.ecc_corrected += 1,
+                        Some(FaultKind::EccDouble) => {
+                            self.resilience.ecc_detected += 1;
+                            ecc_error = true;
+                        }
+                        _ => {}
+                    }
+                }
                 store.read_line(s.cmd.base, u64::from(s.cmd.words))
             }
             DramKind::Write(ref data) => {
@@ -232,6 +271,7 @@ impl DramChannel {
             data,
             origin: s.cmd.origin,
             at: now,
+            ecc_error,
         })
     }
 
@@ -610,6 +650,67 @@ mod tests {
         assert_eq!(got_stepped, got_skipping);
         assert_eq!(stepped.stats(), skipping.stats());
         assert!(got_stepped.len() == 8);
+    }
+
+    #[test]
+    fn ecc_single_bit_is_corrected_inline() {
+        use sa_faults::{FaultPlan, FaultRule, FaultSite};
+        let plan = FaultPlan {
+            seed: 1,
+            cs_timeout: 64,
+            rules: vec![FaultRule {
+                kind: FaultKind::EccSingle,
+                period: 1,
+                max: 2,
+                after: 0,
+            }],
+        };
+        let mut store = BackingStore::new();
+        store.write_line(Addr(0), &[5, 6, 7, 8]);
+        let mut ch = DramChannel::new(cfg());
+        ch.set_fault_injector(plan.injector(FaultSite::DramRead, 0, 0));
+        ch.try_submit(read_cmd(1, 0, 4), Cycle(0)).unwrap();
+        ch.try_submit(read_cmd(2, 0, 4), Cycle(0)).unwrap();
+        ch.try_submit(read_cmd(3, 0, 4), Cycle(0)).unwrap();
+        let (resp, _) = drain_channels(std::slice::from_mut(&mut ch), &mut store, Cycle(0), 10_000);
+        // Corrected errors never poison a response or alter its data.
+        assert_eq!(resp.len(), 3);
+        for r in &resp {
+            assert!(!r.ecc_error);
+            assert_eq!(r.data, vec![5, 6, 7, 8]);
+        }
+        let rs = ch.resilience_stats();
+        assert_eq!(rs.ecc_corrected, 2, "max=2 caps the rule");
+        assert_eq!(rs.ecc_detected, 0);
+    }
+
+    #[test]
+    fn ecc_double_bit_poisons_the_response() {
+        use sa_faults::{FaultPlan, FaultRule, FaultSite};
+        let plan = FaultPlan {
+            seed: 1,
+            cs_timeout: 64,
+            rules: vec![FaultRule {
+                kind: FaultKind::EccDouble,
+                period: 1,
+                max: 1,
+                after: 0,
+            }],
+        };
+        let mut store = BackingStore::new();
+        store.write_line(Addr(0), &[9, 9]);
+        let mut ch = DramChannel::new(cfg());
+        ch.set_fault_injector(plan.injector(FaultSite::DramRead, 0, 0));
+        ch.try_submit(read_cmd(1, 0, 2), Cycle(0)).unwrap();
+        ch.try_submit(read_cmd(2, 0, 2), Cycle(0)).unwrap();
+        let (resp, _) = drain_channels(std::slice::from_mut(&mut ch), &mut store, Cycle(0), 10_000);
+        assert!(resp[0].ecc_error, "first read is struck");
+        assert!(!resp[1].ecc_error, "max=1: second read is clean");
+        // Transient fault: the store (and hence a replay) stays correct.
+        assert_eq!(resp[1].data, vec![9, 9]);
+        assert_eq!(ch.resilience_stats().ecc_detected, 1);
+        // Writes are never fault-site events.
+        assert_eq!(ch.resilience_stats().ecc_corrected, 0);
     }
 
     #[test]

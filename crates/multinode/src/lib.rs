@@ -33,6 +33,7 @@ use std::sync::{Barrier, Mutex};
 
 use sa_cache::SumBack;
 use sa_core::{NodeMemSys, NodeStats};
+use sa_faults::{Backoff, FaultPlan, ResilienceStats};
 use sa_net::{Crossbar, CrossbarPort, Message, NetStats};
 use sa_sim::{
     Addr, Clock, Cycle, MachineConfig, MemOp, MemRequest, NetworkConfig, Origin, ReqId, ScalarKind,
@@ -73,6 +74,10 @@ pub struct TraceReport {
     pub node_stats: Vec<NodeStats>,
     /// Network statistics.
     pub net: NetStats,
+    /// Merged resilience counters across the fabric and every node (NACKed
+    /// and retried sends, dropped/retransmitted flits, ECC events, stalls);
+    /// all zero unless a fault plan is installed.
+    pub resilience: ResilienceStats,
     /// Merged request-lifecycle records from every node (empty unless
     /// `MachineConfig::req_sample` enabled tracing). A remote request's
     /// source-side stamps (issue, crossbar entry) and home-side stamps
@@ -109,6 +114,9 @@ impl TraceReport {
         scope.counter("sum_back_lines", self.sum_back_lines);
         scope.counter("flush_rounds", u64::from(self.flush_rounds));
         self.net.record(&mut scope.scope("net"));
+        if !self.resilience.is_zero() {
+            self.resilience.record(&mut scope.scope("resilience"));
+        }
         for (i, ns) in self.node_stats.iter().enumerate() {
             ns.record(&mut scope.scope(&format!("node{i}")));
         }
@@ -217,6 +225,17 @@ impl MultiNode {
         self.fast_forward
     }
 
+    /// Install `plan` on every node's memory system and on the fabric,
+    /// overriding the process-wide [`sa_faults::default_plan`] applied at
+    /// construction. Schedules are keyed by `(seed, site, node, component)`,
+    /// so runs stay bit-identical across thread counts and fast-forward.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for node in &mut self.nodes {
+            node.set_fault_plan(plan);
+        }
+        self.net.set_fault_plan(plan);
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -311,6 +330,10 @@ impl MultiNode {
                     app_acks: 0,
                     apply_pending: 0,
                     sum_back_lines: 0,
+                    backoff: Backoff::default(),
+                    retry_at: Cycle::ZERO,
+                    nacked: false,
+                    net_retries: 0,
                 }
             })
             .collect();
@@ -444,14 +467,23 @@ impl MultiNode {
         // record keyed by id.
         let mut req_trace = ReqTracer::every(sample);
         let mut sum_back_lines = 0u64;
+        let mut net_retries = 0u64;
         for ctx in ctxs {
             sum_back_lines += ctx.sum_back_lines;
+            net_retries += ctx.net_retries;
             let mut node = ctx.node;
             node.flush_to_store();
             req_trace.absorb(ctx.tracer);
             req_trace.absorb(node.take_req_trace());
             node.set_req_sample(sample);
             self.nodes.push(node);
+        }
+
+        let node_stats: Vec<NodeStats> = self.nodes.iter().map(NodeMemSys::stats).collect();
+        let mut resilience = self.net.resilience_stats();
+        resilience.net_retries += net_retries;
+        for ns in &node_stats {
+            resilience.merge(&ns.resilience);
         }
 
         TraceReport {
@@ -461,8 +493,9 @@ impl MultiNode {
             nodes: n,
             sum_back_lines,
             flush_rounds,
-            node_stats: self.nodes.iter().map(NodeMemSys::stats).collect(),
+            node_stats,
             net: self.net.stats(),
+            resilience,
             req_trace,
         }
     }
@@ -520,6 +553,15 @@ struct NodeCtx {
     /// Sum-back word applications in flight at this node.
     apply_pending: usize,
     sum_back_lines: u64,
+    /// Exponential backoff for NACKed remote-request sends.
+    backoff: Backoff,
+    /// Cycle before which a NACKed staged request must not retry.
+    retry_at: Cycle,
+    /// Whether the currently staged request is waiting out a NACK (as
+    /// opposed to ordinary queue back-pressure, which retries next cycle).
+    nacked: bool,
+    /// Remote-request sends re-attempted after a NACK backoff.
+    net_retries: u64,
 }
 
 impl NodeCtx {
@@ -626,7 +668,13 @@ fn step_node(ctx: &mut NodeCtx, now: Cycle, p: &StepParams) {
             }
         } else {
             // One word of payload (the paper's low-bandwidth network
-            // carries one word per cycle per node).
+            // carries one word per cycle per node). A send the fabric NACKs
+            // (fault injection) backs off exponentially before retrying;
+            // ordinary queue back-pressure still retries next cycle.
+            if now < ctx.retry_at {
+                ctx.inj.staged = Some(req);
+                break;
+            }
             let port = ctx.port.as_mut().expect("port attached");
             if port.can_inject() {
                 // The request is issued here at node i's address generator
@@ -634,14 +682,31 @@ fn step_node(ctx: &mut NodeCtx, now: Cycle, p: &StepParams) {
                 // source-side stages into this node's tracer for the merge
                 // at end of run.
                 ctx.tracer.issue(req.id, i, now.raw());
-                port.try_inject_traced(
+                if ctx.nacked {
+                    ctx.net_retries += 1;
+                }
+                match port.try_send_traced(
                     Message::new(i, home, 1, NetMsg::Request(req)),
                     now,
                     Some(req.id),
                     &mut ctx.tracer,
-                )
-                .expect("capacity checked");
-                ctx.inj.cursor += 1;
+                ) {
+                    Ok(()) => {
+                        ctx.inj.cursor += 1;
+                        ctx.nacked = false;
+                        ctx.backoff.reset();
+                    }
+                    Err(e) => {
+                        assert!(e.nack, "capacity checked");
+                        let NetMsg::Request(r) = e.msg.payload else {
+                            unreachable!("request payload sent above");
+                        };
+                        ctx.inj.staged = Some(r);
+                        ctx.nacked = true;
+                        ctx.retry_at = now + ctx.backoff.next_delay();
+                        break;
+                    }
+                }
             } else {
                 ctx.inj.staged = Some(req);
                 break;
@@ -992,6 +1057,7 @@ mod tests {
         assert_eq!(a.sum_back_lines, b.sum_back_lines, "{what}: sum-backs");
         assert_eq!(a.flush_rounds, b.flush_rounds, "{what}: flush rounds");
         assert_eq!(a.node_stats, b.node_stats, "{what}: node stats");
+        assert_eq!(a.resilience, b.resilience, "{what}: resilience counters");
         assert_eq!(a.net, b.net, "{what}: net stats");
         assert_eq!(
             a.req_trace.retired_len(),
@@ -1069,6 +1135,73 @@ mod tests {
             );
         }
         assert!(any_skipped, "no case exercised the coordinator skip path");
+    }
+
+    #[test]
+    fn recoverable_faults_stay_bit_identical_across_schedulers() {
+        // The resilience contract end to end: a plan mixing every fault
+        // kind must leave application results bit-identical to each other
+        // across serial/parallel stepping and fast-forward on/off, with the
+        // recovery machinery (NACK backoff, flit retransmit, MSHR replay,
+        // stall watchdog) visible in the counters.
+        let plan = sa_faults::FaultPlan::parse(
+            r#"{"schema":"sa-faultplan","version":1,"seed":77,"cs_timeout":48,"faults":[
+                {"kind":"net_nack","period":5,"max":40},
+                {"kind":"net_drop","period":7,"max":25},
+                {"kind":"ecc_single","period":9},
+                {"kind":"ecc_double","period":31,"max":20},
+                {"kind":"cs_stall","cycles":24,"period":13,"max":30}
+            ]}"#,
+        )
+        .expect("valid plan");
+        let bins = 512u64;
+        let (trace, values) = uniform_trace(3000, bins, 44);
+        let run = |threads: usize, ff: bool, faulty: bool| {
+            let mut mn = MultiNode::new(machine(), 4, NetworkConfig::low(), false);
+            mn.set_fast_forward(ff);
+            if faulty {
+                mn.set_fault_plan(&plan);
+            }
+            let r = mn.run_trace_threads(&trace, &values, threads);
+            verify(&mn, &trace, &values);
+            let bits: Vec<u64> = (0..bins)
+                .map(|w| mn.read_word(Addr::from_word_index(w)))
+                .collect();
+            (r, bits)
+        };
+
+        let (clean, _) = run(1, false, false);
+        assert!(clean.resilience.is_zero(), "no plan leaves counters zero");
+
+        let (faulty, bits) = run(1, false, true);
+        let res = &faulty.resilience;
+        assert!(res.net_nacks > 0, "NACKs fired: {res:?}");
+        assert!(res.net_retries > 0, "NACKed sends retried: {res:?}");
+        assert!(res.net_dropped > 0, "flits dropped: {res:?}");
+        assert_eq!(
+            res.net_dropped, res.net_recovered,
+            "every dropped flit was retransmitted and delivered"
+        );
+        assert!(res.ecc_corrected > 0, "single-bit ECC corrected: {res:?}");
+        assert!(res.cs_stalls > 0, "combining-store stalls fired: {res:?}");
+        assert_eq!(res.ecc_uncorrected, 0, "all injected faults recoverable");
+        assert!(
+            faulty.cycles > clean.cycles,
+            "recovery costs cycles: {} vs {}",
+            faulty.cycles,
+            clean.cycles
+        );
+
+        for (threads, ff) in [(3usize, false), (1, true), (4, true)] {
+            let (r, rbits) = run(threads, ff, true);
+            let what = format!("faulty threads={threads} ff={ff}");
+            assert_eq!(bits, rbits, "{what}: application results bit-identical");
+            let mut a = faulty.clone();
+            let mut b = r;
+            a.skipped_cycles = 0;
+            b.skipped_cycles = 0;
+            assert_reports_identical(&a, &b, &what);
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use std::collections::VecDeque;
 
+use sa_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite, ResilienceStats};
 use sa_sim::{BoundedQueue, Cycle, NetworkConfig, QueueStats, ReqId};
 use sa_telemetry::{ReqStage, ReqTracer};
 
@@ -99,6 +100,39 @@ impl NetStats {
     }
 }
 
+/// Why a send was refused (see [`Crossbar::try_send`]).
+#[derive(Debug)]
+pub struct SendError<T> {
+    /// The message handed back to the caller.
+    pub msg: Message<T>,
+    /// True when the fabric NACKed an injection it had room for (a fault);
+    /// false for ordinary back-pressure (source queue full). NACKed sends
+    /// should retry with backoff rather than next cycle.
+    pub nack: bool,
+}
+
+/// Per-port fault state: the injection NACK schedule and its counters.
+/// Travels with the port through [`Crossbar::detach_port`] /
+/// [`Crossbar::attach_port`], so the NACK decision stream is port-local and
+/// identical under serial and phase-parallel stepping.
+#[derive(Debug, Default)]
+struct PortFaults {
+    inj: FaultInjector,
+    stats: ResilienceStats,
+}
+
+impl PortFaults {
+    /// One injection attempt with queue room = one fault-site event.
+    fn nacks(&mut self) -> bool {
+        if self.inj.is_active() && self.inj.next() == Some(FaultKind::NetNack) {
+            self.stats.net_nacks += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PortTx<T> {
     msg: Message<T>,
@@ -113,7 +147,7 @@ pub struct Crossbar<T> {
     n: usize,
     in_q: Vec<BoundedQueue<(Message<T>, Cycle)>>,
     tx: Vec<Option<PortTx<T>>>,
-    flight: VecDeque<(Cycle, Cycle, Message<T>)>, // (arrive_at, entered, msg)
+    flight: VecDeque<(Cycle, Cycle, bool, Message<T>)>, // (arrive_at, entered, resent, msg)
     rx_wait: Vec<VecDeque<(Cycle, Message<T>)>>,
     rx: Vec<Option<PortTx<T>>>,
     out_q: Vec<BoundedQueue<(Message<T>, Cycle)>>,
@@ -122,6 +156,13 @@ pub struct Crossbar<T> {
     /// recycled across detach/attach cycles so phase-parallel stepping does
     /// not allocate per cycle.
     spares: Vec<Option<(PortQueue<T>, PortQueue<T>)>>,
+    /// Per-port injection NACK schedules (inert without a fault plan).
+    port_faults: Vec<PortFaults>,
+    /// Fabric-wide flit-drop schedule, consulted once per flight release
+    /// (inert without a fault plan).
+    drop_faults: FaultInjector,
+    /// Drop/retransmission counters (NACK counters live with the ports).
+    resilience: ResilienceStats,
 }
 
 type PortQueue<T> = BoundedQueue<(Message<T>, Cycle)>;
@@ -135,7 +176,7 @@ impl<T> Crossbar<T> {
     pub fn new(n: usize, cfg: NetworkConfig) -> Crossbar<T> {
         assert!(n > 0, "need at least one node");
         assert!(cfg.node_words_per_cycle > 0, "zero network bandwidth");
-        Crossbar {
+        let mut net = Crossbar {
             n,
             in_q: (0..n).map(|_| BoundedQueue::new(cfg.queue_depth)).collect(),
             tx: (0..n).map(|_| None).collect(),
@@ -145,8 +186,37 @@ impl<T> Crossbar<T> {
             out_q: (0..n).map(|_| BoundedQueue::new(cfg.queue_depth)).collect(),
             stats: NetStats::default(),
             spares: (0..n).map(|_| None).collect(),
+            port_faults: (0..n).map(|_| PortFaults::default()).collect(),
+            drop_faults: FaultInjector::none(),
+            resilience: ResilienceStats::default(),
             cfg,
+        };
+        if let Some(plan) = sa_faults::default_plan() {
+            net.set_fault_plan(&plan);
         }
+        net
+    }
+
+    /// Install the network faults from `plan`: one injection-NACK schedule
+    /// per port (keyed by port index, so decisions are port-local and
+    /// independent of stepping order) and one fabric-wide flit-drop
+    /// schedule. [`Crossbar::new`] applies the process-wide
+    /// [`sa_faults::default_plan`] automatically; call this to override it.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for (i, pf) in self.port_faults.iter_mut().enumerate() {
+            pf.inj = plan.injector(FaultSite::NetInject, 0, i as u64);
+        }
+        self.drop_faults = plan.injector(FaultSite::NetDeliver, 0, 0);
+    }
+
+    /// Resilience counters: NACKed injections, dropped flits, and
+    /// retransmitted deliveries. All zero unless a fault plan is installed.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        let mut s = self.resilience;
+        for pf in &self.port_faults {
+            s.merge(&pf.stats);
+        }
+        s
     }
 
     /// Number of nodes.
@@ -169,11 +239,33 @@ impl<T> Crossbar<T> {
     ///
     /// Panics if `src`/`dst` are out of range.
     pub fn try_inject(&mut self, msg: Message<T>) -> Result<(), Message<T>> {
+        self.try_send(msg).map_err(|e| e.msg)
+    }
+
+    /// Queue a message at its source port, distinguishing a fault-injected
+    /// NACK from ordinary back-pressure (see [`SendError`]). With no fault
+    /// plan installed this is exactly [`Crossbar::try_inject`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back with `nack: true` when the fabric NACKed
+    /// the injection, or `nack: false` when the source queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range.
+    pub fn try_send(&mut self, msg: Message<T>) -> Result<(), SendError<T>> {
         assert!(msg.src < self.n && msg.dst < self.n, "port out of range");
         let src = msg.src;
+        if self.in_q[src].can_accept() && self.port_faults[src].nacks() {
+            return Err(SendError { msg, nack: true });
+        }
         self.in_q[src]
             .try_push((msg, Cycle::ZERO))
-            .map_err(|(m, _)| m)
+            .map_err(|(m, _)| SendError {
+                msg: m,
+                nack: false,
+            })
     }
 
     /// Queue a message at its source port, stamping [`ReqStage::Crossbar`]
@@ -199,6 +291,33 @@ impl<T> Crossbar<T> {
         tracer: &mut ReqTracer,
     ) -> Result<(), Message<T>> {
         let r = self.try_inject(msg);
+        if r.is_ok() {
+            if let Some(id) = req {
+                tracer.stamp(id, ReqStage::Crossbar, now.raw());
+            }
+        }
+        r
+    }
+
+    /// [`Crossbar::try_send`] with the lifecycle stamping of
+    /// [`Crossbar::try_inject_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back (nothing stamped) with `nack` telling a
+    /// fault-injected NACK from a full source queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range.
+    pub fn try_send_traced(
+        &mut self,
+        msg: Message<T>,
+        now: Cycle,
+        req: Option<ReqId>,
+        tracer: &mut ReqTracer,
+    ) -> Result<(), SendError<T>> {
+        let r = self.try_send(msg);
         if r.is_ok() {
             if let Some(id) = req {
                 tracer.stamp(id, ReqStage::Crossbar, now.raw());
@@ -256,13 +375,26 @@ impl<T> Crossbar<T> {
             }
         }
 
-        // Flight: release arrivals to their destination wait queues.
+        // Flight: release arrivals to their destination wait queues. The
+        // fault schedule may drop a released flit; link-level retransmission
+        // re-enqueues it for one more hop (arrival `now + hop`, preserving
+        // the sorted-by-arrival invariant `next_event` relies on) and the
+        // copy that eventually lands is counted as recovered.
+        let rehop = u64::from(self.cfg.hop_latency).max(1);
         while self
             .flight
             .front()
-            .is_some_and(|(arrive, _, _)| *arrive <= now)
+            .is_some_and(|(arrive, _, _, _)| *arrive <= now)
         {
-            let (_, entered, msg) = self.flight.pop_front().expect("front checked");
+            let (_, entered, resent, msg) = self.flight.pop_front().expect("front checked");
+            if self.drop_faults.is_active() && self.drop_faults.next() == Some(FaultKind::NetDrop) {
+                self.resilience.net_dropped += 1;
+                self.flight.push_back((now + rehop, entered, true, msg));
+                continue;
+            }
+            if resent {
+                self.resilience.net_recovered += 1;
+            }
             let d = msg.dst;
             self.rx_wait[d].push_back((entered, msg));
         }
@@ -291,8 +423,12 @@ impl<T> Crossbar<T> {
                     break;
                 }
                 let p = self.tx[s].take().expect("present");
-                self.flight
-                    .push_back((now + u64::from(self.cfg.hop_latency), p.entered, p.msg));
+                self.flight.push_back((
+                    now + u64::from(self.cfg.hop_latency),
+                    p.entered,
+                    false,
+                    p.msg,
+                ));
             }
         }
     }
@@ -330,7 +466,7 @@ impl<T> Crossbar<T> {
         }
         self.flight
             .front()
-            .map(|&(arrive, _, _)| arrive.max(now + 1))
+            .map(|&(arrive, _, _, _)| arrive.max(now + 1))
     }
 
     /// Whether nothing is queued or in flight anywhere.
@@ -384,6 +520,7 @@ impl<T> Crossbar<T> {
             index: i,
             inject,
             deliver,
+            faults: std::mem::take(&mut self.port_faults[i]),
         }
     }
 
@@ -397,6 +534,7 @@ impl<T> Crossbar<T> {
         assert!(port.index < self.n, "port out of range");
         std::mem::swap(&mut self.in_q[port.index], &mut port.inject);
         std::mem::swap(&mut self.out_q[port.index], &mut port.deliver);
+        self.port_faults[port.index] = std::mem::take(&mut port.faults);
         // After the swaps the port holds the (empty) stand-ins; keep their
         // allocations for the next detach.
         self.spares[port.index] = Some((port.inject, port.deliver));
@@ -413,6 +551,7 @@ pub struct CrossbarPort<T> {
     index: usize,
     inject: BoundedQueue<(Message<T>, Cycle)>,
     deliver: BoundedQueue<(Message<T>, Cycle)>,
+    faults: PortFaults,
 }
 
 impl<T> CrossbarPort<T> {
@@ -438,8 +577,33 @@ impl<T> CrossbarPort<T> {
     ///
     /// Panics if the message's source is not this port.
     pub fn try_inject(&mut self, msg: Message<T>) -> Result<(), Message<T>> {
+        self.try_send(msg).map_err(|e| e.msg)
+    }
+
+    /// Queue a message, distinguishing a fault-injected NACK from a full
+    /// queue (mirrors [`Crossbar::try_send`] — the NACK schedule is
+    /// port-local state that travelled here with the detach, so the
+    /// decision stream is identical to the attached path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back with `nack: true` on an injected NACK,
+    /// `nack: false` when the queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message's source is not this port.
+    pub fn try_send(&mut self, msg: Message<T>) -> Result<(), SendError<T>> {
         assert_eq!(msg.src, self.index, "message source must match the port");
-        self.inject.try_push((msg, Cycle::ZERO)).map_err(|(m, _)| m)
+        if self.inject.can_accept() && self.faults.nacks() {
+            return Err(SendError { msg, nack: true });
+        }
+        self.inject
+            .try_push((msg, Cycle::ZERO))
+            .map_err(|(m, _)| SendError {
+                msg: m,
+                nack: false,
+            })
     }
 
     /// Queue a message, stamping [`ReqStage::Crossbar`] on the carried
@@ -460,6 +624,33 @@ impl<T> CrossbarPort<T> {
         tracer: &mut ReqTracer,
     ) -> Result<(), Message<T>> {
         let r = self.try_inject(msg);
+        if r.is_ok() {
+            if let Some(id) = req {
+                tracer.stamp(id, ReqStage::Crossbar, now.raw());
+            }
+        }
+        r
+    }
+
+    /// [`CrossbarPort::try_send`] with lifecycle stamping (mirrors
+    /// [`Crossbar::try_send_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back (nothing stamped) with `nack` telling a
+    /// fault-injected NACK from a full queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message's source is not this port.
+    pub fn try_send_traced(
+        &mut self,
+        msg: Message<T>,
+        now: Cycle,
+        req: Option<ReqId>,
+        tracer: &mut ReqTracer,
+    ) -> Result<(), SendError<T>> {
+        let r = self.try_send(msg);
         if r.is_ok() {
             if let Some(id) = req {
                 tracer.stamp(id, ReqStage::Crossbar, now.raw());
@@ -786,6 +977,131 @@ mod tests {
         assert_eq!(net.next_event(Cycle(22)), Some(Cycle(23)));
         assert_eq!(net.pop_delivered(1).map(|m| m.payload), Some(7));
         assert_eq!(net.next_event(Cycle(23)), None);
+    }
+
+    fn plan(json: &str) -> FaultPlan {
+        FaultPlan::parse(json).expect("valid plan")
+    }
+
+    #[test]
+    fn nacked_sends_are_identical_attached_and_detached() {
+        let nack_plan = plan(
+            r#"{"schema":"sa-faultplan","version":1,"seed":11,
+                "faults":[{"kind":"net_nack","period":3,"max":4}]}"#,
+        );
+        // Drive the same traffic through Crossbar::try_send and through a
+        // detached port: the NACK decisions, deliveries, and counters must
+        // be bit-identical because the schedule is port-local state.
+        let drive = |detached: bool| {
+            let mut net: Crossbar<u64> = Crossbar::new(2, high());
+            net.set_fault_plan(&nack_plan);
+            let mut got = Vec::new();
+            let mut nacks = Vec::new();
+            let mut now = Cycle(0);
+            for i in 0..40u64 {
+                now += 1;
+                net.tick(now);
+                if detached {
+                    let mut p0 = net.detach_port(0);
+                    let mut p1 = net.detach_port(1);
+                    match p0.try_send(Message::new(0, 1, 1, i)) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            assert!(e.nack, "queue never fills at this rate");
+                            nacks.push(i);
+                        }
+                    }
+                    while let Some(m) = p1.pop_delivered() {
+                        got.push(m.payload);
+                    }
+                    net.attach_port(p0);
+                    net.attach_port(p1);
+                } else {
+                    match net.try_send(Message::new(0, 1, 1, i)) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            assert!(e.nack, "queue never fills at this rate");
+                            nacks.push(i);
+                        }
+                    }
+                    while let Some(m) = net.pop_delivered(1) {
+                        got.push(m.payload);
+                    }
+                }
+            }
+            (got, nacks, net.resilience_stats())
+        };
+        let (got_a, nacks_a, res_a) = drive(false);
+        let (got_b, nacks_b, res_b) = drive(true);
+        assert_eq!(nacks_a.len(), 4, "the plan caps NACKs at 4: {nacks_a:?}");
+        assert_eq!(got_a, got_b);
+        assert_eq!(nacks_a, nacks_b);
+        assert_eq!(res_a, res_b);
+        assert_eq!(res_a.net_nacks, 4);
+    }
+
+    #[test]
+    fn dropped_flit_is_retransmitted_and_counted() {
+        let mut net: Crossbar<u32> = Crossbar::new(2, high());
+        net.set_fault_plan(&plan(
+            r#"{"schema":"sa-faultplan","version":1,"seed":1,
+                "faults":[{"kind":"net_drop","period":1,"max":1}]}"#,
+        ));
+        net.try_inject(Message::new(0, 1, 1, 9)).unwrap();
+        let (m, at) = run_until_delivered(&mut net, 1, Cycle(0), 10_000);
+        assert_eq!(m.payload, 9);
+        let res = net.resilience_stats();
+        assert_eq!(res.net_dropped, 1);
+        assert_eq!(res.net_recovered, 1);
+        assert_eq!(net.stats().delivered, 1);
+        // The retransmission costs one extra hop.
+        let hop = u64::from(high().hop_latency);
+        assert!(
+            at.raw() >= 2 * hop,
+            "delivery at {at} should include a retransmitted hop of {hop}"
+        );
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn send_error_distinguishes_nack_from_back_pressure() {
+        let cfg = NetworkConfig {
+            node_words_per_cycle: 1,
+            hop_latency: 10,
+            queue_depth: 1,
+        };
+        let mut net: Crossbar<u32> = Crossbar::new(2, cfg);
+        // No plan: filling the queue reports back-pressure, never a NACK.
+        assert!(net.try_send(Message::new(0, 1, 8, 0)).is_ok());
+        let e = net.try_send(Message::new(0, 1, 8, 1)).unwrap_err();
+        assert!(!e.nack, "full queue is ordinary back-pressure");
+        assert_eq!(e.msg.payload, 1);
+        // An always-NACK plan refuses an injection the queue had room for.
+        let mut net: Crossbar<u32> = Crossbar::new(2, cfg);
+        net.set_fault_plan(&plan(
+            r#"{"schema":"sa-faultplan","version":1,"seed":2,
+                "faults":[{"kind":"net_nack","period":1}]}"#,
+        ));
+        let e = net.try_send(Message::new(0, 1, 1, 7)).unwrap_err();
+        assert!(e.nack, "injected NACK is flagged");
+        assert_eq!(net.resilience_stats().net_nacks, 1);
+    }
+
+    #[test]
+    fn empty_plan_leaves_resilience_counters_at_zero() {
+        let mut net: Crossbar<u32> = Crossbar::new(2, high());
+        net.set_fault_plan(&FaultPlan::empty());
+        for i in 0..10 {
+            net.try_inject(Message::new(0, 1, 1, i)).unwrap();
+        }
+        let mut now = Cycle(0);
+        for _ in 0..100 {
+            now += 1;
+            net.tick(now);
+            while net.pop_delivered(1).is_some() {}
+        }
+        assert!(net.resilience_stats().is_zero());
+        assert_eq!(net.stats().delivered, 10);
     }
 
     #[test]

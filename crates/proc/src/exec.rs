@@ -15,6 +15,30 @@ pub struct OpSpan {
     pub end: u64,
 }
 
+/// The program's static work counters (the paper's Table 3 metrics),
+/// grouped out of [`ExecReport`]'s top level.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramCounters {
+    /// The program's "FP Operations" metric.
+    pub flops: u64,
+    /// The program's "Mem References" metric (words accessed).
+    pub mem_refs: u64,
+}
+
+/// Stream-register-file footprint accounting, grouped out of
+/// [`ExecReport`]'s top level.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SrfUsage {
+    /// Peak footprint observed: the largest sum of SRF words held by
+    /// concurrently-running operations (each memory op stages its stream,
+    /// each kernel holds its in/out streams).
+    pub peak_words: u64,
+    /// Whether the peak footprint exceeded the machine's SRF capacity —
+    /// a modeling red flag meaning the program's stages should be split
+    /// (the simulator still completes; real double-buffered code could not).
+    pub overflow: bool,
+}
+
 /// The outcome of running a program.
 #[derive(Debug)]
 pub struct ExecReport {
@@ -24,18 +48,10 @@ pub struct ExecReport {
     pub spans: Vec<OpSpan>,
     /// Machine statistics accumulated during the run.
     pub stats: sa_core::NodeStats,
-    /// The program's "FP Operations" metric.
-    pub flops: u64,
-    /// The program's "Mem References" metric (words accessed).
-    pub mem_refs: u64,
-    /// Peak stream-register-file footprint observed: the largest sum of
-    /// SRF words held by concurrently-running operations (each memory op
-    /// stages its stream, each kernel holds its in/out streams).
-    pub peak_srf_words: u64,
-    /// Whether the peak footprint exceeded the machine's SRF capacity —
-    /// a modeling red flag meaning the program's stages should be split
-    /// (the simulator still completes; real double-buffered code could not).
-    pub srf_overflow: bool,
+    /// Static work counters (flops, memory references).
+    pub program: ProgramCounters,
+    /// SRF footprint accounting.
+    pub srf: SrfUsage,
     /// Request-lifecycle records harvested from the node (empty unless
     /// [`MachineConfig::req_sample`](sa_sim::MachineConfig) enabled tracing).
     pub req_trace: sa_telemetry::ReqTracer,
@@ -49,6 +65,26 @@ impl ExecReport {
     /// Execution time in microseconds at 1 GHz.
     pub fn micros(&self) -> f64 {
         self.cycles as f64 / 1e3
+    }
+
+    /// The program's "FP Operations" metric (`program.flops`).
+    pub fn flops(&self) -> u64 {
+        self.program.flops
+    }
+
+    /// The program's "Mem References" metric (`program.mem_refs`).
+    pub fn mem_refs(&self) -> u64 {
+        self.program.mem_refs
+    }
+
+    /// Peak SRF footprint in words (`srf.peak_words`).
+    pub fn peak_srf_words(&self) -> u64 {
+        self.srf.peak_words
+    }
+
+    /// Whether the peak SRF footprint exceeded capacity (`srf.overflow`).
+    pub fn srf_overflow(&self) -> bool {
+        self.srf.overflow
     }
 }
 
@@ -375,10 +411,14 @@ impl Executor {
             cycles: clock.now().raw(),
             spans,
             stats: node.stats(),
-            flops: prog.total_flops(),
-            mem_refs: prog.total_mem_refs(),
-            peak_srf_words: peak_srf,
-            srf_overflow: peak_srf > srf_capacity,
+            program: ProgramCounters {
+                flops: prog.total_flops(),
+                mem_refs: prog.total_mem_refs(),
+            },
+            srf: SrfUsage {
+                peak_words: peak_srf,
+                overflow: peak_srf > srf_capacity,
+            },
             req_trace: node.take_req_trace(),
             skipped_cycles,
         }
@@ -427,7 +467,7 @@ mod tests {
             &[],
         );
         let r = Executor::new(cfg()).run(&p, &mut n);
-        assert_eq!(r.mem_refs, 64);
+        assert_eq!(r.mem_refs(), 64);
         assert!(r.cycles > u64::from(cfg().ag.startup_cycles));
     }
 
@@ -586,8 +626,8 @@ mod tests {
         );
         p.add(StreamOp::kernel("k", 128, 4, 4, 2), &[g]);
         let r = Executor::new(cfg()).run(&p, &mut n);
-        assert_eq!(r.flops, 512);
-        assert_eq!(r.mem_refs, 128);
+        assert_eq!(r.flops(), 512);
+        assert_eq!(r.mem_refs(), 128);
         assert!((r.micros() - r.cycles as f64 / 1e3).abs() < 1e-12);
     }
 
@@ -611,8 +651,8 @@ mod tests {
             &[],
         );
         let r = Executor::new(cfg()).run(&p, &mut n);
-        assert_eq!(r.peak_srf_words, 8192);
-        assert!(!r.srf_overflow, "8192 words fit the 128K-word SRF");
+        assert_eq!(r.peak_srf_words(), 8192);
+        assert!(!r.srf_overflow(), "8192 words fit the 128K-word SRF");
     }
 
     #[test]
@@ -628,8 +668,8 @@ mod tests {
             &[],
         );
         let r = Executor::new(cfg()).run(&p, &mut n);
-        assert!(r.srf_overflow, "oversized stage must be flagged");
-        assert_eq!(r.peak_srf_words, 200_000);
+        assert!(r.srf_overflow(), "oversized stage must be flagged");
+        assert_eq!(r.peak_srf_words(), 200_000);
     }
 
     #[test]

@@ -44,7 +44,7 @@
 //! let mut node = NodeMemSys::new(cfg, 0, false);
 //! let report = Executor::new(cfg).run(&prog, &mut node);
 //! assert!(report.cycles > 0);
-//! assert_eq!(report.mem_refs, 2048);
+//! assert_eq!(report.mem_refs(), 2048);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -265,7 +265,7 @@ mod tests {
             .collect();
         assert_eq!(node.store().extract_i64(Addr(0), 64), expect);
         assert!(report.cycles > 0);
-        assert!(report.flops > 0, "scan/rmw kernels do FP work");
+        assert!(report.flops() > 0, "scan/rmw kernels do FP work");
     }
 
     #[test]

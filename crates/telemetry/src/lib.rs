@@ -35,7 +35,17 @@ use std::path::Path;
 ///
 /// v2 added the optional `latency` (per-kernel per-stage percentiles from
 /// [`ReqTracer`]) and `attribution` (per-kernel stall tables) sections.
-pub const STATS_SCHEMA_VERSION: u64 = 2;
+/// v3 added `resilience.*` metric scopes (fault-injection recovery
+/// counters), emitted only when a fault plan produced nonzero counts, so
+/// fault-free documents differ from v2 only in this version field.
+pub const STATS_SCHEMA_VERSION: u64 = 3;
+
+/// Oldest stats schema version [`validate_stats_json`] still accepts.
+///
+/// Readers are backward compatible: every section added since v1 is
+/// optional, so documents written by older tools (checked-in baselines,
+/// archived runs) keep validating and diffing.
+pub const STATS_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// Identifier stamped into every stats JSON document as `"schema"`.
 pub const STATS_SCHEMA_NAME: &str = "sa-stats";
@@ -1294,7 +1304,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 /// ```json
 /// {
 ///   "schema": "sa-stats",
-///   "version": 2,
+///   "version": 3,
 ///   "bench": "fig6",
 ///   "config": { ... },
 ///   "metrics": { "node0.cache.bank0.read_hits": 123, ... },
@@ -1369,9 +1379,9 @@ pub fn validate_stats_json(doc: &Json) -> Result<(), String> {
         .get("version")
         .and_then(Json::as_u64)
         .ok_or("missing 'version'")?;
-    if version != STATS_SCHEMA_VERSION {
+    if !(STATS_SCHEMA_MIN_VERSION..=STATS_SCHEMA_VERSION).contains(&version) {
         return Err(format!(
-            "version is {version}, expected {STATS_SCHEMA_VERSION}"
+            "version is {version}, expected {STATS_SCHEMA_MIN_VERSION}..={STATS_SCHEMA_VERSION}"
         ));
     }
     doc.get("bench")

@@ -1,1 +1,79 @@
 //! Reproduction of "Scatter-Add in Data Parallel Architectures" (HPCA 2005).
+//!
+//! The front door is the [`Session`] builder: name a workload, optionally a
+//! machine configuration, a fault plan, and telemetry knobs, then `run()`:
+//!
+//! ```
+//! use scatter_add_repro::{Session, Workload};
+//!
+//! let report = Session::builder()
+//!     .workload(Workload::Histogram {
+//!         base_word: 0,
+//!         indices: vec![3, 1, 3],
+//!     })
+//!     .build()?
+//!     .run();
+//! assert_eq!(report.result, [0, 1, 0, 2]);
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! Everything underneath remains public through the `sa-*` crates (and the
+//! re-exports below) for callers that need a specific layer: `sa-sim` for
+//! configs and clocks, `sa-core` for the single-node machine, `sa-multinode`
+//! for the distributed fabric, `sa-faults` for fault plans, `sa-telemetry`
+//! for stats export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod session;
+
+pub use sa_core::{scatter_reference, NodeStats, RunResult, ScatterKernel};
+pub use sa_faults::{FaultPlan, ResilienceStats};
+pub use sa_multinode::Topology;
+pub use sa_sim::{MachineConfig, NetworkConfig};
+pub use session::{Session, SessionBuilder, SessionReport, Telemetry, Workload};
+
+/// Run a scatter kernel on a fresh single-node machine.
+#[deprecated(note = "use Session::builder().workload(Workload::Scatter(..))")]
+pub fn drive_scatter(cfg: &MachineConfig, kernel: &ScatterKernel, fetch: bool) -> RunResult {
+    sa_core::drive_scatter(cfg, kernel, fetch)
+}
+
+/// Run a scatter-add trace over `nodes` nodes and return total cycles.
+#[deprecated(note = "use Session::builder().workload(Workload::MultiNode { .. })")]
+pub fn run_trace(
+    cfg: &MachineConfig,
+    nodes: usize,
+    network: NetworkConfig,
+    combining: bool,
+    trace: &[u64],
+    values: &[f64],
+) -> u64 {
+    sa_multinode::MultiNode::new(cfg.to_owned(), nodes, network, combining)
+        .run_trace(trace, values)
+        .cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_the_session_api() {
+        let indices: Vec<u64> = (0..256u64).map(|i| (i * 11) % 64).collect();
+        let kernel = ScatterKernel::histogram(0, indices.clone());
+        let old = drive_scatter(&MachineConfig::merrimac(), &kernel, false);
+        let new = Session::builder()
+            .workload(Workload::Histogram {
+                base_word: 0,
+                indices,
+            })
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(old.cycles, new.cycles);
+        assert_eq!(vec![old.stats], new.node_stats);
+    }
+}

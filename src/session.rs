@@ -1,0 +1,417 @@
+//! The [`Session`] builder — one front door to the whole simulator.
+//!
+//! Historically each entry point was a separate free function with its own
+//! argument list (`drive_scatter`, `MultiNode::run_trace`, ...), and
+//! cross-cutting concerns — telemetry sampling, fast-forward, fault
+//! injection — were configured through per-type setters or process-wide
+//! defaults. A `Session` names every knob once and validates the
+//! combination before anything runs:
+//!
+//! ```
+//! use scatter_add_repro::{Session, Workload};
+//!
+//! let report = Session::builder()
+//!     .workload(Workload::Histogram {
+//!         base_word: 0,
+//!         indices: vec![0, 1, 1, 2, 1],
+//!     })
+//!     .build()
+//!     .expect("valid session")
+//!     .run();
+//! assert_eq!(report.result[..3], [1, 3, 1]);
+//! ```
+//!
+//! Fault plans installed with [`SessionBuilder::faults`] apply to exactly
+//! this session's machines (never through the process-wide default), so
+//! concurrent sessions with different plans do not interfere.
+
+use sa_core::{drive_scatter_with, NodeMemSys, NodeStats, ScatterKernel};
+use sa_faults::{FaultPlan, ResilienceStats};
+use sa_multinode::{MultiNode, Topology};
+use sa_sim::{Addr, MachineConfig, NetworkConfig};
+
+/// What a [`Session`] simulates.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// A histogram: every index contributes `+1` (integer scatter-add) to
+    /// `base_word + index`.
+    Histogram {
+        /// First word of the result array.
+        base_word: u64,
+        /// The index trace.
+        indices: Vec<u64>,
+    },
+    /// An arbitrary single-node scatter kernel (any scalar kind/op).
+    Scatter(ScatterKernel),
+    /// A floating-point scatter-add trace distributed over several nodes.
+    MultiNode {
+        /// Node count (a power of two under [`Topology::Hypercube`]).
+        nodes: usize,
+        /// Inter-node fabric parameters.
+        network: NetworkConfig,
+        /// Whether remote requests combine in the local cache (sum-back).
+        combining: bool,
+        /// Sum-back routing topology.
+        topology: Topology,
+        /// Target word indices.
+        trace: Vec<u64>,
+        /// One f64 addend per trace entry.
+        values: Vec<f64>,
+    },
+}
+
+/// Telemetry knobs for a session (see `docs/OBSERVABILITY.md`).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Cycle-series sampling interval (0 disables sampling).
+    pub sample_interval: u64,
+    /// Request-lifecycle sampling: one in `req_sample` requests gets a full
+    /// stage-by-stage timeline (0 disables request tracing).
+    pub req_sample: u64,
+}
+
+/// Everything a finished session reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionReport {
+    /// Simulated cycles to completion.
+    pub cycles: u64,
+    /// Cycles the scheduler fast-forwarded over (wall-clock accounting
+    /// only; every other field is byte-identical with skipping off).
+    pub skipped_cycles: u64,
+    /// Machine statistics, one entry per node.
+    pub node_stats: Vec<NodeStats>,
+    /// Merged fault-recovery counters (all zero without a fault plan).
+    pub resilience: ResilienceStats,
+    /// Raw bits of the result array, `base..base + len` words.
+    pub result: Vec<u64>,
+}
+
+/// Staged configuration for a [`Session`]; see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct SessionBuilder {
+    config: Option<MachineConfig>,
+    workload: Option<Workload>,
+    faults: Option<FaultPlan>,
+    telemetry: Telemetry,
+    fast_forward: Option<bool>,
+    step_threads: usize,
+}
+
+impl SessionBuilder {
+    /// The machine configuration (defaults to
+    /// [`MachineConfig::merrimac`], the paper's Table 1 machine).
+    pub fn config(mut self, cfg: MachineConfig) -> SessionBuilder {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// What to simulate. Required.
+    pub fn workload(mut self, workload: Workload) -> SessionBuilder {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Inject faults from `plan` (see `docs/RESILIENCE.md`). An empty plan
+    /// is equivalent to no plan: the run is byte-identical to fault-free.
+    pub fn faults(mut self, plan: FaultPlan) -> SessionBuilder {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Telemetry sampling knobs (default: all sampling off).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> SessionBuilder {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Force event-horizon fast-forward on or off (default: the
+    /// process-wide setting, see [`sa_sim::set_fast_forward_default`]).
+    pub fn fast_forward(mut self, enabled: bool) -> SessionBuilder {
+        self.fast_forward = Some(enabled);
+        self
+    }
+
+    /// Worker threads for phase-parallel multinode stepping (default 1;
+    /// results are bit-identical for every value).
+    pub fn step_threads(mut self, threads: usize) -> SessionBuilder {
+        self.step_threads = threads.max(1);
+        self
+    }
+
+    /// Validate the combination and produce a runnable [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem: no workload, an empty
+    /// machine, mismatched trace/values lengths, a zero node count, or a
+    /// non-power-of-two hypercube.
+    pub fn build(self) -> Result<Session, String> {
+        let workload = self.workload.ok_or("no workload: call .workload(..)")?;
+        match &workload {
+            Workload::Histogram { indices, .. } => {
+                if indices.is_empty() {
+                    return Err("histogram workload has no indices".into());
+                }
+            }
+            Workload::Scatter(kernel) => {
+                if kernel.indices.len() != kernel.values.len() {
+                    return Err(format!(
+                        "scatter kernel length mismatch: {} indices vs {} values",
+                        kernel.indices.len(),
+                        kernel.values.len()
+                    ));
+                }
+            }
+            Workload::MultiNode {
+                nodes,
+                topology,
+                trace,
+                values,
+                ..
+            } => {
+                if *nodes == 0 {
+                    return Err("multinode workload needs at least one node".into());
+                }
+                if *topology == Topology::Hypercube && !nodes.is_power_of_two() {
+                    return Err(format!(
+                        "hypercube needs a power-of-two node count, got {nodes}"
+                    ));
+                }
+                if trace.len() != values.len() {
+                    return Err(format!(
+                        "trace length mismatch: {} indices vs {} values",
+                        trace.len(),
+                        values.len()
+                    ));
+                }
+            }
+        }
+        Ok(Session {
+            config: self.config.unwrap_or_else(MachineConfig::merrimac),
+            workload,
+            faults: self.faults,
+            telemetry: self.telemetry,
+            fast_forward: self.fast_forward,
+            step_threads: self.step_threads.max(1),
+        })
+    }
+}
+
+/// A validated, runnable simulation; built by [`Session::builder`].
+#[derive(Clone, Debug)]
+pub struct Session {
+    config: MachineConfig,
+    workload: Workload,
+    faults: Option<FaultPlan>,
+    telemetry: Telemetry,
+    fast_forward: Option<bool>,
+    step_threads: usize,
+}
+
+impl Session {
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Run the workload to completion.
+    ///
+    /// Deterministic: the report is a pure function of the session's
+    /// configuration — identical across repeated runs, thread counts, and
+    /// fast-forward settings (modulo `skipped_cycles`, which is wall-clock
+    /// accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated machine deadlocks (cycle-limit guard), which
+    /// indicates a simulator bug, not bad input.
+    pub fn run(self) -> SessionReport {
+        match self.workload {
+            Workload::Histogram {
+                base_word,
+                ref indices,
+            } => {
+                let kernel = ScatterKernel::histogram(base_word, indices.clone());
+                self.run_kernel(kernel)
+            }
+            Workload::Scatter(ref kernel) => {
+                let kernel = kernel.clone();
+                self.run_kernel(kernel)
+            }
+            Workload::MultiNode {
+                nodes,
+                network,
+                combining,
+                topology,
+                ref trace,
+                ref values,
+            } => {
+                let mut mn =
+                    MultiNode::with_topology(self.config, nodes, network, combining, topology);
+                if let Some(ff) = self.fast_forward {
+                    mn.set_fast_forward(ff);
+                }
+                if let Some(plan) = &self.faults {
+                    mn.set_fault_plan(plan);
+                }
+                let r = mn.run_trace_threads(trace, values, self.step_threads);
+                let len = trace.iter().copied().max().map_or(0, |m| m as usize + 1);
+                let result = (0..len as u64)
+                    .map(|w| mn.read_word(Addr::from_word_index(w)))
+                    .collect();
+                SessionReport {
+                    cycles: r.cycles,
+                    skipped_cycles: r.skipped_cycles,
+                    node_stats: r.node_stats,
+                    resilience: r.resilience,
+                    result,
+                }
+            }
+        }
+    }
+
+    fn run_kernel(&self, kernel: ScatterKernel) -> SessionReport {
+        let mut node = NodeMemSys::new(self.config, 0, false);
+        if let Some(ff) = self.fast_forward {
+            node.set_fast_forward(ff);
+        }
+        if let Some(plan) = &self.faults {
+            node.set_fault_plan(plan);
+        }
+        node.set_sample_interval(self.telemetry.sample_interval);
+        node.set_req_sample(self.telemetry.req_sample);
+        let len = kernel.indices.iter().copied().max().map_or(0, |m| m + 1);
+        let base = kernel.base_word;
+        let run = drive_scatter_with(node, &kernel, false);
+        let resilience = run.stats.resilience;
+        let result = (0..len)
+            .map(|w| run.node.store().read_word(Addr::from_word_index(base + w)))
+            .collect();
+        SessionReport {
+            cycles: run.cycles,
+            skipped_cycles: run.skipped_cycles,
+            node_stats: vec![run.stats],
+            resilience,
+            result,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(json: &str) -> FaultPlan {
+        FaultPlan::parse(json).expect("valid plan")
+    }
+
+    #[test]
+    fn builder_requires_a_workload() {
+        assert!(Session::builder().build().unwrap_err().contains("workload"));
+    }
+
+    #[test]
+    fn builder_validates_lengths_and_topology() {
+        let err = Session::builder()
+            .workload(Workload::MultiNode {
+                nodes: 3,
+                network: NetworkConfig::low(),
+                combining: true,
+                topology: Topology::Hypercube,
+                trace: vec![0],
+                values: vec![1.0],
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("power-of-two"), "{err}");
+        let err = Session::builder()
+            .workload(Workload::MultiNode {
+                nodes: 2,
+                network: NetworkConfig::low(),
+                combining: false,
+                topology: Topology::Flat,
+                trace: vec![0, 1],
+                values: vec![1.0],
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn histogram_session_matches_reference() {
+        let indices = vec![0, 1, 1, 2, 1, 4, 4];
+        let report = Session::builder()
+            .workload(Workload::Histogram {
+                base_word: 0,
+                indices,
+            })
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(report.result, [1, 3, 1, 0, 2]);
+        assert!(report.resilience.is_zero());
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_none() {
+        let workload = Workload::Histogram {
+            base_word: 0,
+            indices: (0..512u64).map(|i| (i * 7) % 97).collect(),
+        };
+        let run = |faults: Option<FaultPlan>| {
+            let mut b = Session::builder().workload(workload.clone());
+            if let Some(p) = faults {
+                b = b.faults(p);
+            }
+            b.build().expect("valid").run()
+        };
+        let none = run(None);
+        let empty = run(Some(FaultPlan::empty()));
+        assert_eq!(
+            none, empty,
+            "empty plan must cost nothing and change nothing"
+        );
+    }
+
+    #[test]
+    fn recoverable_faults_leave_results_bit_identical() {
+        let workload = Workload::MultiNode {
+            nodes: 4,
+            network: NetworkConfig::low(),
+            combining: false,
+            topology: Topology::Flat,
+            trace: (0..1500u64).map(|i| (i * 13) % 256).collect(),
+            values: (0..1500).map(|i| 1.0 + (i % 7) as f64 * 0.125).collect(),
+        };
+        let run = |faults: Option<FaultPlan>, threads: usize| {
+            let mut b = Session::builder()
+                .workload(workload.clone())
+                .step_threads(threads);
+            if let Some(p) = faults {
+                b = b.faults(p);
+            }
+            b.build().expect("valid").run()
+        };
+        let p = plan(
+            r#"{"schema":"sa-faultplan","version":1,"seed":5,"cs_timeout":32,"faults":[
+                {"kind":"net_nack","period":4,"max":30},
+                {"kind":"net_drop","period":9,"max":15},
+                {"kind":"ecc_single","period":6}
+            ]}"#,
+        );
+        let clean = run(None, 1);
+        let faulty = run(Some(p.clone()), 1);
+        assert!(faulty.resilience.net_nacks > 0);
+        assert!(faulty.resilience.net_dropped > 0);
+        assert_eq!(
+            clean.result, faulty.result,
+            "recoverable faults must not change application results"
+        );
+        assert!(faulty.cycles > clean.cycles, "recovery costs cycles");
+        // And the faulty run itself is deterministic across thread counts.
+        let faulty3 = run(Some(p), 3);
+        assert_eq!(faulty, faulty3);
+    }
+}

@@ -226,6 +226,104 @@ proptest! {
     }
 }
 
+/// A recoverable fault plan covering every site, parameterized by seed.
+fn fault_plan(seed: u64) -> sa_faults::FaultPlan {
+    sa_faults::FaultPlan::parse(&format!(
+        r#"{{"schema":"sa-faultplan","version":1,"seed":{seed},"cs_timeout":48,"faults":[
+            {{"kind":"net_nack","period":5,"max":40}},
+            {{"kind":"net_drop","period":8,"max":20}},
+            {{"kind":"ecc_single","period":7}},
+            {{"kind":"cs_stall","cycles":24,"period":11,"max":25}}
+        ]}}"#
+    ))
+    .expect("valid plan")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The resilience zero-cost contract: installing an *empty* fault plan
+    /// renders the exact same sa-stats bytes as installing none at all, for
+    /// random workloads and machine shapes.
+    #[test]
+    fn empty_fault_plan_stats_json_is_byte_identical(
+        workload in prop::sample::select(vec![
+            FfWorkload::Histogram,
+            FfWorkload::Spmv,
+            FfWorkload::Md,
+        ]),
+        cs_entries in prop::sample::select(vec![4usize, 16]),
+        seed in 1u64..32,
+    ) {
+        let mut cfg = machine();
+        cfg.sa.cs_entries = cs_entries;
+        let kernel = ScatterKernel::histogram(0, ff_trace(workload, seed));
+        let run_plan = |plan: Option<sa_faults::FaultPlan>| {
+            let mut node = NodeMemSys::new(cfg, 0, false);
+            if let Some(p) = &plan {
+                node.set_fault_plan(p);
+            }
+            run_stats_json(&drive_scatter_with(node, &kernel, false))
+        };
+        let none = run_plan(None);
+        let empty = run_plan(Some(sa_faults::FaultPlan::empty()));
+        prop_assert_eq!(none, empty);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The fault-determinism contract: under a fixed plan and seed, the
+    /// multinode run — injected faults, recovery, statistics, and memory
+    /// image — is identical across worker-thread counts and fast-forward
+    /// modes, and the recovered results match the fault-free bits.
+    #[test]
+    fn faulty_runs_are_schedule_invariant(
+        plan_seed in 1u64..64,
+        trace_seed in 1u64..16,
+        combining in any::<bool>(),
+    ) {
+        let mut rng = Rng64::new(trace_seed);
+        let trace: Vec<u64> = (0..2500).map(|_| rng.below(256)).collect();
+        // Dyadic values (multiples of 1/8, bounded sums) add exactly, so the
+        // result bits cannot depend on the order recovery replays additions
+        // in — which is precisely what makes "recoverable faults leave the
+        // answer bit-identical" a testable claim for floating point.
+        let values: Vec<f64> = (0..trace.len())
+            .map(|_| (rng.below(64) as f64 - 32.0) * 0.125)
+            .collect();
+        let plan = fault_plan(plan_seed);
+        let run = |faulty: bool, threads: usize, ff: bool| {
+            let mut mn = MultiNode::new(machine(), 4, NetworkConfig::low(), combining);
+            mn.set_fast_forward(ff);
+            if faulty {
+                mn.set_fault_plan(&plan);
+            }
+            let r = mn.run_trace_threads(&trace, &values, threads);
+            let image: Vec<u64> = (0..256)
+                .map(|w| mn.read_word(sa_sim::Addr::from_word_index(w)))
+                .collect();
+            (r, image)
+        };
+        let (clean, clean_image) = run(false, 1, false);
+        prop_assert!(clean.resilience.is_zero());
+        let (base, base_image) = run(true, 1, false);
+        prop_assert_eq!(base.resilience.ecc_uncorrected, 0, "plan is recoverable");
+        prop_assert_eq!(
+            &base_image, &clean_image,
+            "recovered results must match fault-free bits"
+        );
+        for (threads, ff) in [(3usize, false), (1, true), (4, true)] {
+            let (r, image) = run(true, threads, ff);
+            prop_assert_eq!(&image, &base_image, "threads={} ff={}", threads, ff);
+            prop_assert_eq!(r.cycles, base.cycles);
+            prop_assert_eq!(r.resilience, base.resilience);
+            prop_assert_eq!(&r.node_stats, &base.node_stats);
+        }
+    }
+}
+
 #[test]
 fn float_reduction_order_is_stable_across_runs() {
     // Floating-point sums depend on hardware ordering; determinism means

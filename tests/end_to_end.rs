@@ -231,18 +231,18 @@ fn application_programs_fit_the_srf() {
     // concurrently-live streams inside the 1 MB SRF; the executor verifies.
     let cfg = machine();
     let input = HistogramInput::uniform(20_000, 2048, 0xE2E7);
-    assert!(!run_hw(&cfg, &input).report.srf_overflow);
-    assert!(!run_sort_scan_default(&cfg, &input).report.srf_overflow);
+    assert!(!run_hw(&cfg, &input).report.srf_overflow());
+    assert!(!run_sort_scan_default(&cfg, &input).report.srf_overflow());
 
     use sa_apps::mesh::Mesh;
     use sa_apps::spmv::{run_ebe_hw, Csr};
     let mesh = Mesh::generate(300, 20, 1600, 0xE2E8);
     let x = mesh.test_vector(1);
     let csr = Csr::from_mesh(&mesh);
-    assert!(!sa_apps::spmv::run_csr(&cfg, &csr, &x).report.srf_overflow);
-    assert!(!run_ebe_hw(&cfg, &mesh, &x).report.srf_overflow);
+    assert!(!sa_apps::spmv::run_csr(&cfg, &csr, &x).report.srf_overflow());
+    assert!(!run_ebe_hw(&cfg, &mesh, &x).report.srf_overflow());
 
     use sa_apps::md::WaterSystem;
     let sys = WaterSystem::generate(100, 0xE2E9);
-    assert!(!sa_apps::md::run_hw(&cfg, &sys).report.srf_overflow);
+    assert!(!sa_apps::md::run_hw(&cfg, &sys).report.srf_overflow());
 }
