@@ -11,7 +11,16 @@
 //! * `req_traced_64` — request-lifecycle tracing of 1 in 64 requests
 //!   (the `--req-sample` default of the figure binaries);
 //! * `req_traced_all` — every request's lifecycle recorded (the worst
-//!   case: one `BTreeMap` record per request).
+//!   case: one `BTreeMap` record per request);
+//! * `probe_off` — the probed driver entry point with a disabled
+//!   [`Introspect`]: the probe registry's zero-cost path, which must match
+//!   `disabled` (each gate is one branch on an off recorder/progress);
+//! * `probe_512` — an `sa-probe` snapshot of the whole node every 512
+//!   cycles, kept in memory;
+//! * `probe_512_heartbeat` — the same cadence streamed to a null writer
+//!   with heartbeats enabled (the `--probe-listen` shape);
+//! * `host_profiled` — scoped wall-clock timers around every loop phase
+//!   (the `--host-profile` shape).
 //!
 //! Compare the `disabled` median against the others to see what each level
 //! of observability costs. `disabled` also covers the request tracer's off
@@ -19,9 +28,9 @@
 //! integer compare.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sa_core::{drive_scatter, drive_scatter_with, NodeMemSys, ScatterKernel};
+use sa_core::{drive_scatter, drive_scatter_probed, drive_scatter_with, NodeMemSys, ScatterKernel};
 use sa_sim::{MachineConfig, Rng64};
-use sa_telemetry::{ChromeTrace, NullTrace};
+use sa_telemetry::{ChromeTrace, HostProfiler, Introspect, NullTrace, ProbeRecorder, Progress};
 
 fn kernel() -> ScatterKernel {
     let mut rng = Rng64::new(0xBE7C);
@@ -57,6 +66,39 @@ fn telemetry_overhead(c: &mut Criterion) {
             })
         });
     }
+    group.bench_function("probe_off", |b| {
+        b.iter(|| {
+            let node = NodeMemSys::new(cfg, 0, false);
+            let mut probe = Introspect::off();
+            drive_scatter_probed(node, &k, false, &mut probe).cycles
+        })
+    });
+    group.bench_function("probe_512", |b| {
+        b.iter(|| {
+            let node = NodeMemSys::new(cfg, 0, false);
+            let mut probe = Introspect::off();
+            probe.recorder = ProbeRecorder::every(512);
+            drive_scatter_probed(node, &k, false, &mut probe).cycles
+        })
+    });
+    group.bench_function("probe_512_heartbeat", |b| {
+        b.iter(|| {
+            let node = NodeMemSys::new(cfg, 0, false);
+            let sink = Progress::to_writer(Box::new(std::io::sink()));
+            let mut probe = Introspect::off();
+            probe.recorder = ProbeRecorder::every(512).with_sink(sink.clone());
+            probe.progress = sink;
+            drive_scatter_probed(node, &k, false, &mut probe).cycles
+        })
+    });
+    group.bench_function("host_profiled", |b| {
+        b.iter(|| {
+            let node = NodeMemSys::new(cfg, 0, false);
+            let mut probe = Introspect::off();
+            probe.profiler = HostProfiler::on();
+            drive_scatter_probed(node, &k, false, &mut probe).cycles
+        })
+    });
     group.finish();
 }
 

@@ -13,7 +13,14 @@
 //! * `analyze --diff <baseline> <candidate>` compares two documents'
 //!   cycle counts and latency percentiles and exits nonzero when the
 //!   candidate regressed past the threshold (`--threshold 0.05`) — the CI
-//!   perf gate.
+//!   perf gate, listing every regressed metric with absolute and relative
+//!   deltas;
+//! * `analyze --watch <socket>` connects to a figure binary started with
+//!   `--probe-listen <socket>` and renders its live heartbeats and
+//!   `sa-probe` snapshots as a refreshing top-style dashboard. Every
+//!   snapshot line is validated against the probe schema and the client
+//!   exits nonzero on the first invalid one, so `--watch --watch-lines N
+//!   --plain` doubles as the CI smoke client.
 
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
@@ -24,6 +31,8 @@ use sa_bench::diff::{diff_stats, DiffConfig};
 use sa_bench::{header, quick_mode, row};
 use sa_sim::{MachineConfig, Rng64};
 use sa_telemetry::{has_metric_matching, validate_stats_json, Json};
+#[cfg(unix)]
+use sa_telemetry::{validate_probe_json, PROBE_SCHEMA_NAME};
 
 fn load_stats(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -106,6 +115,35 @@ fn summarize_stats(path: &str) -> Result<(), String> {
     if let Some(rows) = doc.get("rows").and_then(Json::as_arr) {
         row("rows", &[("count", format!("{}", rows.len()))]);
     }
+    // v4: the host wall-clock sidecar (`--host-profile`). Nondeterministic
+    // by construction, so it is printed for humans but never diffed.
+    if let Some(hp) = doc.get("host_profile") {
+        let total = hp.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+        row(
+            "host_profile",
+            &[
+                ("total_ms", format!("{:.1}", total as f64 / 1e6)),
+                ("note", "host wall-clock; excluded from --diff".to_owned()),
+            ],
+        );
+        for (name, p) in hp.get("phases").and_then(Json::as_obj).unwrap_or(&[]) {
+            let ns = p.get("ns").and_then(Json::as_u64).unwrap_or(0);
+            row(
+                format!("  {name}"),
+                &[
+                    (
+                        "calls",
+                        format!("{}", p.get("calls").and_then(Json::as_u64).unwrap_or(0)),
+                    ),
+                    ("ms", format!("{:.1}", ns as f64 / 1e6)),
+                    (
+                        "pct",
+                        format!("{:.1}", p.get("pct").and_then(Json::as_f64).unwrap_or(0.0)),
+                    ),
+                ],
+            );
+        }
+    }
     Ok(())
 }
 
@@ -158,11 +196,166 @@ fn diff_docs(baseline: &str, candidate: &str, args: &Args) -> Result<bool, Strin
     for r in &regressions {
         eprintln!("  {r}");
     }
+    let mut scopes: Vec<&str> = regressions
+        .iter()
+        .map(sa_bench::diff::Regression::scope)
+        .collect();
+    scopes.sort_unstable();
+    scopes.dedup();
+    eprintln!("  regressed scopes: {}", scopes.join(", "));
     Ok(false)
+}
+
+/// One status line for a progress event (`heartbeat` / `point` / `row`).
+#[cfg(unix)]
+fn status_line(doc: &Json) -> String {
+    let num = |k: &str| doc.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    match doc.get("kind").and_then(Json::as_str).unwrap_or("?") {
+        "heartbeat" => format!(
+            "cycle {:.0} | {:.0} sim cyc/s | ff x{:.1} | skipped {:.0} | {:.1}s",
+            num("cycle"),
+            num("sim_cycles_per_sec"),
+            num("ff_ratio"),
+            num("skipped_cycles"),
+            num("elapsed_ms") / 1e3,
+        ),
+        "point" => format!(
+            "sweep {:.0}/{:.0} ({}) | eta {:.1}s",
+            num("done"),
+            num("total"),
+            doc.get("label").and_then(Json::as_str).unwrap_or("?"),
+            num("eta_ms") / 1e3,
+        ),
+        "row" => format!(
+            "row from {}",
+            doc.get("bench").and_then(Json::as_str).unwrap_or("?")
+        ),
+        other => format!("{other} event"),
+    }
+}
+
+/// Append one component (and its children, indented) to the dashboard.
+#[cfg(unix)]
+fn fmt_component(name: &str, body: &Json, indent: usize, out: &mut String) {
+    let kind = body.get("kind").and_then(Json::as_str).unwrap_or("?");
+    let mut fields = String::new();
+    for (k, v) in body.as_obj().unwrap_or(&[]) {
+        if k == "kind" || k == "components" {
+            continue;
+        }
+        if let Some(n) = v.as_f64() {
+            if !fields.is_empty() {
+                fields.push_str("  ");
+            }
+            fields.push_str(&format!("{k}={n}"));
+        }
+    }
+    out.push_str(&format!("{:indent$}{name} [{kind}]  {fields}\n", ""));
+    for (child, cbody) in body.get("components").and_then(Json::as_obj).unwrap_or(&[]) {
+        fmt_component(child, cbody, indent + 2, out);
+    }
+}
+
+/// Redraw the dashboard: latest heartbeat line plus the snapshot tree.
+#[cfg(unix)]
+fn render(snapshot: Option<&Json>, status: &str, plain: bool) {
+    use std::io::Write;
+    let mut out = String::new();
+    if !plain {
+        out.push_str("\x1b[2J\x1b[H"); // clear screen, cursor home
+    }
+    out.push_str(&format!("sa-probe watch — {status}\n"));
+    if let Some(doc) = snapshot {
+        let cycle = doc.get("cycle").and_then(Json::as_u64).unwrap_or(0);
+        let skipped = doc
+            .get("skipped_cycles")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let label = doc.get("label").and_then(Json::as_str).unwrap_or("-");
+        out.push_str(&format!(
+            "snapshot: label {label}  cycle {cycle}  skipped {skipped}\n"
+        ));
+        for (name, body) in doc.get("components").and_then(Json::as_obj).unwrap_or(&[]) {
+            fmt_component(name, body, 2, &mut out);
+        }
+    }
+    print!("{out}");
+    let _ = std::io::stdout().flush();
+}
+
+#[cfg(unix)]
+fn connect_with_retries(path: &str) -> Result<std::os::unix::net::UnixStream, String> {
+    // The client is typically launched alongside the serving binary, so
+    // give the server up to ~10s to bind before giving up.
+    for _ in 0..40 {
+        if let Ok(s) = std::os::unix::net::UnixStream::connect(path) {
+            return Ok(s);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+    std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("connecting to {path}: {e}"))
+}
+
+/// `--watch`: live dashboard client for a `--probe-listen` socket.
+///
+/// Every `sa-probe` line is schema-validated and the first invalid one
+/// aborts with an error, which makes this the scripted client of the CI
+/// probe smoke job. `--watch-lines N` exits cleanly after N NDJSON lines
+/// (0 = until the server closes); `--plain` appends lines instead of
+/// redrawing the screen.
+#[cfg(unix)]
+fn watch(path: &str, args: &Args) -> Result<(), String> {
+    use std::io::BufRead;
+    let max_lines = args
+        .get_or("watch-lines", 0u64)
+        .map_err(|e| e.to_string())?;
+    let plain = args.has("plain");
+    let reader = std::io::BufReader::new(connect_with_retries(path)?);
+    let mut seen = 0u64;
+    let mut snapshots = 0u64;
+    let mut last_snapshot: Option<Json> = None;
+    let mut last_status = String::from("waiting for events...");
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("reading {path}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc =
+            Json::parse(&line).map_err(|e| format!("invalid NDJSON line from {path}: {e}"))?;
+        if doc.get("schema").and_then(Json::as_str) == Some(PROBE_SCHEMA_NAME) {
+            validate_probe_json(&doc).map_err(|e| format!("invalid sa-probe snapshot: {e}"))?;
+            snapshots += 1;
+            last_snapshot = Some(doc);
+        } else {
+            last_status = status_line(&doc);
+        }
+        render(last_snapshot.as_ref(), &last_status, plain);
+        seen += 1;
+        if max_lines > 0 && seen >= max_lines {
+            break;
+        }
+    }
+    println!("watch: {seen} line(s), {snapshots} valid snapshot(s) from {path}");
+    Ok(())
 }
 
 fn main() {
     let args = Args::from_env();
+    if let Some(path) = args.raw("watch") {
+        #[cfg(unix)]
+        {
+            if let Err(e) = watch(path, &args) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("error: --watch {path}: unix sockets unavailable on this platform");
+            std::process::exit(2);
+        }
+    }
     if let Some(baseline) = args.raw("diff") {
         let Some(candidate) = args.positional().first() else {
             eprintln!("usage: analyze --diff <baseline.json> <candidate.json>");

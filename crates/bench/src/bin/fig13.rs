@@ -35,7 +35,9 @@ struct Variant {
 /// Replay one trace for every (variant, node count) point. The points fan
 /// out over the sweep executor; `--step-threads` additionally parallelizes
 /// the cycle loop *inside* each multinode simulation (bit-identical to
-/// serial stepping, see `docs/PARALLELISM.md`).
+/// serial stepping, see `docs/PARALLELISM.md`). Each point carries its own
+/// [`sa_telemetry::Introspect`] so `--probe-listen` streams labelled
+/// snapshots and `--host-profile` attributes wall-clock per phase.
 #[allow(clippy::too_many_arguments)]
 fn run_series(
     bench: &mut BenchRun,
@@ -50,11 +52,26 @@ fn run_series(
     let points: Vec<(usize, usize)> = (0..variants.len())
         .flat_map(|vi| nodes_list.iter().map(move |&n| (vi, n)))
         .collect();
-    let results = sweep::map(points.clone(), |(vi, n)| {
+    let work: Vec<((usize, usize), sa_telemetry::Introspect)> = points
+        .iter()
+        .map(|&(vi, n)| {
+            let point_label = format!("{label}.{}.n{n}", variants[vi].name);
+            ((vi, n), bench.introspect(&point_label))
+        })
+        .collect();
+    let results = sweep::map(work, |((vi, n), mut probe)| {
         let v = &variants[vi];
         let mut mn = MultiNode::new(*machine, n, v.net, v.combining);
-        mn.run_trace_threads(trace, values, step_threads)
+        let r = mn.run_trace_threads_probed(trace, values, step_threads, &mut probe);
+        (r, probe.profiler)
     });
+    let results: Vec<_> = results
+        .into_iter()
+        .map(|(r, profiler)| {
+            bench.absorb_host_profile(&profiler);
+            r
+        })
+        .collect();
     for (vi, v) in variants.iter().enumerate() {
         let mut cells = Vec::new();
         for (&(pvi, n), r) in points.iter().zip(&results) {

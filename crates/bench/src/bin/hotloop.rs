@@ -5,6 +5,8 @@
 //! hotloop                                # print the table
 //! hotloop --out BENCH_hotloop.json       # also record the measurement
 //! hotloop --baseline BENCH_hotloop.json  # warn (never fail) on regression
+//! hotloop --probe-out BENCH_probe.json        # record probe overhead
+//! hotloop --probe-baseline BENCH_probe.json   # warn-only probe compare
 //! hotloop --quick                        # smaller inputs, single repeat
 //! ```
 //!
@@ -21,6 +23,12 @@
 //! asserts it — so the comparison isolates pure wall-clock cost. Baseline
 //! comparison is warn-only: wall-clock numbers depend on the host, so CI
 //! publishes them as a tracked metric rather than a hard gate.
+//!
+//! A second table measures the introspection layer (`docs/OBSERVABILITY.md`):
+//! the same driver hot loop with probes off, snapshotting every 4096
+//! cycles, streaming those snapshots to a sink, and host-profiling. The
+//! disabled path must match the probe-off cycle count exactly (asserted),
+//! and `--probe-baseline` warns when a variant's throughput halves.
 
 use std::time::Instant;
 
@@ -29,9 +37,9 @@ use sa_apps::mesh::Mesh;
 use sa_apps::spmv::run_ebe_hw;
 use sa_bench::args::Args;
 use sa_bench::{header, quick_mode, row};
-use sa_core::SensitivityRig;
+use sa_core::{drive_scatter_probed, NodeMemSys, ScatterKernel, SensitivityRig};
 use sa_sim::{MachineConfig, Rng64, SensitivityConfig};
-use sa_telemetry::Json;
+use sa_telemetry::{HostProfiler, Introspect, Json, ProbeRecorder, Progress};
 
 struct Workload {
     name: &'static str,
@@ -87,9 +95,9 @@ fn measure(run: &dyn Fn() -> u64, repeats: usize) -> (u64, f64) {
     (cycles, best)
 }
 
-/// Warn (never fail) when a run's `cycles_per_sec_ff_on` fell below half
-/// its baseline value. Returns the number of warnings for the summary line.
-fn compare_to_baseline(baseline: &Json, runs: &[Json]) -> usize {
+/// Warn (never fail) when a run's `key` metric fell below half its
+/// baseline value. Returns the number of warnings for the summary line.
+fn compare_to_baseline(baseline: &Json, runs: &[Json], key: &str) -> usize {
     let Some(base_runs) = baseline.get("runs").and_then(Json::as_arr) else {
         eprintln!("warning: baseline has no \"runs\" array; skipping comparison");
         return 0;
@@ -105,10 +113,7 @@ fn compare_to_baseline(baseline: &Json, runs: &[Json]) -> usize {
             continue;
         };
         let get = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64);
-        if let (Some(now), Some(then)) = (
-            get(run, "cycles_per_sec_ff_on"),
-            get(base, "cycles_per_sec_ff_on"),
-        ) {
+        if let (Some(now), Some(then)) = (get(run, key), get(base, key)) {
             if now < then * 0.5 {
                 eprintln!("warning: {name}: {now:.0} cycles/s vs baseline {then:.0} (>2x slower)");
                 warnings += 1;
@@ -116,6 +121,98 @@ fn compare_to_baseline(baseline: &Json, runs: &[Json]) -> usize {
         }
     }
     warnings
+}
+
+/// The introspection variants of the probe-overhead table. Each factory
+/// builds a fresh [`Introspect`] so per-repeat state (snapshot cursors,
+/// profiler tallies) never leaks between measurements. `interval` is the
+/// snapshot cadence — the quick run is short, so it shrinks the interval to
+/// keep the snapshot path exercised.
+#[allow(clippy::type_complexity)]
+fn probe_modes(interval: u64) -> Vec<(&'static str, Box<dyn Fn() -> Introspect>)> {
+    vec![
+        ("probe-off", Box::new(Introspect::off)),
+        (
+            "probe-snap",
+            Box::new(move || {
+                let mut p = Introspect::off();
+                p.recorder = ProbeRecorder::every(interval);
+                p
+            }),
+        ),
+        (
+            "probe-snap-stream",
+            Box::new(move || {
+                let sink = Progress::to_writer(Box::new(std::io::sink()));
+                let mut p = Introspect::off();
+                p.recorder = ProbeRecorder::every(interval).with_sink(sink.clone());
+                p.progress = sink;
+                p
+            }),
+        ),
+        (
+            "host-profile",
+            Box::new(|| {
+                let mut p = Introspect::off();
+                p.profiler = HostProfiler::on();
+                p
+            }),
+        ),
+    ]
+}
+
+/// Measure the driver hot loop under each introspection variant. Probing
+/// must never perturb simulated time, so every variant's cycle count is
+/// asserted equal to the probe-off run.
+fn measure_probe_overhead(quick: bool, repeats: usize) -> Vec<Json> {
+    header(
+        "Probe overhead",
+        "uniform histogram via the single-node driver; introspection variants vs off",
+    );
+    let n = if quick { 4096 } else { 32_768 };
+    let interval = if quick { 256 } else { 4096 };
+    let mut rng = Rng64::new(0x9406_0001);
+    let kernel = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(4096)).collect());
+    let cfg = MachineConfig::merrimac();
+    let mut out = Vec::new();
+    let mut off = None;
+    for (name, mk) in probe_modes(interval) {
+        let mut best = f64::INFINITY;
+        let mut cycles = 0;
+        let mut snapshots = 0;
+        for _ in 0..repeats {
+            let node = NodeMemSys::new(cfg, 0, false);
+            let mut probe = mk();
+            let t0 = Instant::now();
+            let run = drive_scatter_probed(node, &kernel, false, &mut probe);
+            best = best.min(t0.elapsed().as_secs_f64());
+            cycles = run.cycles;
+            snapshots = probe.recorder.lines().len() as u64;
+        }
+        let (off_cycles, off_wall) = *off.get_or_insert((cycles, best));
+        assert_eq!(cycles, off_cycles, "{name}: probing changed simulated time");
+        let overhead = (best / off_wall - 1.0) * 100.0;
+        let cps = cycles as f64 / best;
+        row(
+            name,
+            &[
+                ("sim cycles", format!("{cycles}")),
+                ("snapshots", format!("{snapshots}")),
+                ("wall", format!("{:.2}ms", best * 1e3)),
+                ("overhead", format!("{overhead:+.1}%")),
+                ("cycles/s", format!("{cps:.2e}")),
+            ],
+        );
+        let mut o = Json::obj();
+        o.push("name", Json::Str(name.to_owned()));
+        o.push("sim_cycles", Json::UInt(cycles));
+        o.push("snapshots", Json::UInt(snapshots));
+        o.push("wall_ms", Json::Num(best * 1e3));
+        o.push("overhead_pct_vs_off", Json::Num(overhead));
+        o.push("cycles_per_sec", Json::Num(cps));
+        out.push(o);
+    }
+    out
 }
 
 fn main() {
@@ -162,7 +259,7 @@ fn main() {
         match std::fs::read_to_string(path) {
             Ok(text) => match Json::parse(&text) {
                 Ok(doc) => {
-                    let warnings = compare_to_baseline(&doc, &runs);
+                    let warnings = compare_to_baseline(&doc, &runs, "cycles_per_sec_ff_on");
                     if warnings == 0 {
                         println!("\nbaseline {path}: within warn threshold");
                     }
@@ -183,5 +280,34 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote hot-loop measurement to {path}");
+    }
+
+    println!();
+    let probe_runs = measure_probe_overhead(quick, repeats);
+    if let Some(path) = args.raw("probe-baseline") {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) => {
+                    let warnings = compare_to_baseline(&doc, &probe_runs, "cycles_per_sec");
+                    if warnings == 0 {
+                        println!("\nprobe baseline {path}: within warn threshold");
+                    }
+                }
+                Err(e) => eprintln!("warning: could not parse probe baseline {path}: {e}"),
+            },
+            Err(e) => eprintln!("warning: could not read probe baseline {path}: {e}"),
+        }
+    }
+    if let Some(path) = args.raw("probe-out") {
+        let mut doc = Json::obj();
+        doc.push("bench", Json::Str("probe-overhead".to_owned()));
+        doc.push("quick", Json::Bool(quick));
+        doc.push("repeats", Json::UInt(repeats as u64));
+        doc.push("runs", Json::Arr(probe_runs));
+        if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote probe-overhead measurement to {path}");
     }
 }

@@ -16,15 +16,32 @@
 //!   binary builds (see `docs/RESILIENCE.md`)
 //! - `--fault-seed N` — override the plan's seed without editing the file
 //! - `--quick` — reduced-size smoke run
+//! - `--progress` — NDJSON heartbeats (cycles/sec, ff ratio, sweep ETA) on
+//!   stderr
+//! - `--probe-listen PATH` — serve heartbeats *and* `sa-probe` snapshots on
+//!   a unix socket for `analyze --watch PATH`
+//! - `--probe-wait-client` — with `--probe-listen`, block (up to 30s) until
+//!   a client connects before simulating, so a fast run cannot finish
+//!   before its watcher attaches (the CI smoke job relies on this)
+//! - `--probe-interval N` — snapshot cadence in simulated cycles (defaults
+//!   to [`DEFAULT_PROBE_INTERVAL`] while listening, otherwise 0/off)
+//! - `--host-profile` — collect host wall-clock phase attribution into the
+//!   nondeterministic `host_profile` stats sidecar
 //!
 //! Construction has side effects by design: [`Cli::from_args`] applies
-//! `--fast-forward` via [`sa_sim::set_fast_forward_default`] and `--faults`
-//! via [`sa_faults::set_default_plan`], so simulators built afterwards pick
-//! the settings up without explicit plumbing. Both installs are idempotent
-//! for a given argument vector.
+//! `--fast-forward` via [`sa_sim::set_fast_forward_default`], `--faults`
+//! via [`sa_faults::set_default_plan`], and the progress sink via
+//! [`sa_telemetry::set_global_progress`], so simulators built afterwards
+//! pick the settings up without explicit plumbing. The installs are
+//! idempotent for a given argument vector.
 
 use crate::args::Args;
 use sa_faults::FaultPlan;
+use sa_telemetry::Progress;
+
+/// Probe snapshot cadence (simulated cycles) used when `--probe-listen` is
+/// given without an explicit `--probe-interval`.
+pub const DEFAULT_PROBE_INTERVAL: u64 = 4096;
 
 /// Parsed common flags plus the raw [`Args`] for binary-specific ones.
 ///
@@ -38,6 +55,13 @@ pub struct Cli {
     step_threads: usize,
     fast_forward: bool,
     fault_plan: Option<FaultPlan>,
+    probe_interval: u64,
+    host_profile: bool,
+    /// Keeps the `--probe-listen` socket (and its accept thread) alive for
+    /// the binary's lifetime; the socket file is removed when the `Cli`
+    /// drops.
+    #[cfg(unix)]
+    listener: Option<sa_telemetry::ProbeListener>,
 }
 
 impl Cli {
@@ -93,12 +117,55 @@ impl Cli {
         };
         sa_faults::set_default_plan(fault_plan.clone());
 
+        let mut probe_interval = args
+            .get_or("probe-interval", 0u64)
+            .map_err(|e| e.to_string())?;
+        let host_profile = args.has("host-profile");
+
+        #[cfg(unix)]
+        let mut listener = None;
+        let progress = if let Some(path) = args.raw("probe-listen") {
+            #[cfg(unix)]
+            {
+                let l = sa_telemetry::ProbeListener::bind(std::path::Path::new(path))
+                    .map_err(|e| format!("--probe-listen {path}: {e}"))?;
+                if args.has("probe-wait-client")
+                    && !l.wait_for_client(std::time::Duration::from_secs(30))
+                {
+                    return Err(format!(
+                        "--probe-wait-client: no client connected to {path} within 30s"
+                    ));
+                }
+                let p = l.progress();
+                listener = Some(l);
+                if probe_interval == 0 {
+                    probe_interval = DEFAULT_PROBE_INTERVAL;
+                }
+                p
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(format!(
+                    "--probe-listen {path}: unix sockets unavailable on this platform"
+                ));
+            }
+        } else if args.has("progress") {
+            Progress::stderr()
+        } else {
+            Progress::off()
+        };
+        sa_telemetry::set_global_progress(progress);
+
         Ok(Cli {
             args,
             jobs,
             step_threads,
             fast_forward,
             fault_plan,
+            probe_interval,
+            host_profile,
+            #[cfg(unix)]
+            listener,
         })
     }
 
@@ -131,6 +198,29 @@ impl Cli {
     pub fn quick(&self) -> bool {
         self.args.has("quick") || std::env::var_os("SA_QUICK").is_some()
     }
+
+    /// Probe snapshot cadence in simulated cycles (0 = probing off).
+    pub fn probe_interval(&self) -> u64 {
+        self.probe_interval
+    }
+
+    /// Whether to collect the `host_profile` wall-clock sidecar
+    /// (`--host-profile`).
+    pub fn host_profile(&self) -> bool {
+        self.host_profile
+    }
+
+    /// The process-wide progress sink installed at parse time (off unless
+    /// `--progress` or `--probe-listen` was given).
+    pub fn progress(&self) -> Progress {
+        sa_telemetry::global_progress()
+    }
+
+    /// Connected `--probe-listen` clients (0 when not listening).
+    #[cfg(unix)]
+    pub fn probe_clients(&self) -> usize {
+        self.listener.as_ref().map_or(0, |l| l.client_count())
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +249,57 @@ mod tests {
         assert!(cli.quick());
         // restore the global for neighbouring tests
         sa_sim::set_fast_forward_default(true);
+    }
+
+    #[test]
+    fn probe_flags_parse() {
+        let cli = parse("--probe-interval 512 --host-profile").expect("parses");
+        assert_eq!(cli.probe_interval(), 512);
+        assert!(cli.host_profile());
+        let cli = parse("").expect("parses");
+        assert_eq!(cli.probe_interval(), 0);
+        assert!(!cli.host_profile());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn probe_listen_defaults_the_interval_and_binds() {
+        let path = std::env::temp_dir().join(format!("sa-cli-test-{}.sock", std::process::id()));
+        let cli = parse(&format!("--probe-listen {}", path.display())).expect("binds and parses");
+        assert_eq!(cli.probe_interval(), DEFAULT_PROBE_INTERVAL);
+        assert!(cli.progress().is_on());
+        assert_eq!(cli.probe_clients(), 0);
+        drop(cli);
+        assert!(!path.exists(), "socket removed when Cli drops");
+        sa_telemetry::set_global_progress(Progress::off());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn probe_wait_client_blocks_until_a_watcher_connects() {
+        let path =
+            std::env::temp_dir().join(format!("sa-cli-wait-test-{}.sock", std::process::id()));
+        // Parsing blocks until a client connects, so attach one from a
+        // helper thread as soon as the socket appears.
+        let client_path = path.clone();
+        let client = std::thread::spawn(move || loop {
+            if let Ok(s) = std::os::unix::net::UnixStream::connect(&client_path) {
+                break s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        let cli = parse(&format!(
+            "--probe-listen {} --probe-wait-client",
+            path.display()
+        ))
+        .expect("binds, waits, parses");
+        assert!(
+            cli.probe_clients() >= 1,
+            "parse returned with a client attached"
+        );
+        drop(client.join().expect("client thread"));
+        drop(cli);
+        sa_telemetry::set_global_progress(Progress::off());
     }
 
     #[test]

@@ -49,16 +49,39 @@ pub struct Regression {
     pub cand: Option<f64>,
 }
 
+impl Regression {
+    /// Absolute increase over the baseline (`None` when the metric
+    /// vanished).
+    pub fn abs_delta(&self) -> Option<f64> {
+        self.cand.map(|c| c - self.base)
+    }
+
+    /// Relative increase over the baseline (`None` when the metric
+    /// vanished); 0.22 = +22%.
+    pub fn rel_delta(&self) -> Option<f64> {
+        self.cand.map(|c| c / self.base.max(1e-12) - 1.0)
+    }
+
+    /// The metric's scope: the dotted path with the final key removed
+    /// (`latency.ebe_hw.stages.fu_pipe.p99` → `latency.ebe_hw.stages.fu_pipe`).
+    pub fn scope(&self) -> &str {
+        self.metric
+            .rsplit_once('.')
+            .map_or(self.metric.as_str(), |(scope, _)| scope)
+    }
+}
+
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.cand {
             Some(c) => write!(
                 f,
-                "{}: {} -> {} (+{:.1}%)",
+                "{}: {} -> {} (+{}, +{:.1}%)",
                 self.metric,
                 self.base,
                 c,
-                (c / self.base - 1.0) * 100.0
+                c - self.base,
+                (c / self.base.max(1e-12) - 1.0) * 100.0
             ),
             None => write!(f, "{}: {} -> missing in candidate", self.metric, self.base),
         }
@@ -198,6 +221,27 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].metric, "metrics.ebe_hw.cycles");
         // Non-timing counters (flops) are never compared.
+    }
+
+    #[test]
+    fn every_regression_reports_absolute_and_relative_deltas() {
+        // Two independent regressions: the p99 and the cycle counter. Both
+        // must be listed, each with its absolute and relative delta, so CI
+        // perf-gate logs are actionable without re-running the bench.
+        let r = diff_stats(&doc(100, 10_000), &doc(150, 12_000), &DiffConfig::default()).unwrap();
+        assert_eq!(r.len(), 2);
+        let lines: Vec<String> = r.iter().map(ToString::to_string).collect();
+        assert!(lines
+            .iter()
+            .any(|l| l == "latency.ebe_hw.stages.fu_pipe.p99: 100 -> 150 (+50, +50.0%)"));
+        assert!(lines
+            .iter()
+            .any(|l| l == "metrics.ebe_hw.cycles: 10000 -> 12000 (+2000, +20.0%)"));
+        // The worst relative increase sorts first.
+        assert_eq!(r[0].metric, "latency.ebe_hw.stages.fu_pipe.p99");
+        assert_eq!(r[0].abs_delta(), Some(50.0));
+        assert_eq!(r[1].rel_delta().map(|d| (d * 100.0).round()), Some(20.0));
+        assert_eq!(r[0].scope(), "latency.ebe_hw.stages.fu_pipe");
     }
 
     #[test]

@@ -76,8 +76,31 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
+    // Sweep-point progress: announce the batch, report each completion.
+    // Events go to the nondeterministic progress channel only — the result
+    // vector (and therefore every stats byte) is untouched.
+    let progress = if sa_telemetry::progress_enabled() && n > 0 {
+        let p = sa_telemetry::global_progress();
+        p.add_points(n as u64);
+        Some(p)
+    } else {
+        None
+    };
+    let point_done = |i: usize| {
+        if let Some(p) = &progress {
+            p.point_done(&format!("sweep[{i}]"));
+        }
+    };
     if jobs <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let out = f(t);
+                point_done(i);
+                out
+            })
+            .collect();
     }
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -96,6 +119,7 @@ where
                     .expect("each work item claimed once");
                 let out = f(item);
                 *slots[i].lock().expect("result slot") = Some(out);
+                point_done(i);
             });
         }
     });

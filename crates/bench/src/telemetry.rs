@@ -28,11 +28,11 @@
 use std::fmt::Display;
 use std::path::Path;
 
-use sa_core::{drive_scatter_with, NodeMemSys, ScatterKernel, StallBreakdown};
+use sa_core::{drive_scatter_probed, NodeMemSys, ScatterKernel, StallBreakdown};
 use sa_sim::{MachineConfig, Rng64};
 use sa_telemetry::{
-    stats_json_with, validate_stats_json, ChromeTrace, Json, MetricsRegistry, ReqTracer, Scope,
-    SeriesSet,
+    global_progress, progress_enabled, stats_json_full, validate_stats_json, ChromeTrace,
+    HostProfiler, Introspect, Json, MetricsRegistry, ProbeRecorder, ReqTracer, Scope, SeriesSet,
 };
 
 use crate::args::Args;
@@ -85,6 +85,9 @@ pub struct BenchRun {
     req_sample: u64,
     latency: Vec<(String, Json)>,
     attribution: Vec<(String, Json)>,
+    probe_interval: u64,
+    host_profile: bool,
+    profiler: HostProfiler,
 }
 
 impl BenchRun {
@@ -127,6 +130,42 @@ impl BenchRun {
             req_sample,
             latency: Vec::new(),
             attribution: Vec::new(),
+            probe_interval: cli.probe_interval(),
+            host_profile: cli.host_profile(),
+            profiler: HostProfiler::enabled(cli.host_profile()),
+        }
+    }
+
+    /// Probe snapshot cadence for this run's simulations (`--probe-interval`,
+    /// 0 = off); binaries pass it to their own [`Introspect`] bundles.
+    pub fn probe_interval(&self) -> u64 {
+        self.probe_interval
+    }
+
+    /// Whether the `host_profile` sidecar was requested (`--host-profile`).
+    pub fn host_profile_enabled(&self) -> bool {
+        self.host_profile
+    }
+
+    /// Fold a run's host-time phase attribution into this binary's
+    /// `host_profile` sidecar.
+    pub fn absorb_host_profile(&mut self, other: &HostProfiler) {
+        self.profiler.absorb(other);
+    }
+
+    /// An [`Introspect`] bundle for one of the binary's own simulations:
+    /// the `--probe-interval` cadence (labelled `label`, streaming to the
+    /// process-wide progress sink), the progress sink itself, and a
+    /// profiler when `--host-profile` was given. Fold the profiler back
+    /// with [`BenchRun::absorb_host_profile`] after the run.
+    pub fn introspect(&self, label: &str) -> Introspect {
+        let progress = global_progress();
+        Introspect {
+            recorder: ProbeRecorder::every(self.probe_interval)
+                .with_label(label)
+                .with_sink(progress.clone()),
+            progress,
+            profiler: HostProfiler::enabled(self.host_profile),
         }
     }
 
@@ -142,9 +181,12 @@ impl BenchRun {
         }
     }
 
-    /// Whether any output file was requested.
+    /// Whether any telemetry consumer exists: an output file, or a live
+    /// probe cadence (`--probe-interval`/`--probe-listen`) — a watcher
+    /// with no snapshots to look at would defeat the point, so the
+    /// canonical run in [`BenchRun::finish`] fires for probes too.
     pub fn enabled(&self) -> bool {
-        self.stats_path.is_some() || self.trace_path.is_some()
+        self.stats_path.is_some() || self.trace_path.is_some() || self.probe_interval > 0
     }
 
     /// Print one table row (like [`crate::row`]) and mirror it into the
@@ -158,6 +200,15 @@ impl BenchRun {
             c.push(name, Json::Str(value.clone()));
         }
         obj.push("cells", c);
+        // Every finished table row doubles as a progress event, so any
+        // binary that prints rows reports liveness with no per-binary code.
+        if progress_enabled() {
+            let mut ev = Json::obj();
+            ev.push("kind", Json::Str("row".to_owned()));
+            ev.push("bench", Json::Str(self.bench.clone()));
+            ev.push("row", obj.clone());
+            global_progress().emit(&ev);
+        }
         self.rows.push(obj);
     }
 
@@ -215,13 +266,19 @@ impl BenchRun {
             };
             let latency = section(std::mem::take(&mut self.latency));
             let attribution = section(std::mem::take(&mut self.attribution));
-            let doc = stats_json_with(
+            let host_profile = if self.host_profile {
+                Some(self.profiler.to_json())
+            } else {
+                None
+            };
+            let doc = stats_json_full(
                 &self.bench,
                 machine_config_json(&self.cfg),
                 &self.registry,
                 Some(&series),
                 latency,
                 attribution,
+                host_profile,
                 Json::Arr(std::mem::take(&mut self.rows)),
             );
             validate_stats_json(&doc).expect("internal error: stats document must validate");
@@ -248,7 +305,9 @@ impl BenchRun {
         let mut node = NodeMemSys::with_tracer(self.cfg, 0, false, ChromeTrace::new());
         node.set_sample_interval(self.sample_interval);
         node.set_req_sample(self.req_sample());
-        let run = drive_scatter_with(node, &kernel, false);
+        let mut probe = self.introspect("canonical");
+        let run = drive_scatter_probed(node, &kernel, false, &mut probe);
+        self.profiler.absorb(&probe.profiler);
         {
             let mut scope = self.registry.scope("canonical");
             run.node.record_metrics(&mut scope);

@@ -3,9 +3,9 @@
 
 use sa_bench::args::Args;
 use sa_bench::telemetry::{machine_config_json, BenchRun};
-use sa_core::{drive_scatter, drive_scatter_with, NodeMemSys, ScatterKernel};
+use sa_core::{drive_scatter, drive_scatter_probed, drive_scatter_with, NodeMemSys, ScatterKernel};
 use sa_sim::{MachineConfig, Rng64};
-use sa_telemetry::{validate_stats_json, ChromeTrace, Json};
+use sa_telemetry::{validate_stats_json, ChromeTrace, Introspect, Json};
 
 fn args(s: &str) -> Args {
     Args::parse(s.split_whitespace().map(str::to_owned))
@@ -170,6 +170,74 @@ fn tracing_never_changes_simulated_time() {
     assert_eq!(plain.cycles, traced.cycles);
     assert_eq!(plain.drain_cycles, traced.drain_cycles);
     assert_eq!(plain.stats, traced.stats);
+}
+
+#[test]
+fn disabled_probes_are_byte_free() {
+    // The zero-cost contract of the probe layer (docs/OBSERVABILITY.md):
+    // running through the probed entry point with introspection fully off
+    // must reproduce the plain driver's observable state exactly — same
+    // cycles, same stats, same fetched values — and leave no probe lines.
+    let cfg = MachineConfig::merrimac();
+    let mut rng = Rng64::new(23);
+    let kernel = ScatterKernel::histogram(0, (0..4096).map(|_| rng.below(2048)).collect());
+    let plain = drive_scatter(&cfg, &kernel, false);
+    let mut probe = Introspect::off();
+    let probed = drive_scatter_probed(NodeMemSys::new(cfg, 0, false), &kernel, false, &mut probe);
+    assert_eq!(plain.cycles, probed.cycles);
+    assert_eq!(plain.drain_cycles, probed.drain_cycles);
+    assert_eq!(plain.stats, probed.stats);
+    assert_eq!(plain.fetched, probed.fetched);
+    assert!(probe.recorder.lines().is_empty(), "no snapshots when off");
+    assert!(!probe.profiler.is_on(), "profiler stays off");
+
+    // And the whole export path: a BenchRun without probe flags writes the
+    // same bytes as one with probes explicitly disabled (interval 0).
+    let a = export(&cfg, &tmp("probe-off-a.json"));
+    let b = {
+        let path = tmp("probe-off-b.json");
+        let flag = format!("--stats-json {} --probe-interval 0", path.display());
+        let mut bench = BenchRun::from_args("determinism", &cfg, &args(&flag));
+        bench.scope("experiment").counter("events", 42);
+        bench.row("r=1", &[("time", "1.00us".to_owned())]);
+        bench.finish();
+        let text = std::fs::read_to_string(&path).expect("document written");
+        std::fs::remove_file(&path).ok();
+        text
+    };
+    assert_eq!(a, b, "probes off must not change a single stats byte");
+}
+
+#[test]
+fn host_profile_sidecar_is_opt_in_and_validates() {
+    let cfg = MachineConfig::merrimac();
+    let without = export(&cfg, &tmp("hp-off.json"));
+    let doc = Json::parse(&without).unwrap();
+    assert!(
+        doc.get("host_profile").is_none(),
+        "host_profile must be absent unless --host-profile is given"
+    );
+
+    let path = tmp("hp-on.json");
+    let flag = format!("--stats-json {} --host-profile", path.display());
+    let mut bench = BenchRun::from_args("determinism", &cfg, &args(&flag));
+    bench.scope("experiment").counter("events", 42);
+    bench.finish();
+    let text = std::fs::read_to_string(&path).expect("document written");
+    std::fs::remove_file(&path).ok();
+    let doc = Json::parse(&text).unwrap();
+    validate_stats_json(&doc).expect("document with host_profile validates");
+    let hp = doc.get("host_profile").expect("host_profile present");
+    assert!(hp.get("total_ns").and_then(Json::as_u64).is_some());
+    let phases = hp.get("phases").and_then(Json::as_obj).expect("phases");
+    // The canonical run goes through the probed driver, so the loop phases
+    // are attributed.
+    for phase in ["tick", "inject", "drain"] {
+        assert!(
+            phases.iter().any(|(n, _)| n == phase),
+            "phase {phase} attributed"
+        );
+    }
 }
 
 #[test]

@@ -746,6 +746,30 @@ impl CacheBank {
     }
 }
 
+impl sa_telemetry::Inspectable for CacheBank {
+    fn probe_kind(&self) -> &'static str {
+        "cache_bank"
+    }
+
+    fn probe_json(&self) -> sa_telemetry::Json {
+        use sa_telemetry::Json;
+        let mut o = Json::obj();
+        o.push("mshrs", Json::UInt(self.mshrs.len() as u64));
+        o.push("mshr_capacity", Json::UInt(self.cfg.mshrs_per_bank as u64));
+        let targets: usize = self.mshrs.iter().map(Mshr::occupancy).sum();
+        o.push("mshr_targets", Json::UInt(targets as u64));
+        o.push("mem_out", Json::UInt(self.mem_out.len() as u64));
+        o.push(
+            "mem_out_capacity",
+            Json::UInt(self.mem_out.capacity() as u64),
+        );
+        o.push("pending_fills", Json::UInt(self.pending_fills.len() as u64));
+        o.push("ready", Json::UInt(self.ready.len() as u64));
+        o.push("sum_backs", Json::UInt(self.sum_backs.len() as u64));
+        o
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use sa_sim::{Addr, Clock, Cycle, MachineConfig, MemOp, MemRequest, Origin, ScalarKind, ScatterOp};
-use sa_telemetry::{NullTrace, TraceSink};
+use sa_telemetry::{Introspect, Json, NullTrace, ProbeRegistry, TraceSink};
 
 use crate::node::{NodeMemSys, NodeStats};
 
@@ -245,9 +245,29 @@ pub fn drive_scatter(cfg: &MachineConfig, kernel: &ScatterKernel, fetch: bool) -
 ///
 /// Panics if `indices` and `values` lengths differ.
 pub fn drive_scatter_with<T: TraceSink>(
+    node: NodeMemSys<T>,
+    kernel: &ScatterKernel,
+    fetch: bool,
+) -> RunResult<T> {
+    drive_scatter_probed(node, kernel, fetch, &mut Introspect::off())
+}
+
+/// [`drive_scatter_with`] with live introspection attached: probe snapshots
+/// at the recorder's cadence (the event-horizon skip is clamped so due
+/// cycles are always ticked — snapshot bytes are identical with
+/// fast-forward on or off), wall-clock-throttled progress heartbeats, and
+/// host-time attribution of the inject/tick/drain/skip phases. With
+/// [`Introspect::off`] (what [`drive_scatter_with`] passes) every
+/// introspection site reduces to one branch.
+///
+/// # Panics
+///
+/// Panics if `indices` and `values` lengths differ.
+pub fn drive_scatter_probed<T: TraceSink>(
     mut node: NodeMemSys<T>,
     kernel: &ScatterKernel,
     fetch: bool,
+    probe: &mut Introspect,
 ) -> RunResult<T> {
     assert_eq!(
         kernel.indices.len(),
@@ -288,28 +308,58 @@ pub fn drive_scatter_with<T: TraceSink>(
 
     loop {
         let now = clock.advance();
-        let mut issued = 0;
-        while issued < issue_per_cycle {
-            let Some(req) = pending.pop_front() else {
-                break;
-            };
-            match node.inject_traced(req, now) {
-                Ok(()) => issued += 1,
-                Err(req) => {
-                    pending.push_front(req);
+        probe.profiler.time("inject", || {
+            let mut issued = 0;
+            while issued < issue_per_cycle {
+                let Some(req) = pending.pop_front() else {
                     break;
+                };
+                match node.inject_traced(req, now) {
+                    Ok(()) => issued += 1,
+                    Err(req) => {
+                        pending.push_front(req);
+                        break;
+                    }
                 }
             }
+        });
+        probe.profiler.time("tick", || node.tick(now));
+        probe.profiler.time("drain", || {
+            while let Some(c) = node.pop_completion() {
+                acked += 1;
+                if fetch {
+                    fetched.push((c.id, c.bits));
+                }
+                if acked == n {
+                    ack_time = now.raw();
+                }
+            }
+        });
+        if probe.recorder.due(now.raw()) {
+            let mut reg = ProbeRegistry::new();
+            reg.register("node0", &node);
+            probe.recorder.record(reg, now.raw(), skipped_cycles);
         }
-        node.tick(now);
-        while let Some(c) = node.pop_completion() {
-            acked += 1;
-            if fetch {
-                fetched.push((c.id, c.bits));
-            }
-            if acked == n {
-                ack_time = now.raw();
-            }
+        if probe.progress.is_on() && now.raw() & 0x3FFF == 0 {
+            let elapsed = probe.progress.elapsed().as_secs_f64();
+            probe.progress.heartbeat(|o| {
+                o.push("cycle", Json::UInt(now.raw()));
+                o.push("acked", Json::UInt(acked as u64));
+                o.push("total", Json::UInt(n as u64));
+                o.push("skipped_cycles", Json::UInt(skipped_cycles));
+                let rate = if elapsed > 0.0 {
+                    now.raw() as f64 / elapsed
+                } else {
+                    0.0
+                };
+                o.push("sim_cycles_per_sec", Json::Num(rate));
+                let ff = if now.raw() > 0 {
+                    skipped_cycles as f64 / now.raw() as f64
+                } else {
+                    0.0
+                };
+                o.push("ff_ratio", Json::Num(ff));
+            });
         }
         if pending.is_empty() && node.is_idle() {
             break;
@@ -317,12 +367,19 @@ pub fn drive_scatter_with<T: TraceSink>(
         // Event-horizon fast-forward: once everything is issued, jump to the
         // cycle before the node's next event. While requests are still
         // pending, every cycle retries injection (mutating queue-rejection
-        // counters), so the loop must tick through those cycles.
+        // counters), so the loop must tick through those cycles. The horizon
+        // is clamped to the next due probe cycle so snapshot cadence sees
+        // every due cycle ticked regardless of skipping.
         if fast_forward && pending.is_empty() {
-            if let Some(h) = node.next_event(now) {
+            if let Some(mut h) = node.next_event(now) {
+                if let Some(due) = probe.recorder.next_due() {
+                    h = h.min(Cycle(due.max(now.raw() + 1)));
+                }
                 if h > now + 1 {
                     let k = h.raw() - now.raw() - 1;
-                    node.skip_cycles(now, k);
+                    probe.profiler.time("skip", || {
+                        node.skip_cycles(now, k);
+                    });
                     clock.skip_to(Cycle(h.raw() - 1));
                     skipped_cycles += k;
                 }

@@ -806,6 +806,37 @@ impl<T: TraceSink> NodeMemSys<T> {
     }
 }
 
+impl<T: TraceSink> sa_telemetry::Inspectable for NodeMemSys<T> {
+    fn probe_kind(&self) -> &'static str {
+        "node_mem_sys"
+    }
+
+    /// The node's snapshot subtree: one child per scatter-add unit, cache
+    /// bank, and DRAM channel (same `sa.unitN`/`cache.bankN`/`dram.chanN`
+    /// naming as [`NodeMemSys::record_metrics`]), plus bank-input queue
+    /// depths and the undrained completion count.
+    fn probe_json(&self) -> sa_telemetry::Json {
+        use sa_telemetry::{Json, ProbeRegistry};
+        let mut o = Json::obj();
+        o.push("node", Json::UInt(self.node as u64));
+        o.push("completions", Json::UInt(self.completions.len() as u64));
+        let bank_in: usize = self.bank_in.iter().map(BoundedQueue::len).sum();
+        o.push("bank_in", Json::UInt(bank_in as u64));
+        let mut children = ProbeRegistry::new();
+        for (b, u) in self.sa.iter().enumerate() {
+            children.register(&format!("sa.unit{b}"), u);
+        }
+        for (b, bank) in self.banks.iter().enumerate() {
+            children.register(&format!("cache.bank{b}"), bank);
+        }
+        for (c, ch) in self.channels.iter().enumerate() {
+            children.register(&format!("dram.chan{c}"), ch);
+        }
+        o.push("components", children.into_components());
+        o
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -528,6 +528,25 @@ impl ScatterAddUnit {
     }
 }
 
+impl sa_telemetry::Inspectable for ScatterAddUnit {
+    fn probe_kind(&self) -> &'static str {
+        "scatter_add_unit"
+    }
+
+    fn probe_json(&self) -> sa_telemetry::Json {
+        use sa_telemetry::Json;
+        let mut o = Json::obj();
+        o.push("cs_occupancy", Json::UInt(self.occupied as u64));
+        o.push("cs_entries", Json::UInt(self.entries.len() as u64));
+        o.push("cam_addrs", Json::UInt(self.addr_index.len() as u64));
+        o.push("fu_depth", Json::UInt(self.fu.len() as u64));
+        o.push("values_in", Json::UInt(self.values_in.len() as u64));
+        o.push("to_mem", Json::UInt(self.to_mem.len() as u64));
+        o.push("acks", Json::UInt(self.acks.len() as u64));
+        o
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

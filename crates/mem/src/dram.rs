@@ -384,6 +384,24 @@ impl DramChannel {
     }
 }
 
+impl sa_telemetry::Inspectable for DramChannel {
+    fn probe_kind(&self) -> &'static str {
+        "dram_channel"
+    }
+
+    fn probe_json(&self) -> sa_telemetry::Json {
+        use sa_telemetry::Json;
+        let mut o = Json::obj();
+        o.push("queue", Json::UInt(self.queue.len() as u64));
+        o.push("queue_capacity", Json::UInt(self.queue.capacity() as u64));
+        let in_service = u64::from(self.service.is_some()) + u64::from(self.next.is_some());
+        o.push("in_service", Json::UInt(in_service));
+        let open_rows = self.banks.iter().filter(|b| b.open_row.is_some()).count();
+        o.push("open_rows", Json::UInt(open_rows as u64));
+        o
+    }
+}
+
 /// Convenience: drive a set of channels and a store until all are idle,
 /// collecting responses. Mostly used by tests.
 pub fn drain_channels(

@@ -39,7 +39,7 @@ use sa_sim::{
     Addr, Clock, Cycle, MachineConfig, MemOp, MemRequest, NetworkConfig, Origin, ReqId, ScalarKind,
     ScatterOp, WORD_BYTES,
 };
-use sa_telemetry::ReqTracer;
+use sa_telemetry::{Introspect, Json, ProbeRegistry, Progress, ReqTracer};
 
 /// Messages exchanged between nodes.
 #[derive(Clone, Debug)]
@@ -292,6 +292,29 @@ impl MultiNode {
         values: &[f64],
         threads: usize,
     ) -> TraceReport {
+        self.run_trace_threads_probed(trace, values, threads, &mut Introspect::off())
+    }
+
+    /// [`MultiNode::run_trace_threads`] with live introspection attached:
+    /// probe snapshots at the recorder's cadence (taken on the coordinator
+    /// with all ports re-attached, at the same point in the serial and
+    /// parallel schedulers, with the event-horizon skip clamped to due
+    /// cycles — snapshot bytes are identical for every `threads` value and
+    /// with fast-forward on or off), wall-clock-throttled heartbeats, and
+    /// host-time attribution of the net/step/sync/skip phases. With
+    /// [`Introspect::off`] every introspection site reduces to one branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, the run deadlocks, or a stepper thread
+    /// panics.
+    pub fn run_trace_threads_probed(
+        &mut self,
+        trace: &[u64],
+        values: &[f64],
+        threads: usize,
+        probe: &mut Introspect,
+    ) -> TraceReport {
         assert_eq!(trace.len(), values.len(), "trace/value length mismatch");
         let n = self.nodes.len();
         let total = trace.len();
@@ -347,19 +370,37 @@ impl MultiNode {
         if workers == 1 {
             loop {
                 let now = clock.advance();
-                self.net.tick(now);
-                for ctx in &mut ctxs {
-                    ctx.port = Some(self.net.detach_port(ctx.index));
-                    step_node(ctx, now, &params);
-                    self.net
-                        .attach_port(ctx.port.take().expect("port attached this cycle"));
+                probe.profiler.time("net", || self.net.tick(now));
+                probe.profiler.time("step", || {
+                    for ctx in &mut ctxs {
+                        ctx.port = Some(self.net.detach_port(ctx.index));
+                        step_node(ctx, now, &params);
+                        self.net
+                            .attach_port(ctx.port.take().expect("port attached this cycle"));
+                    }
+                });
+                if probe.recorder.due(now.raw()) {
+                    let mut reg = ProbeRegistry::new();
+                    reg.register("net", &self.net);
+                    for ctx in &ctxs {
+                        reg.register(&format!("node{}", ctx.index), &ctx.node);
+                    }
+                    probe.recorder.record(reg, now.raw(), skipped_cycles);
+                }
+                if probe.progress.is_on() && now.raw() & 0x3FF == 0 {
+                    emit_trace_heartbeat(&probe.progress, now, skipped_cycles, n);
                 }
                 let mut refs: Vec<&mut NodeCtx> = ctxs.iter_mut().collect();
-                if sync_phase(&self.net, &mut refs, total, &params, &mut flush_rounds) {
+                if probe.profiler.time("sync", || {
+                    sync_phase(&self.net, &mut refs, total, &params, &mut flush_rounds)
+                }) {
                     break;
                 }
                 if fast_forward {
-                    skipped_cycles += fast_forward_skip(&mut clock, &self.net, &mut refs, now);
+                    let cap = probe.recorder.next_due();
+                    skipped_cycles += probe.profiler.time("skip", || {
+                        fast_forward_skip(&mut clock, &self.net, &mut refs, now, cap)
+                    });
                 }
             }
         } else {
@@ -422,14 +463,16 @@ impl MultiNode {
 
                 loop {
                     let now = clock.advance();
-                    self.net.tick(now);
+                    probe.profiler.time("net", || self.net.tick(now));
                     for (i, cell) in cells.iter().enumerate() {
                         let mut ctx = cell.lock().expect("node context lock");
                         ctx.port = Some(self.net.detach_port(i));
                     }
                     now_raw.store(now.raw(), Ordering::Release);
-                    barrier.wait(); // node phase runs on the workers
-                    barrier.wait();
+                    probe.profiler.time("step", || {
+                        barrier.wait(); // node phase runs on the workers
+                        barrier.wait();
+                    });
                     assert!(
                         !worker_panicked.load(Ordering::Acquire),
                         "a node stepper thread panicked"
@@ -442,15 +485,34 @@ impl MultiNode {
                         self.net
                             .attach_port(guard.port.take().expect("port attached this cycle"));
                     }
+                    // Same snapshot point as the sequential scheduler: all
+                    // ports re-attached, before the sync decision, so the
+                    // captured state is bit-identical for any thread count.
+                    if probe.recorder.due(now.raw()) {
+                        let mut reg = ProbeRegistry::new();
+                        reg.register("net", &self.net);
+                        for guard in guards.iter() {
+                            reg.register(&format!("node{}", guard.index), &guard.node);
+                        }
+                        probe.recorder.record(reg, now.raw(), skipped_cycles);
+                    }
+                    if probe.progress.is_on() && now.raw() & 0x3FF == 0 {
+                        emit_trace_heartbeat(&probe.progress, now, skipped_cycles, n);
+                    }
                     let mut refs: Vec<&mut NodeCtx> = guards.iter_mut().map(|g| &mut **g).collect();
-                    if sync_phase(&self.net, &mut refs, total, &params, &mut flush_rounds) {
+                    if probe.profiler.time("sync", || {
+                        sync_phase(&self.net, &mut refs, total, &params, &mut flush_rounds)
+                    }) {
                         break;
                     }
                     // Identical code to the sequential scheduler's skip, run
                     // on the same post-sync state, so the schedule stays
                     // bit-identical for every thread count.
                     if fast_forward {
-                        skipped_cycles += fast_forward_skip(&mut clock, &self.net, &mut refs, now);
+                        let cap = probe.recorder.next_due();
+                        skipped_cycles += probe.profiler.time("skip", || {
+                            fast_forward_skip(&mut clock, &self.net, &mut refs, now, cap)
+                        });
                     }
                 }
             });
@@ -802,6 +864,7 @@ fn fast_forward_skip(
     net: &Crossbar<NetMsg>,
     ctxs: &mut [&mut NodeCtx],
     now: Cycle,
+    probe_cap: Option<u64>,
 ) -> u64 {
     if ctxs
         .iter()
@@ -815,7 +878,12 @@ fn fast_forward_skip(
             horizon = Some(horizon.map_or(t, |h| h.min(t)));
         }
     }
-    let Some(h) = horizon else { return 0 };
+    let Some(mut h) = horizon else { return 0 };
+    // Never skip past a due probe cycle: snapshot cadence must see every
+    // due cycle ticked regardless of skipping.
+    if let Some(due) = probe_cap {
+        h = h.min(Cycle(due.max(now.raw() + 1)));
+    }
     if h <= now + 1 {
         return 0;
     }
@@ -825,6 +893,29 @@ fn fast_forward_skip(
     }
     clock.skip_to(Cycle(h.raw() - 1));
     k
+}
+
+/// Emit one trace-replay heartbeat (coordinator only; wall-clock throttled
+/// inside [`Progress::heartbeat`]).
+fn emit_trace_heartbeat(progress: &Progress, now: Cycle, skipped_cycles: u64, nodes: usize) {
+    let elapsed = progress.elapsed().as_secs_f64();
+    progress.heartbeat(|o| {
+        o.push("cycle", Json::UInt(now.raw()));
+        o.push("nodes", Json::UInt(nodes as u64));
+        o.push("skipped_cycles", Json::UInt(skipped_cycles));
+        let rate = if elapsed > 0.0 {
+            now.raw() as f64 / elapsed
+        } else {
+            0.0
+        };
+        o.push("sim_cycles_per_sec", Json::Num(rate));
+        let ff = if now.raw() > 0 {
+            skipped_cycles as f64 / now.raw() as f64
+        } else {
+            0.0
+        };
+        o.push("ff_ratio", Json::Num(ff));
+    });
 }
 
 /// The serialized end-of-cycle phase: decide quiescence from the summed

@@ -541,6 +541,33 @@ impl<T> Crossbar<T> {
     }
 }
 
+impl<T> sa_telemetry::Inspectable for Crossbar<T> {
+    fn probe_kind(&self) -> &'static str {
+        "crossbar"
+    }
+
+    /// Aggregate fabric occupancy. Only meaningful while all ports are
+    /// attached — a multinode coordinator snapshots after the re-attach
+    /// point of its step, never mid-phase.
+    fn probe_json(&self) -> sa_telemetry::Json {
+        use sa_telemetry::Json;
+        let mut o = Json::obj();
+        o.push("ports", Json::UInt(self.n as u64));
+        o.push("in_flight", Json::UInt(self.flight.len() as u64));
+        let in_q: usize = self.in_q.iter().map(BoundedQueue::len).sum();
+        let out_q: usize = self.out_q.iter().map(BoundedQueue::len).sum();
+        let rx_wait: usize = self.rx_wait.iter().map(VecDeque::len).sum();
+        o.push("in_q", Json::UInt(in_q as u64));
+        o.push("out_q", Json::UInt(out_q as u64));
+        o.push("rx_wait", Json::UInt(rx_wait as u64));
+        let tx_busy = self.tx.iter().filter(|t| t.is_some()).count();
+        let rx_busy = self.rx.iter().filter(|r| r.is_some()).count();
+        o.push("tx_busy", Json::UInt(tx_busy as u64));
+        o.push("rx_busy", Json::UInt(rx_busy as u64));
+        o
+    }
+}
+
 /// One node's detached view of the crossbar: its injection queue and its
 /// delivery queue (see [`Crossbar::detach_port`]). Port operations mirror
 /// the corresponding [`Crossbar`] methods exactly, so a scheduler stepping

@@ -31,6 +31,16 @@ use std::fs::File;
 use std::io::{self, Write as _};
 use std::path::Path;
 
+pub mod probe;
+
+#[cfg(unix)]
+pub use probe::ProbeListener;
+pub use probe::{
+    global_progress, progress_enabled, set_global_progress, validate_probe_json, HostProfiler,
+    Inspectable, Introspect, ProbeRecorder, ProbeRegistry, Progress, PROBE_SCHEMA_NAME,
+    PROBE_SCHEMA_VERSION,
+};
+
 /// Version stamped into every stats JSON document as `"version"`.
 ///
 /// v2 added the optional `latency` (per-kernel per-stage percentiles from
@@ -38,7 +48,12 @@ use std::path::Path;
 /// v3 added `resilience.*` metric scopes (fault-injection recovery
 /// counters), emitted only when a fault plan produced nonzero counts, so
 /// fault-free documents differ from v2 only in this version field.
-pub const STATS_SCHEMA_VERSION: u64 = 3;
+/// v4 added the optional `host_profile` sidecar (wall-clock attribution of
+/// run-loop phases, opt-in via `--host-profile`), which is declared
+/// nondeterministic: byte-determinism gates and `analyze --diff` exclude
+/// it, and documents written without the flag differ from v3 only in this
+/// version field.
+pub const STATS_SCHEMA_VERSION: u64 = 4;
 
 /// Oldest stats schema version [`validate_stats_json`] still accepts.
 ///
@@ -1339,6 +1354,34 @@ pub fn stats_json_with(
     attribution: Option<Json>,
     rows: Json,
 ) -> Json {
+    stats_json_full(
+        bench,
+        config,
+        metrics,
+        series,
+        latency,
+        attribution,
+        None,
+        rows,
+    )
+}
+
+/// [`stats_json_with`] plus the v4 `host_profile` sidecar: a
+/// [`HostProfiler::to_json`] report attributing host wall-clock to run-loop
+/// phases. The sidecar is nondeterministic by declaration — timing-metric
+/// extraction ([`crate`]-external diff tooling) and byte-determinism gates
+/// must exclude it, which is why it is opt-in rather than always present.
+#[allow(clippy::too_many_arguments)]
+pub fn stats_json_full(
+    bench: &str,
+    config: Json,
+    metrics: &MetricsRegistry,
+    series: Option<&SeriesSet>,
+    latency: Option<Json>,
+    attribution: Option<Json>,
+    host_profile: Option<Json>,
+    rows: Json,
+) -> Json {
     let mut doc = Json::obj();
     doc.push("schema", Json::Str(STATS_SCHEMA_NAME.to_string()));
     doc.push("version", Json::UInt(STATS_SCHEMA_VERSION));
@@ -1353,6 +1396,9 @@ pub fn stats_json_with(
     }
     if let Some(a) = attribution {
         doc.push("attribution", a);
+    }
+    if let Some(h) = host_profile {
+        doc.push("host_profile", h);
     }
     doc.push("rows", rows);
     doc
@@ -1471,6 +1517,26 @@ pub fn validate_stats_json(doc: &Json) -> Result<(), String> {
                         "attribution '{kernel}.{cause}' is not an {{events, pct}} object"
                     ));
                 }
+            }
+        }
+    }
+    if let Some(profile) = doc.get("host_profile") {
+        profile
+            .get("total_ns")
+            .and_then(Json::as_u64)
+            .ok_or("'host_profile' missing numeric 'total_ns'")?;
+        let phases = profile
+            .get("phases")
+            .and_then(Json::as_obj)
+            .ok_or("'host_profile.phases' missing or not an object")?;
+        for (phase, entry) in phases {
+            let ok = entry.get("calls").and_then(Json::as_u64).is_some()
+                && entry.get("ns").and_then(Json::as_u64).is_some()
+                && entry.get("pct").and_then(Json::as_f64).is_some();
+            if !ok {
+                return Err(format!(
+                    "host_profile phase '{phase}' is not a {{calls, ns, pct}} object"
+                ));
             }
         }
     }

@@ -9,8 +9,9 @@
 //! without the cache-combining/sum-back optimization of §3.2, and prints
 //! the scatter-add throughput the way Figure 13 does.
 
-use sa_multinode::{trace_reference, MultiNode};
-use sa_sim::{Addr, MachineConfig, NetworkConfig, Rng64};
+use sa_multinode::{trace_reference, Topology};
+use sa_sim::{MachineConfig, NetworkConfig, Rng64};
+use scatter_add_repro::{Session, SessionReport, Workload};
 
 fn main() {
     let machine = MachineConfig::merrimac();
@@ -29,15 +30,28 @@ fn main() {
         "nodes", "direct GB/s", "combining GB/s"
     );
     for nodes in [1usize, 2, 4, 8] {
-        let mut direct = MultiNode::new(machine, nodes, NetworkConfig::low(), false);
-        let rd = direct.run_trace(&trace, &values);
-        let mut combining = MultiNode::new(machine, nodes, NetworkConfig::low(), true);
-        let rc = combining.run_trace(&trace, &values);
+        let run = |combining: bool| -> SessionReport {
+            Session::builder()
+                .config(machine)
+                .workload(Workload::MultiNode {
+                    nodes,
+                    network: NetworkConfig::low(),
+                    combining,
+                    topology: Topology::Flat,
+                    trace: trace.clone(),
+                    values: values.clone(),
+                })
+                .build()
+                .expect("valid session")
+                .run()
+        };
+        let rd = run(false);
+        let rc = run(true);
 
         // Both modes must produce the exact same sums.
         for (&w, &expect) in &reference {
-            for (mode, mn) in [("direct", &direct), ("combining", &combining)] {
-                let got = f64::from_bits(mn.read_word(Addr::from_word_index(w)));
+            for (mode, report) in [("direct", &rd), ("combining", &rc)] {
+                let got = report.result_f64()[w as usize];
                 assert!(
                     (got - expect).abs() < 1e-9,
                     "{mode} result mismatch at word {w}: {got} vs {expect}"

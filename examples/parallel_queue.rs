@@ -15,8 +15,9 @@
 //! hardware guarantees every slot is handed out exactly once even though all
 //! lanes hit the same counter simultaneously.
 
-use sa_core::{drive_scatter, ScatterKernel};
+use sa_core::ScatterKernel;
 use sa_sim::{MachineConfig, Rng64, ScalarKind, ScatterOp};
+use scatter_add_repro::{Session, Workload};
 
 fn main() {
     let machine = MachineConfig::merrimac();
@@ -35,18 +36,24 @@ fn main() {
         kind: ScalarKind::I64,
         op: ScatterOp::Add,
     };
-    let run = drive_scatter(&machine, &kernel, true);
+    let report = Session::builder()
+        .config(machine)
+        .workload(Workload::Scatter(kernel))
+        .fetch(true)
+        .build()
+        .expect("valid session")
+        .run();
 
     // Build the queue from the returned slots: fetched is (request id, slot).
     let mut queue = vec![u64::MAX; keep.len()];
-    for &(req_id, slot) in &run.fetched {
+    for &(req_id, slot) in &report.fetched {
         queue[slot as usize] = keep[req_id as usize];
     }
 
     // Every slot was assigned exactly once...
     assert!(queue.iter().all(|&v| v != u64::MAX), "every slot filled");
     // ...the tail equals the number of kept elements...
-    assert_eq!(run.result_i64(1)[0] as usize, keep.len());
+    assert_eq!(report.result_i64()[0] as usize, keep.len());
     // ...and the queue holds exactly the kept elements (order is the
     // hardware's completion order, which is deterministic but not program
     // order — the reordering caveat of §3.3).
@@ -56,15 +63,16 @@ fn main() {
     sorted_keep.sort_unstable();
     assert_eq!(sorted_queue, sorted_keep);
 
+    let sa = &report.node_stats[0].sa;
     println!(
         "compacted {} of {} elements into a dense queue in {:.2} us",
         keep.len(),
         stream.len(),
-        run.micros()
+        report.micros()
     );
     println!(
         "  fetch-and-adds chained through one counter: {} chains, {} combined",
-        run.stats.sa.chained, run.stats.sa.combined
+        sa.chained, sa.combined
     );
     println!("  first eight queue entries: {:?}", &queue[..8]);
 }

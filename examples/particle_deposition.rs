@@ -15,10 +15,11 @@
 //! * batched sort + segmented scan (the software baseline),
 //! * a scalar reference (for correctness).
 
-use sa_core::{drive_scatter, ScatterKernel};
+use sa_core::ScatterKernel;
 use sa_proc::Executor;
 use sa_sim::{Addr, MachineConfig, Rng64};
 use sa_sw::{build_sort_scan, SortScanLayout, DEFAULT_BATCH};
+use scatter_add_repro::{Session, Workload};
 
 const GRID: usize = 1024;
 const PARTICLES: usize = 20_000;
@@ -53,8 +54,14 @@ fn main() {
     }
 
     // Hardware scatter-add.
-    let hw = drive_scatter(&machine, &kernel, false);
-    let hw_grid = hw.result_f64(GRID);
+    let hw = Session::builder()
+        .config(machine)
+        .workload(Workload::Scatter(kernel.clone()))
+        .build()
+        .expect("valid session")
+        .run();
+    let mut hw_grid = hw.result_f64();
+    hw_grid.resize(GRID, 0.0);
     let max_dev = hw_grid
         .iter()
         .zip(&reference)

@@ -8,8 +8,8 @@
 //! executed as a single data-parallel `scatterAdd(histogram, data, 1)` with
 //! atomicity guaranteed by the combining store — no locks, no sorting.
 
-use sa_core::{drive_scatter, ScatterKernel};
 use sa_sim::{MachineConfig, Rng64};
+use scatter_add_repro::{Session, Workload};
 
 fn main() {
     // The base machine of Table 1: 8 cache banks, one scatter-add unit per
@@ -21,9 +21,16 @@ fn main() {
     let data: Vec<u64> = (0..10_000).map(|_| rng.below(64)).collect();
 
     // scatterAdd(histogram, data, 1)
-    let kernel = ScatterKernel::histogram(0, data.clone());
-    let run = drive_scatter(&machine, &kernel, false);
-    let bins = run.result_i64(64);
+    let report = Session::builder()
+        .config(machine)
+        .workload(Workload::Histogram {
+            base_word: 0,
+            indices: data.clone(),
+        })
+        .build()
+        .expect("valid session")
+        .run();
+    let bins = report.result_i64();
 
     // Check against the sequential loop.
     let mut expect = vec![0i64; 64];
@@ -32,18 +39,19 @@ fn main() {
     }
     assert_eq!(bins, expect, "hardware scatter-add is exact");
 
+    let sa = &report.node_stats[0].sa;
     println!("histogram of 10,000 elements over 64 bins");
     println!(
         "  simulated execution time: {:.2} us at 1 GHz",
-        run.micros()
+        report.micros()
     );
     println!(
         "  memory reads suppressed by combining: {} of {} requests",
-        run.stats.sa.combined, run.stats.sa.accepted
+        sa.combined, sa.accepted
     );
     println!(
         "  additions chained inside the store (no memory round-trip): {}",
-        run.stats.sa.chained
+        sa.chained
     );
     let peak = bins.iter().enumerate().max_by_key(|(_, &v)| v).unwrap();
     println!("  fullest bin: #{} with {} elements", peak.0, peak.1);

@@ -25,10 +25,11 @@
 //! this session's machines (never through the process-wide default), so
 //! concurrent sessions with different plans do not interfere.
 
-use sa_core::{drive_scatter_with, NodeMemSys, NodeStats, ScatterKernel};
+use sa_core::{drive_scatter_probed, NodeMemSys, NodeStats, ScatterKernel};
 use sa_faults::{FaultPlan, ResilienceStats};
 use sa_multinode::{MultiNode, Topology};
 use sa_sim::{Addr, MachineConfig, NetworkConfig};
+use sa_telemetry::{global_progress, HostProfiler, Introspect, ProbeRecorder, Progress};
 
 /// What a [`Session`] simulates.
 #[derive(Clone, Debug)]
@@ -84,6 +85,48 @@ pub struct SessionReport {
     pub resilience: ResilienceStats,
     /// Raw bits of the result array, `base..base + len` words.
     pub result: Vec<u64>,
+    /// Pre-op values returned by fetch-ops, in completion order (empty
+    /// unless [`SessionBuilder::fetch`] was set; single-node only).
+    pub fetched: Vec<(u64, u64)>,
+    /// `sa-probe` snapshot lines (compact JSON, one per cadence point;
+    /// empty unless [`SessionBuilder::probe`] set an interval). At a fixed
+    /// interval these bytes are identical across step-thread counts and
+    /// fast-forward settings, except for the `skipped_cycles` field each
+    /// line carries.
+    pub probe_lines: Vec<String>,
+    /// Application scatter-add operations performed (the workload length).
+    pub adds: u64,
+    /// Sum-back lines that crossed the network (multinode combining runs;
+    /// 0 otherwise).
+    pub sum_back_lines: u64,
+}
+
+impl SessionReport {
+    /// Simulated execution time in microseconds at 1 GHz.
+    pub fn micros(&self) -> f64 {
+        self.cycles as f64 / 1e3
+    }
+
+    /// The result array reinterpreted as signed integers (for integer
+    /// workloads such as [`Workload::Histogram`]).
+    pub fn result_i64(&self) -> Vec<i64> {
+        self.result.iter().map(|&b| b as i64).collect()
+    }
+
+    /// The result array reinterpreted as doubles (for floating-point
+    /// workloads).
+    pub fn result_f64(&self) -> Vec<f64> {
+        self.result.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// Scatter-add throughput in GB/s at `ghz`, the Figure 13 metric: one
+    /// word of application data retired per add.
+    pub fn throughput_gbps(&self, ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.adds as f64 * sa_sim::WORD_BYTES as f64 * ghz / self.cycles as f64
+    }
 }
 
 /// Staged configuration for a [`Session`]; see the module docs.
@@ -95,6 +138,9 @@ pub struct SessionBuilder {
     telemetry: Telemetry,
     fast_forward: Option<bool>,
     step_threads: usize,
+    probe_interval: u64,
+    progress: Option<Progress>,
+    fetch: bool,
 }
 
 impl SessionBuilder {
@@ -135,6 +181,32 @@ impl SessionBuilder {
     /// results are bit-identical for every value).
     pub fn step_threads(mut self, threads: usize) -> SessionBuilder {
         self.step_threads = threads.max(1);
+        self
+    }
+
+    /// Take an `sa-probe` component snapshot every `interval` simulated
+    /// cycles (0, the default, disables probing). The snapshot lines land
+    /// in [`SessionReport::probe_lines`] and stream to the progress sink
+    /// when one is attached.
+    pub fn probe(mut self, interval: u64) -> SessionBuilder {
+        self.probe_interval = interval;
+        self
+    }
+
+    /// Attach a live progress sink for heartbeats and probe streaming
+    /// (default: the process-wide sink installed by
+    /// [`sa_telemetry::set_global_progress`], off unless a `--progress` or
+    /// `--probe-listen` flag enabled it).
+    pub fn progress(mut self, progress: Progress) -> SessionBuilder {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Make every scatter request a fetch-op (§3.3): the pre-op value of
+    /// each target word is returned in [`SessionReport::fetched`].
+    /// Single-node workloads only.
+    pub fn fetch(mut self, enabled: bool) -> SessionBuilder {
+        self.fetch = enabled;
         self
     }
 
@@ -184,6 +256,9 @@ impl SessionBuilder {
                         values.len()
                     ));
                 }
+                if self.fetch {
+                    return Err("fetch-ops are single-node only (§3.3)".into());
+                }
             }
         }
         Ok(Session {
@@ -193,6 +268,9 @@ impl SessionBuilder {
             telemetry: self.telemetry,
             fast_forward: self.fast_forward,
             step_threads: self.step_threads.max(1),
+            probe_interval: self.probe_interval,
+            progress: self.progress,
+            fetch: self.fetch,
         })
     }
 }
@@ -206,6 +284,9 @@ pub struct Session {
     telemetry: Telemetry,
     fast_forward: Option<bool>,
     step_threads: usize,
+    probe_interval: u64,
+    progress: Option<Progress>,
+    fetch: bool,
 }
 
 impl Session {
@@ -254,7 +335,8 @@ impl Session {
                 if let Some(plan) = &self.faults {
                     mn.set_fault_plan(plan);
                 }
-                let r = mn.run_trace_threads(trace, values, self.step_threads);
+                let mut probe = self.introspect("multinode");
+                let r = mn.run_trace_threads_probed(trace, values, self.step_threads, &mut probe);
                 let len = trace.iter().copied().max().map_or(0, |m| m as usize + 1);
                 let result = (0..len as u64)
                     .map(|w| mn.read_word(Addr::from_word_index(w)))
@@ -265,8 +347,29 @@ impl Session {
                     node_stats: r.node_stats,
                     resilience: r.resilience,
                     result,
+                    fetched: Vec::new(),
+                    probe_lines: probe.recorder.take_lines(),
+                    adds: r.adds,
+                    sum_back_lines: r.sum_back_lines,
                 }
             }
+        }
+    }
+
+    /// Assemble the introspection bundle for a run: the session's probe
+    /// cadence, its progress sink (falling back to the process-wide one),
+    /// and no host profiler (profiling is a bench-binary concern).
+    fn introspect(&self, label: &str) -> Introspect {
+        let progress = match &self.progress {
+            Some(p) => p.clone(),
+            None => global_progress(),
+        };
+        let mut recorder = ProbeRecorder::every(self.probe_interval).with_label(label);
+        recorder = recorder.with_sink(progress.clone());
+        Introspect {
+            recorder,
+            progress,
+            profiler: HostProfiler::off(),
         }
     }
 
@@ -282,7 +385,9 @@ impl Session {
         node.set_req_sample(self.telemetry.req_sample);
         let len = kernel.indices.iter().copied().max().map_or(0, |m| m + 1);
         let base = kernel.base_word;
-        let run = drive_scatter_with(node, &kernel, false);
+        let adds = kernel.indices.len() as u64;
+        let mut probe = self.introspect("kernel");
+        let run = drive_scatter_probed(node, &kernel, self.fetch, &mut probe);
         let resilience = run.stats.resilience;
         let result = (0..len)
             .map(|w| run.node.store().read_word(Addr::from_word_index(base + w)))
@@ -293,6 +398,10 @@ impl Session {
             node_stats: vec![run.stats],
             resilience,
             result,
+            fetched: run.fetched,
+            probe_lines: probe.recorder.take_lines(),
+            adds,
+            sum_back_lines: 0,
         }
     }
 }

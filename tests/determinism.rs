@@ -9,9 +9,13 @@ use sa_apps::histogram::{run_hw, run_sort_scan_default, HistogramInput};
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::{run_ebe_hw, Csr, Ebe};
-use sa_core::{drive_scatter, drive_scatter_with, NodeMemSys, ScatterKernel, SensitivityRig};
+use sa_core::{
+    drive_scatter, drive_scatter_probed, drive_scatter_with, NodeMemSys, ScatterKernel,
+    SensitivityRig,
+};
 use sa_multinode::{MultiNode, Topology, TraceReport};
 use sa_sim::{MachineConfig, NetworkConfig, Rng64, SensitivityConfig};
+use sa_telemetry::{validate_probe_json, HostProfiler, Introspect, Json, ProbeRecorder};
 
 fn machine() -> MachineConfig {
     MachineConfig::merrimac()
@@ -190,6 +194,22 @@ fn strip_skipped(doc: &str) -> String {
         .join("\n")
 }
 
+/// Schema-check every `sa-probe` line and drop its top-level
+/// `skipped_cycles` field — the probe-line analogue of [`strip_skipped`].
+fn strip_probe_skipped(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| {
+            let mut doc = Json::parse(l).expect("probe line parses");
+            validate_probe_json(&doc).expect("valid sa-probe snapshot");
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.retain(|(k, _)| k != "skipped_cycles");
+            }
+            doc.to_string_compact()
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -223,6 +243,97 @@ proptest! {
         let (off, skipped_off) = run_mode(false);
         prop_assert_eq!(skipped_off, 0, "ff off must not skip");
         prop_assert_eq!(strip_skipped(&on), strip_skipped(&off));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The probe-cadence determinism contract (docs/OBSERVABILITY.md): at a
+    /// fixed snapshot interval, a single-node run renders byte-identical
+    /// `sa-probe` lines with fast-forward on and off — the recorder clamps
+    /// the event horizon so every due cycle is actually ticked — modulo
+    /// each line's own `skipped_cycles` field. The host profiler is enabled
+    /// on one side only: its wall-clock tallies must never reach any
+    /// determinism-compared byte (stats or probe lines).
+    #[test]
+    fn probe_snapshots_are_fast_forward_invariant(
+        workload in prop::sample::select(vec![
+            FfWorkload::Histogram,
+            FfWorkload::Spmv,
+            FfWorkload::Md,
+        ]),
+        interval in prop::sample::select(vec![32u64, 128]),
+        seed in 1u64..24,
+    ) {
+        let mut cfg = machine();
+        cfg.req_sample = 32;
+        let kernel = ScatterKernel::histogram(0, ff_trace(workload, seed));
+        let run_mode = |ff: bool, profile: bool| {
+            let mut node = NodeMemSys::new(cfg, 0, false);
+            node.set_fast_forward(ff);
+            let mut probe = Introspect::off();
+            probe.recorder = ProbeRecorder::every(interval);
+            probe.profiler = HostProfiler::enabled(profile);
+            let run = drive_scatter_probed(node, &kernel, false, &mut probe);
+            (run_stats_json(&run), probe.recorder.take_lines())
+        };
+        let (stats_on, lines_on) = run_mode(true, false);
+        let (stats_off, lines_off) = run_mode(false, true);
+        prop_assert!(!lines_on.is_empty(), "cadence must fire at least once");
+        prop_assert_eq!(strip_skipped(&stats_on), strip_skipped(&stats_off));
+        prop_assert_eq!(
+            strip_probe_skipped(&lines_on),
+            strip_probe_skipped(&lines_off)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The multinode flavour of the probe-cadence contract: the `sa-probe`
+    /// lines of a trace replay are byte-identical (modulo `skipped_cycles`)
+    /// across phase-parallel step-thread counts and fast-forward modes —
+    /// both schedulers snapshot at the same point in the cycle, after every
+    /// port is re-attached and before the sync phase.
+    #[test]
+    fn multinode_probe_snapshots_are_schedule_invariant(
+        trace_seed in 1u64..16,
+        combining in any::<bool>(),
+        // The 2000-reference replay runs ~450 cycles, so both cadences fire.
+        interval in prop::sample::select(vec![64u64, 192]),
+    ) {
+        let mut rng = Rng64::new(trace_seed);
+        let trace: Vec<u64> = (0..2000).map(|_| rng.below(256)).collect();
+        let values = vec![1.0; trace.len()];
+        let run = |threads: usize, ff: bool| {
+            let mut mn = MultiNode::new(machine(), 4, NetworkConfig::low(), combining);
+            mn.set_fast_forward(ff);
+            let mut probe = Introspect::off();
+            probe.recorder = ProbeRecorder::every(interval).with_label("mn");
+            let r = mn.run_trace_threads_probed(&trace, &values, threads, &mut probe);
+            (stats_json(&r), probe.recorder.take_lines())
+        };
+        let (base_stats, base_lines) = run(1, false);
+        prop_assert!(!base_lines.is_empty(), "cadence must fire at least once");
+        for (threads, ff) in [(2usize, false), (1, true), (4, true)] {
+            let (stats, lines) = run(threads, ff);
+            prop_assert_eq!(
+                strip_skipped(&stats),
+                strip_skipped(&base_stats),
+                "threads={} ff={}: stats bytes diverged",
+                threads,
+                ff
+            );
+            prop_assert_eq!(
+                strip_probe_skipped(&lines),
+                strip_probe_skipped(&base_lines),
+                "threads={} ff={}: probe lines diverged",
+                threads,
+                ff
+            );
+        }
     }
 }
 
