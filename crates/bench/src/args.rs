@@ -76,6 +76,15 @@ impl Args {
         self.values.get(flag).map(String::as_str)
     }
 
+    /// Every flag name that was given (switches and valued flags alike),
+    /// for unknown-flag detection in binaries with a closed flag set.
+    pub fn flags(&self) -> impl Iterator<Item = &str> {
+        self.switches
+            .iter()
+            .map(String::as_str)
+            .chain(self.values.keys().map(String::as_str))
+    }
+
     /// Parse `--flag`'s value as `T`, or return `default` when absent.
     ///
     /// # Errors

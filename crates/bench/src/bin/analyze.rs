@@ -1,9 +1,7 @@
-//! Trace analytics behind Figure 13: the locality statistics of the four
-//! reference traces, computed with `sa_apps::traces::TraceStats` — the
-//! quantities the paper invokes qualitatively ("high locality", "extremely
-//! low cache hit rate") when explaining the scalability curves.
+//! The consumer side of the telemetry layer, plus the trace analytics
+//! behind Figure 13.
 //!
-//! Also the consumer side of the telemetry layer:
+//! Flag modes (CI entry points, kept stable):
 //!
 //! * `analyze --stats-json <path>` reads back a `sa-stats` document written
 //!   by any figure binary and prints a summary of its metrics;
@@ -21,6 +19,24 @@
 //!   snapshot line is validated against the probe schema and the client
 //!   exits nonzero on the first invalid one, so `--watch --watch-lines N
 //!   --plain` doubles as the CI smoke client.
+//!
+//! Positional modes:
+//!
+//! * `analyze bottleneck <stats.json>` renders the v5 `bottleneck`
+//!   attribution section — dominant resource with utilization evidence,
+//!   per-resource occupancy table, critical path, analytic what-if table.
+//!   Documents written before v5 (no occupancy counters) are recomputed on
+//!   the fly when possible;
+//! * `analyze trend [N]` prints the last N (default 10) entries of the
+//!   local perf-trajectory ledger `bench/history/trajectory.ndjson`
+//!   appended by `hotloop`;
+//! * `analyze summarize` runs the trace-locality analytics that explain
+//!   Figure 13 (the locality statistics of the four reference traces,
+//!   computed with `sa_apps::traces::TraceStats` — the quantities the
+//!   paper invokes qualitatively when explaining the scalability curves).
+//!
+//! With no mode (or an unknown one) the binary prints the full usage block
+//! and exits nonzero.
 
 use sa_apps::md::WaterSystem;
 use sa_apps::mesh::Mesh;
@@ -30,9 +46,34 @@ use sa_bench::args::Args;
 use sa_bench::diff::{diff_stats, DiffConfig};
 use sa_bench::{header, quick_mode, row};
 use sa_sim::{MachineConfig, Rng64};
-use sa_telemetry::{has_metric_matching, validate_stats_json, Json};
+use sa_telemetry::{
+    bottleneck_json, has_metric_matching, render_bottleneck, validate_bottleneck_json,
+    validate_stats_json, Json,
+};
 #[cfg(unix)]
 use sa_telemetry::{validate_probe_json, PROBE_SCHEMA_NAME};
+
+const USAGE: &str = "\
+usage: analyze <mode> [flags]
+
+flag modes (CI entry points):
+  --check <stats.json>                validate schema + required metric families
+  --diff <baseline.json> <cand.json>  perf gate (tune with --threshold 0.05)
+  --stats-json <stats.json>           summarize a stats document
+  --watch <socket>                    live probe dashboard (--watch-lines N, --plain)
+
+positional modes:
+  summarize                           trace-locality analytics behind Figure 13
+                                      (--quick for smaller inputs)
+  bottleneck <stats.json>             render the bottleneck attribution report
+                                      (sa-stats v5; older docs recomputed when
+                                      occupancy counters are present)
+  trend [N]                           last N entries (default 10) of the perf
+                                      trajectory ledger
+                                      bench/history/trajectory.ndjson
+";
+
+use sa_bench::TRAJECTORY_PATH;
 
 fn load_stats(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -143,6 +184,66 @@ fn summarize_stats(path: &str) -> Result<(), String> {
                 ],
             );
         }
+    }
+    Ok(())
+}
+
+/// `bottleneck <path>`: render the attribution report. Uses the document's
+/// own `bottleneck` section when present (the deterministic v5 artifact);
+/// otherwise derives one on the fly from the occupancy counters so freshly
+/// hand-assembled documents still analyze.
+fn bottleneck_mode(path: &str) -> Result<(), String> {
+    let doc = load_stats(path)?;
+    validate_stats_json(&doc)?;
+    let computed;
+    let section = match doc.get("bottleneck") {
+        Some(s) => s,
+        None => match bottleneck_json(&doc) {
+            Some(s) => {
+                computed = s;
+                &computed
+            }
+            None => {
+                return Err(format!(
+                    "{path}: no bottleneck section and no occupancy counters to \
+                     derive one from (document predates sa-stats v5?)"
+                ))
+            }
+        },
+    };
+    validate_bottleneck_json(section).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", render_bottleneck(section));
+    Ok(())
+}
+
+/// `trend [N]`: tail of the local perf-trajectory ledger appended by
+/// `hotloop` runs. Wall-clock numbers, machine-local by design.
+fn trend_mode(n: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(TRAJECTORY_PATH).map_err(|e| {
+        format!("reading {TRAJECTORY_PATH}: {e} (run `hotloop` to append an entry)")
+    })?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let start = lines.len().saturating_sub(n);
+    println!(
+        "perf trajectory: last {} of {} entries ({TRAJECTORY_PATH})",
+        lines.len() - start,
+        lines.len()
+    );
+    for line in &lines[start..] {
+        let doc = Json::parse(line)
+            .map_err(|e| format!("invalid NDJSON line in {TRAJECTORY_PATH}: {e}"))?;
+        let mut parts = Vec::new();
+        for (k, v) in doc.as_obj().unwrap_or(&[]) {
+            if k == "schema" || k == "version" {
+                continue;
+            }
+            if let Some(s) = v.as_str() {
+                parts.push(format!("{k}={s}"));
+            } else if let Some(x) = v.as_f64() {
+                parts.push(format!("{k}={x}"));
+            }
+        }
+        println!("  {}", parts.join("  "));
     }
     Ok(())
 }
@@ -339,8 +440,32 @@ fn watch(path: &str, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The full closed flag set; anything else is a typo worth stopping on.
+const KNOWN_FLAGS: &[&str] = &[
+    "watch",
+    "watch-lines",
+    "plain",
+    "diff",
+    "check",
+    "stats-json",
+    "threshold",
+    "quick",
+];
+
+fn usage_exit(context: &str) -> ! {
+    if !context.is_empty() {
+        eprintln!("error: {context}\n");
+    }
+    eprint!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args = Args::from_env();
+    if let Some(unknown) = args.flags().find(|f| !KNOWN_FLAGS.contains(f)) {
+        let unknown = unknown.to_owned();
+        usage_exit(&format!("unknown flag --{unknown}"));
+    }
     if let Some(path) = args.raw("watch") {
         #[cfg(unix)]
         {
@@ -384,6 +509,40 @@ fn main() {
         }
         return;
     }
+    match args.positional().first().map(String::as_str) {
+        Some("summarize") => trace_analytics(),
+        Some("bottleneck") => {
+            let Some(path) = args.positional().get(1) else {
+                usage_exit("bottleneck mode needs a stats document path");
+            };
+            if let Err(e) = bottleneck_mode(path) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("trend") => {
+            let n = match args.positional().get(1) {
+                None => 10,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => usage_exit(&format!("trend count '{raw}' is not a number")),
+                },
+            };
+            if let Err(e) = trend_mode(n) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some(other) => {
+            let other = other.to_owned();
+            usage_exit(&format!("unknown mode '{other}'"));
+        }
+        None => usage_exit(""),
+    }
+}
+
+/// `summarize`: the trace-locality analytics that explain Figure 13.
+fn trace_analytics() {
     let cfg = MachineConfig::merrimac();
     let quick = quick_mode();
     header(

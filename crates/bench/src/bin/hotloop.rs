@@ -8,7 +8,13 @@
 //! hotloop --probe-out BENCH_probe.json        # record probe overhead
 //! hotloop --probe-baseline BENCH_probe.json   # warn-only probe compare
 //! hotloop --quick                        # smaller inputs, single repeat
+//! hotloop --no-trajectory                # skip the trajectory ledger append
+//! hotloop --trajectory PATH              # append the ledger elsewhere
 //! ```
+//!
+//! Every run also appends one NDJSON entry per workload to the local
+//! perf-trajectory ledger `bench/history/trajectory.ndjson`; inspect it
+//! with `analyze trend`.
 //!
 //! Three workloads cover the simulator's distinct hot loops:
 //!
@@ -215,6 +221,56 @@ fn measure_probe_overhead(quick: bool, repeats: usize) -> Vec<Json> {
     out
 }
 
+/// Append one NDJSON entry per measured run to the perf-trajectory ledger
+/// (`analyze trend` reads it back). Wall-clock data, machine-local by
+/// design; any failure warns and never fails the bench. `--no-trajectory`
+/// skips the append, `--trajectory <path>` redirects it (tests).
+fn append_trajectory(args: &Args, quick: bool, tables: &[(&str, &[Json])]) {
+    if args.has("no-trajectory") {
+        return;
+    }
+    let path = args.raw("trajectory").unwrap_or(sa_bench::TRAJECTORY_PATH);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+            return;
+        }
+    }
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut lines = String::new();
+    for (bench, runs) in tables {
+        for run in *runs {
+            let mut o = Json::obj();
+            o.push("schema", Json::Str("sa-trajectory".to_owned()));
+            o.push("version", Json::UInt(1));
+            o.push("ts", Json::UInt(ts));
+            o.push("bench", Json::Str((*bench).to_owned()));
+            o.push("quick", Json::Bool(quick));
+            for (k, v) in run.as_obj().unwrap_or(&[]) {
+                o.push(k, v.clone());
+            }
+            lines.push_str(&o.to_string_compact());
+            lines.push('\n');
+        }
+    }
+    use std::io::Write;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(lines.as_bytes()));
+    match appended {
+        Ok(()) => eprintln!(
+            "appended {} trajectory entries to {path}",
+            tables.iter().map(|(_, r)| r.len()).sum::<usize>()
+        ),
+        Err(e) => eprintln!("warning: could not append to {path}: {e}"),
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let quick = quick_mode();
@@ -274,7 +330,7 @@ fn main() {
         doc.push("bench", Json::Str("hotloop".to_owned()));
         doc.push("quick", Json::Bool(quick));
         doc.push("repeats", Json::UInt(repeats as u64));
-        doc.push("runs", Json::Arr(runs));
+        doc.push("runs", Json::Arr(runs.clone()));
         if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);
@@ -303,11 +359,16 @@ fn main() {
         doc.push("bench", Json::Str("probe-overhead".to_owned()));
         doc.push("quick", Json::Bool(quick));
         doc.push("repeats", Json::UInt(repeats as u64));
-        doc.push("runs", Json::Arr(probe_runs));
+        doc.push("runs", Json::Arr(probe_runs.clone()));
         if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("wrote probe-overhead measurement to {path}");
     }
+    append_trajectory(
+        &args,
+        quick,
+        &[("hotloop", &runs), ("probe-overhead", &probe_runs)],
+    );
 }

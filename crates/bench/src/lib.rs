@@ -24,6 +24,11 @@
 
 use std::fmt::Display;
 
+/// The local perf-trajectory ledger: `hotloop` appends one NDJSON entry per
+/// measured run, `analyze trend` prints the tail. Wall-clock numbers, so
+/// machine-local by design — the file is gitignored, never diffed in CI.
+pub const TRAJECTORY_PATH: &str = "bench/history/trajectory.ndjson";
+
 /// Whether the caller asked for a reduced-size run (`--quick` argument or
 /// `SA_QUICK=1` in the environment).
 pub fn quick_mode() -> bool {

@@ -271,7 +271,7 @@ impl BenchRun {
             } else {
                 None
             };
-            let doc = stats_json_full(
+            let mut doc = stats_json_full(
                 &self.bench,
                 machine_config_json(&self.cfg),
                 &self.registry,
@@ -281,6 +281,7 @@ impl BenchRun {
                 host_profile,
                 Json::Arr(std::mem::take(&mut self.rows)),
             );
+            sa_telemetry::attach_bottleneck(&mut doc);
             validate_stats_json(&doc).expect("internal error: stats document must validate");
             if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
                 eprintln!("error: could not write stats to {path}: {e}");

@@ -6,6 +6,7 @@ use fxhash::FxHashMap;
 use sa_faults::{ResilienceStats, ECC_REPLAY_LIMIT};
 use sa_mem::{DramCommand, DramKind, DramResponse};
 use sa_sim::{Addr, BoundedQueue, CacheConfig, Cycle, MemResponse, Origin, ReqId, WORD_BYTES};
+use sa_telemetry::{OccClass, OccupancyStats};
 
 /// What a cache access does. See the crate docs for the policies.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -77,6 +78,10 @@ pub struct CacheStats {
     /// Subset of `blocked`: rejections because the MSHR file was exhausted or
     /// a pending-fill MSHR had no free target slot.
     pub mshr_full: u64,
+    /// Busy/blocked/idle cycle account (access granted or fill installed /
+    /// misses outstanding / empty), with `saturated` counting cycles the
+    /// MSHR file was at capacity or rejected for lack of a target slot.
+    pub occ: OccupancyStats,
 }
 
 impl CacheStats {
@@ -104,6 +109,7 @@ impl CacheStats {
         self.sum_backs += o.sum_backs;
         self.blocked += o.blocked;
         self.mshr_full += o.mshr_full;
+        self.occ.merge(o.occ);
     }
 
     /// Record these counters into a telemetry scope.
@@ -120,6 +126,7 @@ impl CacheStats {
         scope.counter("sum_backs", self.sum_backs);
         scope.counter("blocked", self.blocked);
         scope.counter("mshr_full", self.mshr_full);
+        self.occ.record(scope);
         scope.gauge("read_hit_rate", self.read_hit_rate());
     }
 }
@@ -178,6 +185,12 @@ pub struct CacheBank {
     next_cmd_id: ReqId,
     stats: CacheStats,
     resilience: ResilienceStats,
+    /// Occupancy classification of the cycle currently in flight. A bank's
+    /// class for one cycle is only known once the cycle's port accesses have
+    /// been presented (which happens *after* [`CacheBank::tick`] in the node
+    /// order), so the tick sets a provisional class, accesses upgrade it,
+    /// and the next tick / skip / stats read commits it.
+    pend: Option<(OccClass, bool)>,
 }
 
 impl CacheBank {
@@ -214,8 +227,44 @@ impl CacheBank {
             next_cmd_id: 0,
             stats: CacheStats::default(),
             resilience: ResilienceStats::default(),
+            pend: None,
             cfg,
         }
+    }
+
+    /// Commit the in-flight cycle's occupancy classification, if any.
+    fn commit_pend(&mut self) {
+        if let Some((class, at_capacity)) = self.pend.take() {
+            self.stats.occ.cycle(class, at_capacity);
+        }
+    }
+
+    /// Upgrade the in-flight cycle's class (`Idle < Blocked < Busy`) and/or
+    /// flag it as at-capacity.
+    fn occ_note(&mut self, class: OccClass, at_capacity: bool) {
+        if let Some(p) = self.pend.as_mut() {
+            p.0 = p.0.max(class);
+            p.1 |= at_capacity;
+        }
+    }
+
+    /// The state-only occupancy classification: misses or undrained output
+    /// outstanding → blocked, else idle; at capacity when the MSHR file is
+    /// exhausted. Shared by the per-cycle tick (as the provisional class)
+    /// and the fast-forward fold (where the state is frozen, so no upgrades
+    /// can occur and this is the final class).
+    fn occ_baseline(&self) -> (OccClass, bool) {
+        let class = if !self.mshrs.is_empty()
+            || !self.pending_fills.is_empty()
+            || !self.ready.is_empty()
+            || !self.mem_out.is_empty()
+            || !self.sum_backs.is_empty()
+        {
+            OccClass::Blocked
+        } else {
+            OccClass::Idle
+        };
+        (class, self.mshrs.len() >= self.cfg.mshrs_per_bank)
     }
 
     /// Map an address to (set, tag, word offset). The tag is the *full*
@@ -320,6 +369,21 @@ impl CacheBank {
     ///
     /// Panics (in debug builds) if the address does not map to this bank.
     pub fn try_access(&mut self, access: CacheAccess, now: Cycle) -> Result<(), CacheAccess> {
+        let mshr_full_before = self.stats.mshr_full;
+        let r = self.try_access_inner(access, now);
+        // Occupancy: a granted access makes this a busy cycle; a rejection
+        // means work was pushed back (blocked), and an MSHR-full rejection
+        // additionally marks the cycle as at-capacity.
+        let note = if r.is_ok() {
+            OccClass::Busy
+        } else {
+            OccClass::Blocked
+        };
+        self.occ_note(note, self.stats.mshr_full > mshr_full_before);
+        r
+    }
+
+    fn try_access_inner(&mut self, access: CacheAccess, now: Cycle) -> Result<(), CacheAccess> {
         let (set, tag, offset) = self.locate(access.addr);
         let line_base = self.line_base_of(access.addr);
         let hit_way = self.find_way(set, tag);
@@ -511,18 +575,31 @@ impl CacheBank {
 
     /// Advance one cycle: install at most one pending fill.
     pub fn tick(&mut self, now: Cycle) {
+        self.commit_pend();
         self.mem_out.advance(now.raw());
+        let installed = self.tick_install(now);
+        let mut state = self.occ_baseline();
+        if installed {
+            state.0 = OccClass::Busy;
+        }
+        self.pend = Some(state);
+    }
+
+    /// The fill-install body of [`tick`](Self::tick). Returns whether the
+    /// bank did useful work this cycle (installed a fill or launched an ECC
+    /// replay), for occupancy classification.
+    fn tick_install(&mut self, now: Cycle) -> bool {
         let Some(resp) = self.pending_fills.front() else {
-            return;
+            return false;
         };
         if resp.ecc_error {
             self.replay_poisoned_fill();
-            return;
+            return true;
         }
         let base = resp.base;
         let (set, tag, _) = self.locate(base);
         let Some(way) = self.make_room(set) else {
-            return; // eviction blocked on the command queue; retry next cycle
+            return false; // eviction blocked on the command queue; retry next cycle
         };
         let resp = self.pending_fills.pop_front().expect("front checked");
         let mshr_idx = self.mshr_lookup.remove(&base.0).expect("fill without MSHR");
@@ -568,6 +645,22 @@ impl CacheBank {
                 }
             }
         }
+        true
+    }
+
+    /// Fold `skipped` provably-uneventful cycles (fast-forward) into the
+    /// busy/blocked/idle account. The caller guarantees no access is
+    /// presented and no fill installs during the window, so every skipped
+    /// cycle carries the frozen [`occ_baseline`](Self::occ_baseline) class —
+    /// exactly what per-cycle ticking would have recorded.
+    pub fn skip_cycles(&mut self, now: Cycle, skipped: u64) {
+        debug_assert!(
+            self.next_event(now).is_none_or(|t| t > now + skipped),
+            "fast-forward skipped past a cache-bank event"
+        );
+        self.commit_pend();
+        let (class, at_capacity) = self.occ_baseline();
+        self.stats.occ.skip(skipped, class, at_capacity);
     }
 
     /// The fill at the head of the queue carries an ECC-detected error:
@@ -727,9 +820,16 @@ impl CacheBank {
             && self.sum_backs.is_empty()
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far. The in-flight cycle's occupancy
+    /// classification (see [`CacheBank::tick`]) is folded into the returned
+    /// copy without being committed, so mid-run snapshots (probes) and
+    /// end-of-run reads both see every ticked cycle accounted.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let mut s = self.stats;
+        if let Some((class, at_capacity)) = self.pend {
+            s.occ.cycle(class, at_capacity);
+        }
+        s
     }
 
     /// ECC recovery counters accumulated so far (all zero unless poisoned

@@ -104,22 +104,35 @@ impl StallBreakdown {
         }
     }
 
+    /// Event count for a canonical stall-cause key from
+    /// [`sa_telemetry::STALL_CAUSES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a key outside the canonical table (programming error).
+    pub fn events_for(&self, key: &str) -> u64 {
+        match key {
+            "mshr_full" => self.mshr_full,
+            "bank_conflict" => self.bank_conflict,
+            "cs_full" => self.cs_full,
+            "net_credit" => self.net_credit,
+            other => panic!("unknown stall cause key {other:?}"),
+        }
+    }
+
     /// As the `attribution.<kernel>` object of a v2 stats document:
-    /// `{"cycles": N, "<cause>": {"events": E, "pct": P}, ...}`.
+    /// `{"cycles": N, "<cause>": {"events": E, "pct": P}, ...}`, causes in
+    /// [`sa_telemetry::STALL_CAUSES`] order.
     pub fn to_json(&self) -> sa_telemetry::Json {
         use sa_telemetry::Json;
         let mut o = Json::obj();
         o.push("cycles", Json::UInt(self.cycles));
-        for (cause, events) in [
-            ("mshr_full", self.mshr_full),
-            ("bank_conflict", self.bank_conflict),
-            ("cs_full", self.cs_full),
-            ("net_credit", self.net_credit),
-        ] {
+        for cause in &sa_telemetry::STALL_CAUSES {
+            let events = self.events_for(cause.key);
             let mut e = Json::obj();
             e.push("events", Json::UInt(events));
             e.push("pct", Json::Num(self.pct(events)));
-            o.push(cause, e);
+            o.push(cause.key, e);
         }
         o
     }
@@ -128,30 +141,21 @@ impl StallBreakdown {
 impl fmt::Display for StallBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "stall breakdown over {} cycles:", self.cycles)?;
-        writeln!(
-            f,
-            "  MSHR full:            {:>6.1}%  ({} events)",
-            self.pct(self.mshr_full),
-            self.mshr_full
-        )?;
-        writeln!(
-            f,
-            "  bank conflict:        {:>6.1}%  ({} events)",
-            self.pct(self.bank_conflict),
-            self.bank_conflict
-        )?;
-        writeln!(
-            f,
-            "  combining-store full: {:>6.1}%  ({} events)",
-            self.pct(self.cs_full),
-            self.cs_full
-        )?;
-        write!(
-            f,
-            "  network credit:       {:>6.1}%  ({} events)",
-            self.pct(self.net_credit),
-            self.net_credit
-        )
+        let mut causes = sa_telemetry::STALL_CAUSES.iter().peekable();
+        while let Some(cause) = causes.next() {
+            let events = self.events_for(cause.key);
+            write!(
+                f,
+                "  {:<22}{:>6.1}%  ({} events)",
+                format!("{}:", cause.label),
+                self.pct(events),
+                events
+            )?;
+            if causes.peek().is_some() {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -747,6 +747,9 @@ impl<T: TraceSink> NodeMemSys<T> {
         for u in &mut self.sa {
             u.skip_cycles(now, skipped, false);
         }
+        for b in &mut self.banks {
+            b.skip_cycles(now, skipped);
+        }
         for c in &mut self.channels {
             c.skip_idle(now, skipped);
         }

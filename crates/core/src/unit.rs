@@ -8,7 +8,7 @@ use sa_sim::{
     combine, Addr, Cycle, MemOp, MemRequest, MemResponse, Origin, ReqId, SaUnitConfig, ScalarKind,
     ScatterOp,
 };
-use sa_telemetry::{ReqStage, ReqTracer};
+use sa_telemetry::{OccClass, OccupancyStats, ReqStage, ReqTracer};
 
 /// A read or write the unit sends toward the cache/DRAM behind it
 /// (steps b and 7 of Figure 4b).
@@ -65,6 +65,10 @@ pub struct SaStats {
     pub fetch_ops: u64,
     /// Sum over ticks of occupied entries (divide by cycles for average).
     pub occupancy_integral: u64,
+    /// Busy/blocked/idle cycle account (FU pipeline active / entries
+    /// waiting on memory / empty), with `saturated` counting cycles the
+    /// combining store was full.
+    pub occ: OccupancyStats,
 }
 
 impl SaStats {
@@ -78,6 +82,7 @@ impl SaStats {
         self.stalled_full += o.stalled_full;
         self.fetch_ops += o.fetch_ops;
         self.occupancy_integral += o.occupancy_integral;
+        self.occ.merge(o.occ);
     }
 
     /// Record these counters into a telemetry scope.
@@ -90,6 +95,7 @@ impl SaStats {
         scope.counter("stalled_full", self.stalled_full);
         scope.counter("fetch_ops", self.fetch_ops);
         scope.counter("occupancy_integral", self.occupancy_integral);
+        self.occ.record(scope);
     }
 }
 
@@ -352,6 +358,8 @@ impl ScatterAddUnit {
     /// pipeline into `tracer`.
     pub fn tick_traced(&mut self, now: Cycle, tracer: &mut ReqTracer) {
         self.stats.occupancy_integral += self.occupancy() as u64;
+        let (class, at_capacity) = self.occ_state();
+        self.stats.occ.cycle(class, at_capacity);
 
         // Retire a completed addition (needs a to_mem slot in the worst
         // case, which the unbounded queue always has; the *node* applies
@@ -500,17 +508,39 @@ impl ScatterAddUnit {
         self.fu.front().map(|op| op.done_at.max(now + 1))
     }
 
+    /// Classify the unit's state at the start of a cycle for occupancy
+    /// accounting: FU pipeline or issue queue active → busy; entries (or
+    /// undrained output) waiting on another resource → blocked; else idle.
+    /// At capacity when the combining store would reject a submission.
+    ///
+    /// The same predicate serves the per-cycle tick and the bulk
+    /// fast-forward fold: a skippable window freezes exactly this state, so
+    /// both paths account identically.
+    fn occ_state(&self) -> (OccClass, bool) {
+        let class = if !self.fu.is_empty() || !self.values_in.is_empty() {
+            OccClass::Busy
+        } else if self.occupied > 0 || !self.to_mem.is_empty() || !self.acks.is_empty() {
+            OccClass::Blocked
+        } else {
+            OccClass::Idle
+        };
+        (class, !self.can_accept())
+    }
+
     /// Fold `skipped` provably-idle cycles (fast-forward) into the unit's
     /// per-cycle accounting so the stats stay byte-identical with skipping
-    /// off: the occupancy integral accrues at the frozen occupancy, and when
-    /// the caller held a rejected request it would have retried (and been
-    /// refused) every skipped cycle, the full-stall counter accrues too.
+    /// off: the occupancy integral and busy/blocked/idle account accrue at
+    /// the frozen state, and when the caller held a rejected request it
+    /// would have retried (and been refused) every skipped cycle, the
+    /// full-stall counter accrues too.
     pub fn skip_cycles(&mut self, now: Cycle, skipped: u64, attempting_submit: bool) {
         debug_assert!(
             self.next_event(now).is_none_or(|t| t > now + skipped),
             "fast-forward skipped past a scatter-add unit event"
         );
         self.stats.occupancy_integral += self.occupied as u64 * skipped;
+        let (class, at_capacity) = self.occ_state();
+        self.stats.occ.skip(skipped, class, at_capacity);
         if attempting_submit {
             debug_assert!(!self.can_accept(), "a submit would have succeeded");
             self.stats.stalled_full += skipped;

@@ -15,6 +15,7 @@
 
 use sa_faults::{FaultInjector, FaultKind, ResilienceStats};
 use sa_sim::{Addr, BoundedQueue, Cycle, DramConfig, Origin, ReqId, Throughput};
+use sa_telemetry::{OccClass, OccupancyStats};
 
 use crate::BackingStore;
 
@@ -82,6 +83,10 @@ pub struct DramStats {
     pub words_transferred: u64,
     /// Sum of queue-entry-to-completion latencies (cycles), for averaging.
     pub total_latency: u64,
+    /// Busy/idle cycle account (command queued or in flight / empty;
+    /// row-access waits count as busy — they are the channel's own latency),
+    /// with `saturated` counting cycles the command queue was full.
+    pub occ: OccupancyStats,
 }
 
 impl DramStats {
@@ -103,6 +108,7 @@ impl DramStats {
         self.row_misses += o.row_misses;
         self.words_transferred += o.words_transferred;
         self.total_latency += o.total_latency;
+        self.occ.merge(o.occ);
     }
 
     /// Record these counters into a telemetry scope.
@@ -113,6 +119,7 @@ impl DramStats {
         scope.counter("row_misses", self.row_misses);
         scope.counter("words_transferred", self.words_transferred);
         scope.counter("total_latency", self.total_latency);
+        self.occ.record(scope);
         scope.gauge("avg_latency", self.avg_latency());
     }
 }
@@ -206,8 +213,24 @@ impl DramChannel {
         (bank, row)
     }
 
+    /// Classify the channel's state at the start of a cycle for occupancy
+    /// accounting: any queued or in-flight command (including a row access
+    /// in progress — the channel's own latency) is busy; else idle. At
+    /// capacity when the command queue is full. Shared by the per-cycle
+    /// tick and the fast-forward fold, whose windows freeze this state.
+    fn occ_state(&self) -> (OccClass, bool) {
+        let class = if self.service.is_some() || self.next.is_some() || !self.queue.is_empty() {
+            OccClass::Busy
+        } else {
+            OccClass::Idle
+        };
+        (class, !self.queue.can_accept())
+    }
+
     /// Advance one cycle; returns any command that completed this cycle.
     pub fn tick(&mut self, now: Cycle, store: &mut BackingStore) -> Option<DramResponse> {
+        let (class, at_capacity) = self.occ_state();
+        self.stats.occ.cycle(class, at_capacity);
         self.rate.tick();
         self.queue.advance(now.raw());
 
@@ -362,14 +385,17 @@ impl DramChannel {
     }
 
     /// Fold `skipped` un-ticked cycles (fast-forward) into the bandwidth
-    /// token bucket. Exact because the transfer loop never runs during a
-    /// skippable span (`now < access_done` throughout), so each skipped tick
-    /// would only have refilled credit.
+    /// token bucket and the busy/idle account. Exact because the transfer
+    /// loop never runs during a skippable span (`now < access_done`
+    /// throughout), so each skipped tick would only have refilled credit —
+    /// and the frozen state classifies identically to per-cycle ticking.
     pub fn skip_idle(&mut self, now: Cycle, skipped: u64) {
         debug_assert!(
             self.next_event(now).is_none_or(|t| t > now + skipped),
             "fast-forward skipped past a DRAM channel event"
         );
+        let (class, at_capacity) = self.occ_state();
+        self.stats.occ.skip(skipped, class, at_capacity);
         self.rate.tick_idle(skipped);
     }
 
@@ -740,9 +766,17 @@ mod tests {
             row_misses: 4,
             words_transferred: 5,
             total_latency: 6,
+            occ: OccupancyStats {
+                busy: 7,
+                blocked: 0,
+                idle: 8,
+                saturated: 1,
+            },
         };
         a.merge(a);
         assert_eq!(a.reads, 2);
         assert_eq!(a.words_transferred, 10);
+        assert_eq!(a.occ.busy, 14);
+        assert_eq!(a.occ.elapsed(), 30);
     }
 }

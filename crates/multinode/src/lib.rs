@@ -399,7 +399,7 @@ impl MultiNode {
                 if fast_forward {
                     let cap = probe.recorder.next_due();
                     skipped_cycles += probe.profiler.time("skip", || {
-                        fast_forward_skip(&mut clock, &self.net, &mut refs, now, cap)
+                        fast_forward_skip(&mut clock, &mut self.net, &mut refs, now, cap)
                     });
                 }
             }
@@ -511,7 +511,7 @@ impl MultiNode {
                     if fast_forward {
                         let cap = probe.recorder.next_due();
                         skipped_cycles += probe.profiler.time("skip", || {
-                            fast_forward_skip(&mut clock, &self.net, &mut refs, now, cap)
+                            fast_forward_skip(&mut clock, &mut self.net, &mut refs, now, cap)
                         });
                     }
                 }
@@ -858,10 +858,11 @@ fn step_node(ctx: &mut NodeCtx, now: Cycle, p: &StepParams) {
 /// nothing to inject or forward (checked here), and no completions pending
 /// (node horizon covers them). Per-cycle stall counters cannot advance in
 /// such a cycle, and the time-weighted integrals are folded by
-/// [`NodeMemSys::skip_cycles`], so reports stay byte-identical.
+/// [`NodeMemSys::skip_cycles`] / [`Crossbar::skip_cycles`], so reports stay
+/// byte-identical.
 fn fast_forward_skip(
     clock: &mut Clock,
-    net: &Crossbar<NetMsg>,
+    net: &mut Crossbar<NetMsg>,
     ctxs: &mut [&mut NodeCtx],
     now: Cycle,
     probe_cap: Option<u64>,
@@ -891,6 +892,7 @@ fn fast_forward_skip(
     for ctx in ctxs.iter_mut() {
         ctx.node.skip_cycles(now, k);
     }
+    net.skip_cycles(now, k);
     clock.skip_to(Cycle(h.raw() - 1));
     k
 }

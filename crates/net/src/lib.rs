@@ -34,7 +34,7 @@ use std::collections::VecDeque;
 
 use sa_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite, ResilienceStats};
 use sa_sim::{BoundedQueue, Cycle, NetworkConfig, QueueStats, ReqId};
-use sa_telemetry::{ReqStage, ReqTracer};
+use sa_telemetry::{OccClass, OccupancyStats, ReqStage, ReqTracer};
 
 /// A message travelling between nodes.
 #[derive(Clone, Debug, PartialEq)]
@@ -78,6 +78,11 @@ pub struct NetStats {
     pub total_latency: u64,
     /// Cycles an ejection port was stalled by a full delivery queue.
     pub eject_stalls: u64,
+    /// Busy/blocked/idle cycle account for the whole fabric (ports moving
+    /// words / messages only in hop-latency flight or undrained deliveries /
+    /// empty), with `saturated` counting cycles some injection queue was
+    /// full.
+    pub occ: OccupancyStats,
 }
 
 impl NetStats {
@@ -96,6 +101,7 @@ impl NetStats {
         scope.counter("words", self.words);
         scope.counter("total_latency", self.total_latency);
         scope.counter("eject_stalls", self.eject_stalls);
+        self.occ.record(scope);
         scope.gauge("avg_latency", self.avg_latency());
     }
 }
@@ -326,8 +332,35 @@ impl<T> Crossbar<T> {
         r
     }
 
+    /// Classify the fabric's state at the start of a cycle for occupancy
+    /// accounting: ports that will move words this cycle → busy; messages
+    /// only in hop-latency flight or undrained delivery queues → blocked;
+    /// empty → idle. At capacity when some injection queue is full. Shared
+    /// by the per-cycle tick and the fast-forward fold (whose windows
+    /// freeze exactly this state).
+    fn occ_state(&self, now: Cycle) -> (OccClass, bool) {
+        let moving = self.tx.iter().any(Option::is_some)
+            || self.rx.iter().any(Option::is_some)
+            || self.rx_wait.iter().any(|q| !q.is_empty())
+            || self.in_q.iter().any(|q| !q.is_empty())
+            || self
+                .flight
+                .front()
+                .is_some_and(|&(arrive, _, _, _)| arrive <= now);
+        let class = if moving {
+            OccClass::Busy
+        } else if !self.flight.is_empty() || self.out_q.iter().any(|q| !q.is_empty()) {
+            OccClass::Blocked
+        } else {
+            OccClass::Idle
+        };
+        (class, self.in_q.iter().any(|q| !q.can_accept()))
+    }
+
     /// Advance the fabric one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        let (class, at_capacity) = self.occ_state(now);
+        self.stats.occ.cycle(class, at_capacity);
         for q in self.in_q.iter_mut().chain(self.out_q.iter_mut()) {
             q.advance(now.raw());
         }
@@ -467,6 +500,20 @@ impl<T> Crossbar<T> {
         self.flight
             .front()
             .map(|&(arrive, _, _, _)| arrive.max(now + 1))
+    }
+
+    /// Fold `skipped` un-ticked cycles (fast-forward) into the fabric's
+    /// busy/blocked/idle account. The caller guarantees no port, queue, or
+    /// arrival makes progress during the window (see
+    /// [`next_event`](Self::next_event)), so the frozen state classifies
+    /// every skipped cycle exactly as per-cycle ticking would.
+    pub fn skip_cycles(&mut self, now: Cycle, skipped: u64) {
+        debug_assert!(
+            self.next_event(now).is_none_or(|t| t > now + skipped),
+            "fast-forward skipped past a crossbar event"
+        );
+        let (class, at_capacity) = self.occ_state(now);
+        self.stats.occ.skip(skipped, class, at_capacity);
     }
 
     /// Whether nothing is queued or in flight anywhere.

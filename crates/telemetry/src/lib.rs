@@ -31,8 +31,13 @@ use std::fs::File;
 use std::io::{self, Write as _};
 use std::path::Path;
 
+pub mod bottleneck;
 pub mod probe;
 
+pub use bottleneck::{
+    attach_bottleneck, bottleneck_json, render_bottleneck, validate_bottleneck_json, OccClass,
+    OccupancyStats, StallCause, BOUND_KINDS, STAGE_NAMES, STALL_CAUSES,
+};
 #[cfg(unix)]
 pub use probe::ProbeListener;
 pub use probe::{
@@ -53,7 +58,13 @@ pub use probe::{
 /// nondeterministic: byte-determinism gates and `analyze --diff` exclude
 /// it, and documents written without the flag differ from v3 only in this
 /// version field.
-pub const STATS_SCHEMA_VERSION: u64 = 4;
+/// v5 added per-resource occupancy counters (`occ_busy` / `occ_blocked` /
+/// `occ_idle` / `occ_saturated` under every scatter-add unit, cache bank,
+/// DRAM channel, and crossbar scope) and the optional derived `bottleneck`
+/// section (see [`bottleneck::bottleneck_json`]): dominant-resource
+/// classification, critical-path stage shares, and an analytic what-if
+/// table. The section is deterministic and ordered before `host_profile`.
+pub const STATS_SCHEMA_VERSION: u64 = 5;
 
 /// Oldest stats schema version [`validate_stats_json`] still accepts.
 ///
@@ -592,18 +603,10 @@ impl ReqStage {
     ];
 
     /// Stable snake_case name used in stats documents and trace spans.
+    /// Indexes the shared [`STAGE_NAMES`] table (one source of truth with
+    /// the attribution renderers).
     pub fn name(self) -> &'static str {
-        match self {
-            ReqStage::Issued => "issued",
-            ReqStage::Enqueued => "enqueued",
-            ReqStage::Crossbar => "crossbar",
-            ReqStage::BankArb => "bank_arb",
-            ReqStage::Mshr => "mshr",
-            ReqStage::CombStore => "comb_store",
-            ReqStage::FuPipe => "fu_pipe",
-            ReqStage::Dram => "dram",
-            ReqStage::Retired => "retired",
-        }
+        STAGE_NAMES[self as usize]
     }
 }
 
@@ -1519,6 +1522,9 @@ pub fn validate_stats_json(doc: &Json) -> Result<(), String> {
                 }
             }
         }
+    }
+    if let Some(bottleneck) = doc.get("bottleneck") {
+        validate_bottleneck_json(bottleneck)?;
     }
     if let Some(profile) = doc.get("host_profile") {
         profile

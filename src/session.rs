@@ -127,6 +127,35 @@ impl SessionReport {
         }
         self.adds as f64 * sa_sim::WORD_BYTES as f64 * ghz / self.cycles as f64
     }
+
+    /// The bottleneck attribution report for this run: per-resource
+    /// occupancy (busy / blocked / idle / saturated), the dominant-resource
+    /// classification with utilization evidence, and the analytic what-if
+    /// table — the `session` entry of a v5 `bottleneck` section (see
+    /// `docs/OBSERVABILITY.md`). Render with
+    /// [`sa_telemetry::render_bottleneck`]. `None` when the report carries
+    /// no node statistics.
+    pub fn bottleneck(&self) -> Option<sa_telemetry::Json> {
+        use sa_telemetry::{Json, MetricsRegistry};
+        if self.node_stats.is_empty() {
+            return None;
+        }
+        let mut registry = MetricsRegistry::new();
+        {
+            let mut scope = registry.scope("session");
+            scope.counter("cycles", self.cycles);
+            if let [only] = self.node_stats.as_slice() {
+                only.record(&mut scope);
+            } else {
+                for (i, ns) in self.node_stats.iter().enumerate() {
+                    ns.record(&mut scope.scope(&format!("node{i}")));
+                }
+            }
+        }
+        let mut doc = Json::obj();
+        doc.push("metrics", registry.to_json());
+        sa_telemetry::bottleneck_json(&doc)
+    }
 }
 
 /// Staged configuration for a [`Session`]; see the module docs.
@@ -461,6 +490,48 @@ mod tests {
         assert_eq!(report.result, [1, 3, 1, 0, 2]);
         assert!(report.resilience.is_zero());
         assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn report_exposes_bottleneck_attribution() {
+        // Single node: the report groups under one "session" scope.
+        let report = Session::builder()
+            .workload(Workload::Histogram {
+                base_word: 0,
+                indices: (0..2048u64).map(|i| (i * 11) % 64).collect(),
+            })
+            .build()
+            .expect("valid")
+            .run();
+        let section = report.bottleneck().expect("occupancy counters present");
+        let run = section.get("session").expect("one report per session");
+        let bound = run
+            .get("bound")
+            .and_then(sa_telemetry::Json::as_str)
+            .expect("classified");
+        assert!(sa_telemetry::BOUND_KINDS.contains(&bound), "{bound}");
+        assert!(run.get("resources").is_some());
+
+        // Multi node: per-node scopes fold into the same single report.
+        let report = Session::builder()
+            .workload(Workload::MultiNode {
+                nodes: 2,
+                network: NetworkConfig::low(),
+                combining: false,
+                topology: Topology::Flat,
+                trace: (0..600u64).map(|i| (i * 13) % 128).collect(),
+                values: vec![1.0; 600],
+            })
+            .build()
+            .expect("valid")
+            .run();
+        let section = report.bottleneck().expect("multinode occupancy");
+        assert!(section.get("session").is_some());
+        assert_eq!(
+            section.as_obj().map(<[_]>::len),
+            Some(1),
+            "node scopes must group into one session report"
+        );
     }
 
     #[test]

@@ -337,6 +337,114 @@ proptest! {
     }
 }
 
+/// Render the v5 `bottleneck` section for a multinode run, validated.
+fn bottleneck_section(r: &TraceReport) -> String {
+    let mut reg = sa_telemetry::MetricsRegistry::new();
+    r.record_metrics(&mut reg.scope("multinode"));
+    let mut doc = Json::obj();
+    doc.push("metrics", reg.to_json());
+    let section = sa_telemetry::bottleneck_json(&doc).expect("occupancy counters present");
+    sa_telemetry::validate_bottleneck_json(&section).expect("valid bottleneck section");
+    section.to_string_pretty()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The bottleneck attribution contract: the section is derived purely
+    /// from deterministic counters — including the occupancy accounting the
+    /// skip path folds in bulk — so its bytes are identical across
+    /// step-thread counts and fast-forward modes, with no stripping at all
+    /// (`skipped_cycles` never feeds the report).
+    #[test]
+    fn bottleneck_section_is_schedule_invariant(
+        trace_seed in 1u64..12,
+        combining in any::<bool>(),
+    ) {
+        let mut rng = Rng64::new(trace_seed);
+        let trace: Vec<u64> = (0..2200).map(|_| rng.below(192)).collect();
+        let values = vec![1.0; trace.len()];
+        let run = |threads: usize, ff: bool| {
+            let mut mn = MultiNode::new(machine(), 4, NetworkConfig::low(), combining);
+            mn.set_fast_forward(ff);
+            bottleneck_section(&mn.run_trace_threads(&trace, &values, threads))
+        };
+        let base = run(1, false);
+        for (threads, ff) in [(2usize, false), (1, true), (4, true)] {
+            prop_assert_eq!(
+                run(threads, ff),
+                base.clone(),
+                "threads={} ff={}: bottleneck bytes diverged",
+                threads,
+                ff
+            );
+        }
+    }
+}
+
+/// Occupancy counters for each component family of a run scope:
+/// `(busy, blocked, idle)` summed over the scope's merged counters.
+fn occ_triple(json: &str, family: &str) -> (u64, u64, u64) {
+    let field = |suffix: &str| {
+        json.lines()
+            .find(|l| l.contains(&format!("\"run.{family}.occ_{suffix}\"")))
+            .and_then(|l| {
+                l.split(':')
+                    .nth(1)?
+                    .trim()
+                    .trim_end_matches(',')
+                    .parse::<u64>()
+                    .ok()
+            })
+            .unwrap_or_else(|| panic!("missing run.{family}.occ_{suffix} in stats"))
+    };
+    (field("busy"), field("blocked"), field("idle"))
+}
+
+#[test]
+fn occupancy_accounting_covers_every_cycle_under_fast_forward() {
+    // The per-component accounting invariant behind the bottleneck engine:
+    // busy + blocked + idle must equal the cycles the component actually
+    // existed for — identical across fast-forward modes (the skip path
+    // folds whole windows with the same classification the tick path would
+    // have produced cycle by cycle), and identical across components of
+    // one node (they all live the same span).
+    let mut rng = Rng64::new(23);
+    let cfg = machine();
+    // Wide range: misses stall on DRAM, so provably-idle windows exist for
+    // the scheduler to skip while every family still turns busy.
+    let kernel = ScatterKernel::histogram(0, (0..1500).map(|_| rng.below(1 << 18)).collect());
+    let elapsed_for = |ff: bool| {
+        let mut node = NodeMemSys::new(cfg, 0, false);
+        node.set_fast_forward(ff);
+        let run = drive_scatter_with(node, &kernel, false);
+        let json = run_stats_json(&run);
+        let mut elapsed = Vec::new();
+        for family in ["sa", "cache", "dram"] {
+            let (busy, blocked, idle) = occ_triple(&json, family);
+            assert!(busy > 0, "{family}: never busy in a miss-heavy run");
+            elapsed.push(busy + blocked + idle);
+        }
+        (elapsed, run.skipped_cycles)
+    };
+    let (on, skipped_on) = elapsed_for(true);
+    let (off, skipped_off) = elapsed_for(false);
+    assert!(skipped_on > 0, "miss-heavy run must find skippable windows");
+    assert_eq!(skipped_off, 0);
+    assert_eq!(on, off, "elapsed accounting differs across fast-forward");
+    // All families are per-instance merges over the same span: each
+    // instance's elapsed is span cycles, so family totals are
+    // instances x span.
+    let span = |total: u64, instances: u64| {
+        assert_eq!(total % instances, 0);
+        total / instances
+    };
+    let banks = cfg.cache.banks as u64;
+    let chans = cfg.dram.channels as u64;
+    assert_eq!(span(on[0], banks), span(on[1], banks));
+    assert_eq!(span(on[0], banks), span(on[2], chans));
+}
+
 /// A recoverable fault plan covering every site, parameterized by seed.
 fn fault_plan(seed: u64) -> sa_faults::FaultPlan {
     sa_faults::FaultPlan::parse(&format!(

@@ -148,3 +148,39 @@ fn software_baselines_agree_exactly_on_integer_streams() {
     let oracle = sa_sw::scatter_add_reference(&kernel, range);
     assert_eq!(runs[0].1, oracle, "{} vs oracle", runs[0].0);
 }
+
+/// Classify a uniform histogram run of `n` scatters into `range` words the
+/// way the bottleneck engine does: merged counters through the metrics
+/// registry, then `bottleneck_json` over the assembled document.
+fn bottleneck_bound(range: u64, n: u64) -> String {
+    use sa_telemetry::{bottleneck_json, Json, MetricsRegistry};
+    let mut rng = Rng64::new(0xF11B_0001);
+    let kernel = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(range)).collect());
+    let run = drive_scatter(&machine(), &kernel, false);
+    let mut reg = MetricsRegistry::new();
+    {
+        let mut scope = reg.scope("run");
+        run.node.record_metrics(&mut scope);
+        scope.counter("cycles", run.drain_cycles);
+    }
+    let mut doc = Json::obj();
+    doc.push("metrics", reg.to_json());
+    let section = bottleneck_json(&doc).expect("occupancy counters present");
+    section
+        .get("run")
+        .and_then(|r| r.get("bound"))
+        .and_then(Json::as_str)
+        .expect("classified")
+        .to_owned()
+}
+
+#[test]
+fn bottleneck_bound_flips_with_index_range_like_fig8() {
+    // The differential behind Figures 7/8: a narrow index range keeps the
+    // working set inside the combining store — throughput is limited by the
+    // scatter-add units themselves — while a very wide range defeats
+    // combining and turns the run into streaming DRAM traffic. The engine's
+    // dominant-resource classification must flip accordingly.
+    assert_eq!(bottleneck_bound(256, 4096), "comb_store");
+    assert_eq!(bottleneck_bound(1 << 20, 4096), "dram_bandwidth");
+}
