@@ -29,7 +29,8 @@
 //!   the fly when possible;
 //! * `analyze trend [N]` prints the last N (default 10) entries of the
 //!   local perf-trajectory ledger `bench/history/trajectory.ndjson`
-//!   appended by `hotloop`;
+//!   appended by `hotloop`; when no ledger exists yet it prints the usage
+//!   block and exits 2, like any other usage error;
 //! * `analyze summarize` runs the trace-locality analytics that explain
 //!   Figure 13 (the locality statistics of the four reference traces,
 //!   computed with `sa_apps::traces::TraceStats` — the quantities the
@@ -219,9 +220,16 @@ fn bottleneck_mode(path: &str) -> Result<(), String> {
 /// `trend [N]`: tail of the local perf-trajectory ledger appended by
 /// `hotloop` runs. Wall-clock numbers, machine-local by design.
 fn trend_mode(n: usize) -> Result<(), String> {
-    let text = std::fs::read_to_string(TRAJECTORY_PATH).map_err(|e| {
-        format!("reading {TRAJECTORY_PATH}: {e} (run `hotloop` to append an entry)")
-    })?;
+    let text = match std::fs::read_to_string(TRAJECTORY_PATH) {
+        Ok(text) => text,
+        // No ledger yet is a usage problem (nothing has been benchmarked on
+        // this machine), not a data error: print the usage block and exit 2
+        // so CI wiring can tell the two apart.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => usage_exit(&format!(
+            "no perf-trajectory ledger at {TRAJECTORY_PATH} (run `hotloop` to append an entry)"
+        )),
+        Err(e) => return Err(format!("reading {TRAJECTORY_PATH}: {e}")),
+    };
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     let start = lines.len().saturating_sub(n);
     println!(

@@ -1,0 +1,65 @@
+//! Regression tests for `analyze trend` error wiring: a missing
+//! perf-trajectory ledger is a *usage* problem (nothing benchmarked on this
+//! machine yet) and must print the usage block and exit 2 — the same
+//! contract as every other usage error — while a present ledger renders its
+//! tail and exits 0.
+
+use std::process::Command;
+
+fn analyze_trend_in(dir: &std::path::Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .arg("trend")
+        .current_dir(dir)
+        .output()
+        .expect("analyze runs")
+}
+
+#[test]
+fn trend_without_a_ledger_prints_usage_and_exits_2() {
+    // An empty scratch directory guarantees bench/history/trajectory.ndjson
+    // does not exist relative to the working directory.
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("sa-trend-usage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let out = analyze_trend_in(&dir);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing ledger is a usage error"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no perf-trajectory ledger"),
+        "stderr names the problem: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage: analyze"),
+        "stderr carries the usage block: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trend_with_a_ledger_renders_its_tail_and_exits_0() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("sa-trend-ok-{}", std::process::id()));
+    let history = dir.join("bench/history");
+    std::fs::create_dir_all(&history).expect("history dir");
+    std::fs::write(
+        history.join("trajectory.ndjson"),
+        r#"{"schema":"sa-trajectory","version":1,"bench":"hotloop","workload":"fig6-histogram","wall_ms":1.5}"#,
+    )
+    .expect("seed ledger");
+
+    let out = analyze_trend_in(&dir);
+    assert_eq!(out.status.code(), Some(0), "present ledger renders fine");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("perf trajectory") && stdout.contains("workload=fig6-histogram"),
+        "tail rendered: {stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -45,6 +45,7 @@
 
 pub mod area;
 mod driver;
+mod lane;
 mod node;
 mod rig;
 pub mod scan;

@@ -39,6 +39,7 @@ mod queue;
 mod req;
 mod rng;
 mod stats;
+mod threads;
 
 pub use config::{
     AgConfig, CacheConfig, ComputeConfig, DramConfig, MachineConfig, NetworkConfig, SaUnitConfig,
@@ -53,3 +54,4 @@ pub use req::{
 };
 pub use rng::Rng64;
 pub use stats::{Counter, QueueStats};
+pub use threads::{node_threads_default, set_node_threads_default};

@@ -1,0 +1,62 @@
+//! Process-wide default for intra-node stepping threads.
+//!
+//! Intra-node parallel stepping (see `docs/PARALLELISM.md`) is the third
+//! parallelism axis: cache-bank lanes of one node stepped by a small worker
+//! pool under the crossbar serialization point, with a byte-identity
+//! contract — simulated results are the same for every thread count. Every
+//! `NodeMemSys` reads this default at construction time into a per-instance
+//! setting, so a CLI `--node-threads N` set before any simulation starts
+//! applies everywhere, while tests that compare thread counts use the
+//! per-instance setters and stay immune to concurrent tests flipping the
+//! global. The `SA_NODE_THREADS` environment variable seeds the default
+//! when no explicit set has happened (the CI test matrix uses it to re-run
+//! the whole suite under intra-node threading).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = "not resolved yet": the first read consults `SA_NODE_THREADS`.
+static NODE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many threads newly constructed nodes should step their bank lanes
+/// with. Defaults to 1 (classic serial stepping) unless the
+/// `SA_NODE_THREADS` environment variable says otherwise.
+#[inline]
+pub fn node_threads_default() -> usize {
+    match NODE_THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("SA_NODE_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1);
+            NODE_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Set the process-wide intra-node thread default (e.g. from
+/// `--node-threads`); clamped to at least 1.
+///
+/// Only affects nodes constructed after the call.
+pub fn set_node_threads_default(threads: usize) {
+    NODE_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial_and_settable() {
+        // Restore afterwards so concurrently running tests that read the
+        // default are not perturbed.
+        let prev = node_threads_default();
+        set_node_threads_default(4);
+        assert_eq!(node_threads_default(), 4);
+        set_node_threads_default(0);
+        assert_eq!(node_threads_default(), 1, "clamped to at least 1");
+        set_node_threads_default(prev);
+    }
+}

@@ -167,6 +167,7 @@ pub struct SessionBuilder {
     telemetry: Telemetry,
     fast_forward: Option<bool>,
     step_threads: usize,
+    node_threads: usize,
     probe_interval: u64,
     progress: Option<Progress>,
     fetch: bool,
@@ -210,6 +211,17 @@ impl SessionBuilder {
     /// results are bit-identical for every value).
     pub fn step_threads(mut self, threads: usize) -> SessionBuilder {
         self.step_threads = threads.max(1);
+        self
+    }
+
+    /// Worker threads stepping the bank lanes *within* a node — the third
+    /// parallelism axis (see `docs/PARALLELISM.md`). Default: the
+    /// process-wide [`sa_sim::node_threads_default`]. Results are
+    /// byte-identical for every value. Single-node workloads only;
+    /// multi-node machines already step each node on its own thread and
+    /// ignore this.
+    pub fn node_threads(mut self, threads: usize) -> SessionBuilder {
+        self.node_threads = threads.max(1);
         self
     }
 
@@ -297,6 +309,7 @@ impl SessionBuilder {
             telemetry: self.telemetry,
             fast_forward: self.fast_forward,
             step_threads: self.step_threads.max(1),
+            node_threads: self.node_threads,
             probe_interval: self.probe_interval,
             progress: self.progress,
             fetch: self.fetch,
@@ -313,6 +326,7 @@ pub struct Session {
     telemetry: Telemetry,
     fast_forward: Option<bool>,
     step_threads: usize,
+    node_threads: usize,
     probe_interval: u64,
     progress: Option<Progress>,
     fetch: bool,
@@ -406,6 +420,9 @@ impl Session {
         let mut node = NodeMemSys::new(self.config, 0, false);
         if let Some(ff) = self.fast_forward {
             node.set_fast_forward(ff);
+        }
+        if self.node_threads > 0 {
+            node.set_node_threads(self.node_threads);
         }
         if let Some(plan) = &self.faults {
             node.set_fault_plan(plan);

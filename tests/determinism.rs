@@ -558,3 +558,74 @@ fn float_reduction_order_is_stable_across_runs() {
     let bits_b: Vec<u64> = b.result_f64(16).iter().map(|v| v.to_bits()).collect();
     assert_eq!(bits_a, bits_b, "bitwise identical float results");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The intra-node flavour of the fault-determinism contract: under a
+    /// fixed recoverable plan, a single node renders the same sa-stats
+    /// bytes and memory image at every bank-lane width and fast-forward
+    /// mode — fault sites are addressed by component, not by stepping
+    /// order, so the worker pool cannot perturb injection or recovery.
+    #[test]
+    fn faulty_single_node_runs_are_node_thread_invariant(
+        workload in prop::sample::select(vec![
+            FfWorkload::Histogram,
+            FfWorkload::Spmv,
+            FfWorkload::Md,
+        ]),
+        plan_seed in 1u64..48,
+        seed in 1u64..12,
+    ) {
+        let cfg = machine();
+        let kernel = ScatterKernel::histogram(0, ff_trace(workload, seed));
+        let plan = fault_plan(plan_seed);
+        let run = |threads: usize, ff: bool| {
+            let mut node = NodeMemSys::new(cfg, 0, false);
+            node.set_fast_forward(ff);
+            node.set_node_threads(threads);
+            node.set_fault_plan(&plan);
+            let r = drive_scatter_with(node, &kernel, false);
+            (strip_skipped(&run_stats_json(&r)), r.result_i64(256))
+        };
+        let (base_stats, base_image) = run(1, false);
+        for (threads, ff) in [(4usize, false), (1, true), (4, true)] {
+            let (stats, image) = run(threads, ff);
+            prop_assert_eq!(stats, base_stats.clone(), "threads={} ff={}", threads, ff);
+            prop_assert_eq!(image, base_image.clone(), "threads={} ff={}", threads, ff);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The intra-node flavour of the occupancy-invariance contract: the
+    /// per-family `(busy, blocked, idle)` triples that feed the bottleneck
+    /// engine are identical across bank-lane widths and fast-forward modes
+    /// — the epoch scheduler folds occupancy in bulk with exactly the
+    /// classification the per-cycle barrier produces, at narrow (combining
+    /// store bound) and wide (DRAM bound) index ranges alike.
+    #[test]
+    fn occupancy_triples_are_node_thread_invariant(
+        range_bits in prop::sample::select(vec![8u32, 18]),
+        seed in 1u64..12,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let kernel = ScatterKernel::histogram(
+            0,
+            (0..1200).map(|_| rng.below(1 << range_bits)).collect(),
+        );
+        let run = |threads: usize, ff: bool| {
+            let mut node = NodeMemSys::new(machine(), 0, false);
+            node.set_fast_forward(ff);
+            node.set_node_threads(threads);
+            let json = run_stats_json(&drive_scatter_with(node, &kernel, false));
+            ["sa", "cache", "dram"].map(|f| occ_triple(&json, f))
+        };
+        let base = run(1, false);
+        for (threads, ff) in [(2usize, false), (4, false), (4, true)] {
+            prop_assert_eq!(run(threads, ff), base, "threads={} ff={}", threads, ff);
+        }
+    }
+}

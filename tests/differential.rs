@@ -184,3 +184,45 @@ fn bottleneck_bound_flips_with_index_range_like_fig8() {
     assert_eq!(bottleneck_bound(256, 4096), "comb_store");
     assert_eq!(bottleneck_bound(1 << 20, 4096), "dram_bandwidth");
 }
+
+/// The full v5 bottleneck section (not just the bound) for a histogram run
+/// over `range`-wide indices under a given lane width and scheduler.
+fn bottleneck_report(range: u64, n: u64, threads: usize, ff: bool) -> String {
+    use sa_core::{drive_scatter_with, NodeMemSys};
+    use sa_telemetry::{bottleneck_json, validate_bottleneck_json, Json, MetricsRegistry};
+    let mut rng = Rng64::new(0xF11B_0002);
+    let kernel = ScatterKernel::histogram(0, (0..n).map(|_| rng.below(range)).collect());
+    let mut node = NodeMemSys::new(machine(), 0, false);
+    node.set_fast_forward(ff);
+    node.set_node_threads(threads);
+    let run = drive_scatter_with(node, &kernel, false);
+    let mut reg = MetricsRegistry::new();
+    {
+        let mut scope = reg.scope("run");
+        run.node.record_metrics(&mut scope);
+        scope.counter("cycles", run.drain_cycles);
+    }
+    let mut doc = Json::obj();
+    doc.push("metrics", reg.to_json());
+    let section = bottleneck_json(&doc).expect("occupancy counters present");
+    validate_bottleneck_json(&section).expect("valid bottleneck section");
+    section.to_string_pretty()
+}
+
+#[test]
+fn epoch_lookahead_and_per_cycle_barrier_agree_on_bottleneck_reports() {
+    // The epoch scheduler batches whole idle windows between two barriers
+    // while fast-forward off re-arbitrates every cycle; both must attribute
+    // the run to the same resource with the same occupancy shares, whether
+    // the combining store or DRAM bandwidth is the limiter.
+    for (range, n) in [(256u64, 4096u64), (1 << 20, 4096)] {
+        let barrier = bottleneck_report(range, n, 4, false);
+        let epoch = bottleneck_report(range, n, 4, true);
+        assert_eq!(barrier, epoch, "range={range}");
+        assert_eq!(
+            barrier,
+            bottleneck_report(range, n, 1, false),
+            "range={range}: lane width changed the report"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Intra-node parallel stepping is an implementation detail, not a model
+//! change: the bank-lane worker pool and the epoch-lookahead scheduler must
+//! render byte-identical sa-stats documents and `sa-probe` streams at every
+//! `--node-threads` width, with fast-forward on or off. The crossbar stays
+//! the one serialization point (§4 of the paper: banks, channels and
+//! scatter-add units otherwise advance independently), so any divergence
+//! here is a scheduling bug, not a tolerance question.
+
+use proptest::prelude::*;
+use sa_apps::md::WaterSystem;
+use sa_apps::mesh::Mesh;
+use sa_apps::spmv::Ebe;
+use sa_core::{drive_scatter_probed, drive_scatter_with, NodeMemSys, ScatterKernel};
+use sa_sim::{MachineConfig, Rng64};
+use sa_telemetry::{validate_probe_json, HostProfiler, Introspect, Json, ProbeRecorder};
+
+fn machine() -> MachineConfig {
+    MachineConfig::merrimac()
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Workload {
+    Histogram,
+    Spmv,
+    Md,
+}
+
+fn scatter_trace(workload: Workload, seed: u64) -> Vec<u64> {
+    match workload {
+        Workload::Histogram => {
+            let mut rng = Rng64::new(seed);
+            (0..768).map(|_| rng.below(192)).collect()
+        }
+        Workload::Spmv => Ebe::new(&Mesh::generate(32, 8, 128, seed)).scatter_trace(),
+        Workload::Md => WaterSystem::generate(20, seed).scatter_trace(),
+    }
+}
+
+/// Render a run the way `--stats-json` does (counters through the registry
+/// plus the request-latency document), so the byte comparison covers exactly
+/// what ships in the stats file.
+fn run_stats_json(run: &sa_core::RunResult) -> String {
+    let mut reg = sa_telemetry::MetricsRegistry::new();
+    {
+        let mut scope = reg.scope("run");
+        run.node.record_metrics(&mut scope);
+        scope.counter("cycles", run.cycles);
+        scope.counter("drain_cycles", run.drain_cycles);
+        scope.counter("skipped_cycles", run.skipped_cycles);
+    }
+    format!(
+        "{}\n{}",
+        reg.to_json().to_string_pretty(),
+        run.node.req_tracer().latency_json().to_string_pretty()
+    )
+}
+
+/// Drop the `skipped_cycles` counter — the one line that legitimately
+/// differs across fast-forward modes (CI strips it the same way).
+fn strip_skipped(doc: &str) -> String {
+    doc.lines()
+        .filter(|l| !l.contains("skipped_cycles"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Schema-check every `sa-probe` line and drop its top-level
+/// `skipped_cycles` field — the probe-line analogue of [`strip_skipped`].
+fn strip_probe_skipped(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| {
+            let mut doc = Json::parse(l).expect("probe line parses");
+            validate_probe_json(&doc).expect("valid sa-probe snapshot");
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.retain(|(k, _)| k != "skipped_cycles");
+            }
+            doc.to_string_compact()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole contract: for random histogram, SpMV and MD workloads,
+    /// the rendered sa-stats bytes are identical at every node-thread width
+    /// and in both fast-forward modes (modulo the skipped-cycle counter).
+    /// Width 1 with fast-forward off is the reference serial scheduler; the
+    /// fetched-line log and the final memory image must match it too.
+    #[test]
+    fn node_threads_stats_json_is_byte_identical(
+        workload in prop::sample::select(vec![
+            Workload::Histogram,
+            Workload::Spmv,
+            Workload::Md,
+        ]),
+        fetch in any::<bool>(),
+        seed in 1u64..24,
+    ) {
+        let mut cfg = machine();
+        cfg.req_sample = 32;
+        let kernel = ScatterKernel::histogram(0, scatter_trace(workload, seed));
+        let run_mode = |threads: usize, ff: bool| {
+            let mut node = NodeMemSys::new(cfg, 0, false);
+            node.set_fast_forward(ff);
+            node.set_node_threads(threads);
+            let run = drive_scatter_with(node, &kernel, fetch);
+            let image = run.result_i64(256);
+            (run.cycles, run.drain_cycles, run.fetched.clone(),
+             run_stats_json(&run), image)
+        };
+        let (cycles, drain, fetched, stats, image) = run_mode(1, false);
+        let reference = strip_skipped(&stats);
+        for threads in [1usize, 2, 4, 8] {
+            for ff in [false, true] {
+                let (c, d, f, s, i) = run_mode(threads, ff);
+                prop_assert_eq!(c, cycles, "cycles, threads={} ff={}", threads, ff);
+                prop_assert_eq!(d, drain, "drain, threads={} ff={}", threads, ff);
+                prop_assert_eq!(&f, &fetched, "fetched, threads={} ff={}", threads, ff);
+                prop_assert_eq!(&i, &image, "memory image, threads={} ff={}", threads, ff);
+                prop_assert_eq!(strip_skipped(&s), reference.clone(),
+                    "stats bytes, threads={} ff={}", threads, ff);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The observability half of the contract: at a fixed snapshot cadence
+    /// the `sa-probe` stream is byte-identical across node-thread widths and
+    /// fast-forward modes (modulo each line's own `skipped_cycles`). The
+    /// epoch scheduler must clamp its horizon so every due snapshot cycle is
+    /// actually ticked, and the host profiler — enabled on one side only —
+    /// must never leak wall-clock bytes into a compared document.
+    #[test]
+    fn node_threads_probe_stream_is_byte_identical(
+        workload in prop::sample::select(vec![
+            Workload::Histogram,
+            Workload::Spmv,
+            Workload::Md,
+        ]),
+        interval in prop::sample::select(vec![32u64, 128]),
+        seed in 1u64..16,
+    ) {
+        let mut cfg = machine();
+        cfg.req_sample = 32;
+        let kernel = ScatterKernel::histogram(0, scatter_trace(workload, seed));
+        let run_mode = |threads: usize, ff: bool, profile: bool| {
+            let mut node = NodeMemSys::new(cfg, 0, false);
+            node.set_fast_forward(ff);
+            node.set_node_threads(threads);
+            let mut probe = Introspect::off();
+            probe.recorder = ProbeRecorder::every(interval);
+            probe.profiler = HostProfiler::enabled(profile);
+            let run = drive_scatter_probed(node, &kernel, false, &mut probe);
+            (run_stats_json(&run), probe.recorder.take_lines())
+        };
+        let (stats_ref, lines_ref) = run_mode(1, false, false);
+        prop_assert!(!lines_ref.is_empty(), "cadence must fire at least once");
+        let stats_ref = strip_skipped(&stats_ref);
+        let lines_ref = strip_probe_skipped(&lines_ref);
+        for threads in [2usize, 4, 8] {
+            for ff in [false, true] {
+                let (stats, lines) = run_mode(threads, ff, true);
+                prop_assert_eq!(strip_skipped(&stats), stats_ref.clone(),
+                    "stats bytes, threads={} ff={}", threads, ff);
+                prop_assert_eq!(strip_probe_skipped(&lines), lines_ref.clone(),
+                    "probe stream, threads={} ff={}", threads, ff);
+            }
+        }
+    }
+}
