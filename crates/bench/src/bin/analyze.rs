@@ -34,7 +34,12 @@
 //! * `analyze summarize` runs the trace-locality analytics that explain
 //!   Figure 13 (the locality statistics of the four reference traces,
 //!   computed with `sa_apps::traces::TraceStats` — the quantities the
-//!   paper invokes qualitatively when explaining the scalability curves).
+//!   paper invokes qualitatively when explaining the scalability curves);
+//! * `analyze cache ls|stats|gc|clear` manages the content-addressed
+//!   result store the figure binaries fill via `--cache` (see
+//!   `docs/PERFORMANCE.md`). The directory comes from `--dir`,
+//!   `SA_CACHE_DIR`, or the `.sa-cache` default; `gc` evicts
+//!   least-recently-used entries until the store fits `--max-bytes`.
 //!
 //! With no mode (or an unknown one) the binary prints the full usage block
 //! and exits nonzero.
@@ -72,7 +77,14 @@ positional modes:
   trend [N]                           last N entries (default 10) of the perf
                                       trajectory ledger
                                       bench/history/trajectory.ndjson
+  cache ls|stats|gc|clear             manage the --cache result store
+                                      (--dir DIR, else SA_CACHE_DIR, else
+                                      .sa-cache; gc bound: --max-bytes N,
+                                      default 1 GiB, LRU eviction)
 ";
+
+/// Default `analyze cache gc` size bound: 1 GiB.
+const DEFAULT_GC_BYTES: u64 = 1 << 30;
 
 use sa_bench::TRAJECTORY_PATH;
 
@@ -448,6 +460,74 @@ fn watch(path: &str, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cache <sub>`: inspect and bound the content-addressed result store.
+fn cache_mode(args: &Args) -> Result<(), String> {
+    let dir = args
+        .raw("dir")
+        .map(str::to_owned)
+        .or_else(|| {
+            std::env::var(sa_memo::ENV_DIR)
+                .ok()
+                .filter(|d| !d.is_empty())
+        })
+        .unwrap_or_else(|| sa_memo::DEFAULT_DIR.to_owned());
+    let open =
+        || sa_memo::ResultCache::open(&dir).map_err(|e| format!("opening cache at {dir}: {e}"));
+    match args.positional().get(1).map(String::as_str) {
+        Some("ls") => {
+            let entries = open()?.ls().map_err(|e| format!("listing {dir}: {e}"))?;
+            println!(
+                "result cache at {dir}: {} entries, oldest first",
+                entries.len()
+            );
+            let now = std::time::SystemTime::now();
+            for e in entries {
+                let age = now
+                    .duration_since(e.modified)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                println!("  {}  {:>10} bytes  {:>8}s old", e.digest, e.bytes, age);
+            }
+            Ok(())
+        }
+        Some("stats") => {
+            let (entries, bytes) = open()?.usage().map_err(|e| format!("sizing {dir}: {e}"))?;
+            row(
+                format!("cache {dir}"),
+                &[
+                    ("entries", format!("{entries}")),
+                    ("bytes", format!("{bytes}")),
+                    ("mb", format!("{:.1}", bytes as f64 / (1 << 20) as f64)),
+                ],
+            );
+            Ok(())
+        }
+        Some("gc") => {
+            let max_bytes = args
+                .get_or("max-bytes", DEFAULT_GC_BYTES)
+                .map_err(|e| e.to_string())?;
+            let r = open()?
+                .gc(max_bytes)
+                .map_err(|e| format!("gc in {dir}: {e}"))?;
+            println!(
+                "gc {dir}: removed {} entries ({} bytes), kept {} ({} bytes) under the \
+                 {max_bytes}-byte bound",
+                r.removed, r.bytes_freed, r.kept, r.bytes_kept
+            );
+            Ok(())
+        }
+        Some("clear") => {
+            let removed = open()?
+                .clear()
+                .map_err(|e| format!("clearing {dir}: {e}"))?;
+            println!("cleared {removed} entries from {dir}");
+            Ok(())
+        }
+        Some(other) => usage_exit(&format!("unknown cache subcommand '{other}'")),
+        None => usage_exit("cache mode needs a subcommand: ls | stats | gc | clear"),
+    }
+}
+
 /// The full closed flag set; anything else is a typo worth stopping on.
 const KNOWN_FLAGS: &[&str] = &[
     "watch",
@@ -458,6 +538,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "stats-json",
     "threshold",
     "quick",
+    "dir",
+    "max-bytes",
 ];
 
 fn usage_exit(context: &str) -> ! {
@@ -524,6 +606,12 @@ fn main() {
                 usage_exit("bottleneck mode needs a stats document path");
             };
             if let Err(e) = bottleneck_mode(path) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("cache") => {
+            if let Err(e) = cache_mode(&args) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }

@@ -43,6 +43,13 @@
 //! cycles, streaming those snapshots to a sink, and host-profiling. The
 //! disabled path must match the probe-off cycle count exactly (asserted),
 //! and `--probe-baseline` warns when a variant's throughput halves.
+//!
+//! A fourth table measures the content-addressed result cache
+//! (`docs/PERFORMANCE.md`): a Figure-6-shaped sweep with the cache off,
+//! cold (every point simulated and stored), and warm (every point replayed
+//! without simulating). Hit/miss/store counts are asserted exactly and the
+//! three result sets must serialize byte-identically; wall-clock ratios
+//! are tracked warn-only like every other host-dependent number here.
 
 use std::time::Instant;
 
@@ -50,8 +57,10 @@ use sa_apps::histogram::{run_hw, HistogramInput};
 use sa_apps::mesh::Mesh;
 use sa_apps::spmv::run_ebe_hw;
 use sa_bench::args::Args;
+use sa_bench::sweep::{self, CachedPoint};
 use sa_bench::{header, quick_mode, row};
 use sa_core::{drive_scatter_probed, NodeMemSys, ScatterKernel, SensitivityRig};
+use sa_memo::{Fingerprint, ResultCache};
 use sa_sim::{MachineConfig, Rng64, SensitivityConfig};
 use sa_telemetry::{HostProfiler, Introspect, Json, ProbeRecorder, Progress};
 
@@ -283,6 +292,94 @@ fn measure_probe_overhead(quick: bool, repeats: usize) -> Vec<Json> {
     out
 }
 
+/// Measure the content-addressed result cache on a Figure-6-shaped sweep:
+/// cache off, cold (simulate + store), warm (replay, zero simulation). The
+/// warm pass's compute closure panics if invoked, so "zero simulation" is
+/// asserted structurally, and the exact hit/miss/store counts and
+/// byte-identical point payloads are asserted too. Only the wall-clock
+/// ratio is host-dependent and therefore warn-only.
+fn measure_cache(quick: bool) -> Vec<Json> {
+    header(
+        "Result cache",
+        "fig6-shaped sweep: cache off vs cold (store) vs warm (replay)",
+    );
+    let cfg = MachineConfig::merrimac();
+    let sizes: Vec<usize> = if quick {
+        vec![256, 512]
+    } else {
+        vec![256, 512, 1024, 2048]
+    };
+    let range = 2048u64;
+    let dir = std::env::temp_dir().join(format!("sa-hotloop-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key_of = |&n: &usize| {
+        Fingerprint::new("hotloop-cache-bench")
+            .u64("n", n as u64)
+            .u64("range", range)
+    };
+    let run = |n: usize| {
+        let input = HistogramInput::uniform(n, range, 0xF16_0006 + n as u64);
+        let hw = run_hw(&cfg, &input);
+        let mut point = CachedPoint::new();
+        hw.report.stats.record(&mut point.scope("hw"));
+        point.num("hw_us", hw.micros());
+        point
+    };
+    let t0 = Instant::now();
+    let off = sweep::map_cached(None, sizes.clone(), key_of, run);
+    let wall_off = t0.elapsed().as_secs_f64();
+    let cache = ResultCache::open(&dir).expect("hotloop cache dir");
+    let t0 = Instant::now();
+    let cold = sweep::map_cached(Some(&cache), sizes.clone(), key_of, run);
+    let wall_cold = t0.elapsed().as_secs_f64();
+    let n = sizes.len() as u64;
+    assert_eq!(
+        (cache.hits(), cache.misses(), cache.stores()),
+        (0, n, n),
+        "cold sweep: every point must miss and store"
+    );
+    let t0 = Instant::now();
+    let warm = sweep::map_cached(Some(&cache), sizes.clone(), key_of, |_| {
+        panic!("warm sweep must not simulate")
+    });
+    let wall_warm = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        (cache.hits(), cache.misses(), cache.stores()),
+        (n, n, n),
+        "warm sweep: every point must hit"
+    );
+    for ((o, c), w) in off.iter().zip(&cold).zip(&warm) {
+        let bytes = o.to_json().to_string_compact();
+        assert_eq!(bytes, c.to_json().to_string_compact(), "cold != off");
+        assert_eq!(bytes, w.to_json().to_string_compact(), "warm != off");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let speedup = wall_cold / wall_warm;
+    if speedup < 1.0 {
+        eprintln!(
+            "warning: warm sweep slower than cold ({speedup:.2}x) — tiny workload or slow disk"
+        );
+    }
+    row(
+        "fig6-sweep",
+        &[
+            ("points", format!("{n}")),
+            ("cache off", format!("{:.2}ms", wall_off * 1e3)),
+            ("cold", format!("{:.2}ms", wall_cold * 1e3)),
+            ("warm", format!("{:.2}ms", wall_warm * 1e3)),
+            ("warm speedup", format!("{speedup:.1}x")),
+        ],
+    );
+    let mut o = Json::obj();
+    o.push("name", Json::Str("fig6-sweep".to_owned()));
+    o.push("points", Json::UInt(n));
+    o.push("wall_ms_cache_off", Json::Num(wall_off * 1e3));
+    o.push("wall_ms_cold", Json::Num(wall_cold * 1e3));
+    o.push("wall_ms_warm", Json::Num(wall_warm * 1e3));
+    o.push("warm_speedup", Json::Num(speedup));
+    vec![o]
+}
+
 /// Append one NDJSON entry per measured run to the perf-trajectory ledger
 /// (`analyze trend` reads it back). Wall-clock data, machine-local by
 /// design; any failure warns and never fails the bench. `--no-trajectory`
@@ -389,6 +486,8 @@ fn main() {
     }
     println!();
     let intra_runs = measure_intra_node(quick, repeats);
+    println!();
+    let cache_runs = measure_cache(quick);
     if let Some(path) = args.raw("out") {
         let mut doc = Json::obj();
         doc.push("bench", Json::Str("hotloop".to_owned()));
@@ -396,6 +495,7 @@ fn main() {
         doc.push("repeats", Json::UInt(repeats as u64));
         doc.push("runs", Json::Arr(runs.clone()));
         doc.push("intra_node", Json::Arr(intra_runs.clone()));
+        doc.push("cache", Json::Arr(cache_runs.clone()));
         if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);
@@ -437,6 +537,7 @@ fn main() {
         &[
             ("hotloop", &runs),
             ("intra-node", &intra_runs),
+            ("cache", &cache_runs),
             ("probe-overhead", &probe_runs),
         ],
     );

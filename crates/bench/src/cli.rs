@@ -29,6 +29,10 @@
 //!   to [`DEFAULT_PROBE_INTERVAL`] while listening, otherwise 0/off)
 //! - `--host-profile` — collect host wall-clock phase attribution into the
 //!   nondeterministic `host_profile` stats sidecar
+//! - `--cache[=DIR]` / `--cache DIR` — content-addressed result cache for
+//!   sweep points and the canonical run (see `docs/PERFORMANCE.md`); a bare
+//!   `--cache` uses `SA_CACHE_DIR` or `.sa-cache`, and setting the
+//!   `SA_CACHE_DIR` environment variable enables the cache without any flag
 //!
 //! Construction has side effects by design: [`Cli::from_args`] applies
 //! `--fast-forward` via [`sa_sim::set_fast_forward_default`], `--faults`
@@ -45,6 +49,31 @@ use sa_telemetry::Progress;
 /// given without an explicit `--probe-interval`.
 pub const DEFAULT_PROBE_INTERVAL: u64 = 4096;
 
+/// Resolve the result-cache directory from `--cache[=DIR]` and the
+/// `SA_CACHE_DIR` environment variable; `None` means caching stays off.
+///
+/// The argument grammar has no `=` splitting, so `--cache=DIR` arrives as a
+/// switch literally named `cache=DIR` — scan the flag names for the prefix.
+fn resolve_cache_dir(args: &Args) -> Option<String> {
+    if let Some(dir) = args.raw("cache") {
+        return Some(dir.to_owned());
+    }
+    for flag in args.flags() {
+        if let Some(dir) = flag.strip_prefix("cache=") {
+            if !dir.is_empty() {
+                return Some(dir.to_owned());
+            }
+        }
+    }
+    let env = std::env::var(sa_memo::ENV_DIR)
+        .ok()
+        .filter(|d| !d.is_empty());
+    if args.has("cache") {
+        return Some(env.unwrap_or_else(|| sa_memo::DEFAULT_DIR.to_owned()));
+    }
+    env
+}
+
 /// Parsed common flags plus the raw [`Args`] for binary-specific ones.
 ///
 /// Exits the process with status 2 on a malformed flag (consistent with
@@ -60,6 +89,7 @@ pub struct Cli {
     fault_plan: Option<FaultPlan>,
     probe_interval: u64,
     host_profile: bool,
+    cache_dir: Option<String>,
     /// Keeps the `--probe-listen` socket (and its accept thread) alive for
     /// the binary's lifetime; the socket file is removed when the `Cli`
     /// drops.
@@ -137,6 +167,7 @@ impl Cli {
             .get_or("probe-interval", 0u64)
             .map_err(|e| e.to_string())?;
         let host_profile = args.has("host-profile");
+        let cache_dir = resolve_cache_dir(&args);
 
         #[cfg(unix)]
         let mut listener = None;
@@ -181,6 +212,7 @@ impl Cli {
             fault_plan,
             probe_interval,
             host_profile,
+            cache_dir,
             #[cfg(unix)]
             listener,
         })
@@ -232,6 +264,12 @@ impl Cli {
     /// (`--host-profile`).
     pub fn host_profile(&self) -> bool {
         self.host_profile
+    }
+
+    /// The result-cache directory (`--cache[=DIR]` / `SA_CACHE_DIR`), or
+    /// `None` when caching is off.
+    pub fn cache_dir(&self) -> Option<&str> {
+        self.cache_dir.as_deref()
     }
 
     /// The process-wide progress sink installed at parse time (off unless
@@ -330,6 +368,23 @@ mod tests {
         drop(client.join().expect("client thread"));
         drop(cli);
         sa_telemetry::set_global_progress(Progress::off());
+    }
+
+    #[test]
+    fn cache_flag_forms_resolve() {
+        // Explicit directory, both spellings.
+        let cli = parse("--cache /tmp/store").expect("parses");
+        assert_eq!(cli.cache_dir(), Some("/tmp/store"));
+        let cli = parse("--cache=/tmp/store2").expect("parses");
+        assert_eq!(cli.cache_dir(), Some("/tmp/store2"));
+        // Bare switch falls back to the default directory (the SA_CACHE_DIR
+        // branch is environment-dependent, so only the unset case is exact).
+        if std::env::var_os(sa_memo::ENV_DIR).is_none() {
+            let cli = parse("--cache --quick").expect("parses");
+            assert_eq!(cli.cache_dir(), Some(sa_memo::DEFAULT_DIR));
+            let cli = parse("").expect("parses");
+            assert_eq!(cli.cache_dir(), None);
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use sa_memo::{Fingerprint, ResultCache};
+use sa_telemetry::{Json, MetricsRegistry, Scope};
+
 /// The number of available cores (the default worker count).
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
@@ -36,9 +39,14 @@ pub fn jobs_from_env() -> usize {
 
 /// The `SA_JOBS` / [`default_jobs`] fallback chain behind [`jobs_from_env`],
 /// taking an already-parsed `--jobs` value (shared with [`crate::cli::Cli`]).
+///
+/// `Some(0)` falls through to `SA_JOBS` / [`default_jobs`] like every other
+/// zero in the chain — a sweep can never run with zero workers.
 pub fn resolve_jobs(flag: Option<usize>) -> usize {
     if let Some(n) = flag {
-        return n;
+        if n > 0 {
+            return n;
+        }
     }
     if let Some(v) = std::env::var_os("SA_JOBS") {
         if let Ok(n) = v.to_string_lossy().parse::<usize>() {
@@ -133,6 +141,129 @@ where
         .collect()
 }
 
+/// One sweep point's cacheable output: the metrics it recorded plus the
+/// scalar numbers its table row is formatted from.
+///
+/// A figure binary's per-point closure builds one of these instead of
+/// writing into the shared [`BenchRun`](crate::telemetry::BenchRun)
+/// registry directly; the caller merges the metrics back (counters add,
+/// gauges overwrite, histograms merge — exactly what direct recording
+/// would have produced) and formats rows from the numbers. Because both
+/// halves round-trip through JSON losslessly (`f64` via bit-exact
+/// serialization), a cache hit replays the point byte-for-byte.
+#[derive(Debug, Default)]
+pub struct CachedPoint {
+    /// Metrics recorded under this point's final scope paths.
+    pub metrics: MetricsRegistry,
+    /// Named scalars for row formatting, in insertion order.
+    pub nums: Vec<(String, f64)>,
+}
+
+impl CachedPoint {
+    /// An empty point.
+    pub fn new() -> CachedPoint {
+        CachedPoint::default()
+    }
+
+    /// A metrics scope rooted at `path`, like
+    /// [`BenchRun::scope`](crate::telemetry::BenchRun::scope).
+    pub fn scope(&mut self, path: &str) -> Scope<'_> {
+        self.metrics.scope(path)
+    }
+
+    /// Record a named scalar for later row formatting.
+    pub fn num(&mut self, name: &str, value: f64) {
+        self.nums.push((name.to_owned(), value));
+    }
+
+    /// Look up a scalar recorded with [`CachedPoint::num`]; panics when the
+    /// name was never recorded (a programming error in the binary).
+    pub fn get_num(&self, name: &str) -> f64 {
+        self.nums
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("CachedPoint: no scalar named {name:?}"))
+    }
+
+    /// The cache payload: `{"metrics": {...}, "nums": [[name, value], ...]}`.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.push("metrics", self.metrics.to_json());
+        let nums = self
+            .nums
+            .iter()
+            .map(|(n, v)| Json::Arr(vec![Json::Str(n.clone()), Json::Num(*v)]))
+            .collect();
+        o.push("nums", Json::Arr(nums));
+        o
+    }
+
+    /// Parse a payload written by [`CachedPoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field. Callers fall back to
+    /// recomputing the point.
+    pub fn from_json(doc: &Json) -> Result<CachedPoint, String> {
+        let metrics =
+            MetricsRegistry::from_json(doc.get("metrics").ok_or("cached point: missing metrics")?)?;
+        let Some(Json::Arr(entries)) = doc.get("nums") else {
+            return Err("cached point: missing nums".to_owned());
+        };
+        let mut nums = Vec::with_capacity(entries.len());
+        for e in entries {
+            let pair = e.as_arr().unwrap_or_default();
+            let (Some(name), Some(value)) = (
+                pair.first().and_then(Json::as_str),
+                pair.get(1).and_then(Json::as_f64),
+            ) else {
+                return Err("cached point: malformed nums entry".to_owned());
+            };
+            nums.push((name.to_owned(), value));
+        }
+        Ok(CachedPoint { metrics, nums })
+    }
+}
+
+/// [`map`] with a content-addressed result cache in front of the closure:
+/// each point's [`Fingerprint`] (from `key_of`) is looked up before `run`
+/// is invoked, and a computed point is stored after. With `cache = None`
+/// this is exactly `map(items, run)` — the cold and disabled paths produce
+/// identical results, and therefore identical output bytes.
+///
+/// Hits skip `run` entirely (zero simulation), so any correctness asserts
+/// inside the closure only fire on fresh computes — the stored payload was
+/// checked when it was first produced, and the store validates entry
+/// integrity on every read.
+pub fn map_cached<T, K, F>(
+    cache: Option<&ResultCache>,
+    items: Vec<T>,
+    key_of: K,
+    run: F,
+) -> Vec<CachedPoint>
+where
+    T: Send,
+    K: Fn(&T) -> Fingerprint + Sync,
+    F: Fn(T) -> CachedPoint + Sync,
+{
+    map(items, |item| {
+        let Some(cache) = cache else {
+            return run(item);
+        };
+        let key = key_of(&item);
+        if let Some(payload) = cache.lookup(&key) {
+            if let Ok(point) = CachedPoint::from_json(&payload) {
+                return point;
+            }
+        }
+        let point = run(item);
+        // Store failures (full disk, read-only store) cost only warmth.
+        let _ = cache.store(&key, &point.to_json());
+        point
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +300,70 @@ mod tests {
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
         assert!(jobs_from_env() >= 1);
+    }
+
+    #[test]
+    fn resolve_jobs_zero_falls_through() {
+        // `--jobs 0` must behave exactly like no flag at all (regression:
+        // it used to return 0 and starve the sweep of workers).
+        assert_eq!(resolve_jobs(Some(0)), resolve_jobs(None));
+        assert!(resolve_jobs(Some(0)) >= 1);
+        assert_eq!(resolve_jobs(Some(3)), 3);
+    }
+
+    #[test]
+    fn cached_point_round_trips() {
+        let mut p = CachedPoint::new();
+        {
+            let mut s = p.scope("hw");
+            s.counter("cycles", 123);
+            s.gauge("occupancy", 0.5);
+        }
+        p.num("hw_us", 1.25);
+        p.num("sw_us", 40.0);
+        let back = CachedPoint::from_json(&p.to_json()).expect("round-trips");
+        assert_eq!(
+            back.to_json().to_string_compact(),
+            p.to_json().to_string_compact()
+        );
+        assert_eq!(back.get_num("hw_us"), 1.25);
+        assert_eq!(back.get_num("sw_us"), 40.0);
+    }
+
+    #[test]
+    fn map_cached_hits_skip_the_closure() {
+        let dir = std::env::temp_dir().join(format!(
+            "sa-sweep-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("open cache");
+        let items: Vec<u64> = (0..4).collect();
+        let key_of = |&x: &u64| Fingerprint::new("sweep-test").u64("x", x);
+        let run = |x: u64| {
+            let mut p = CachedPoint::new();
+            p.scope("t").counter("calls", 1);
+            p.num("sq", (x * x) as f64);
+            p
+        };
+        let cold = map_cached(Some(&cache), items.clone(), key_of, run);
+        assert_eq!((cache.hits(), cache.misses(), cache.stores()), (0, 4, 4));
+        let warm = map_cached(Some(&cache), items.clone(), key_of, |_| {
+            panic!("warm sweep must not recompute")
+        });
+        assert_eq!((cache.hits(), cache.misses(), cache.stores()), (4, 4, 4));
+        let off = map_cached(None, items, key_of, run);
+        for ((c, w), o) in cold.iter().zip(&warm).zip(&off) {
+            assert_eq!(
+                c.to_json().to_string_compact(),
+                w.to_json().to_string_compact()
+            );
+            assert_eq!(
+                c.to_json().to_string_compact(),
+                o.to_json().to_string_compact()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,9 +26,11 @@
 //! workload whose timeline `--trace` captures.
 
 use std::fmt::Display;
-use std::path::Path;
+use std::sync::Arc;
 
 use sa_core::{drive_scatter_probed, NodeMemSys, ScatterKernel, StallBreakdown};
+use sa_faults::FaultPlan;
+use sa_memo::{Fingerprint, ResultCache};
 use sa_sim::{MachineConfig, Rng64};
 use sa_telemetry::{
     global_progress, progress_enabled, stats_json_full, validate_stats_json, ChromeTrace,
@@ -88,6 +90,18 @@ pub struct BenchRun {
     probe_interval: u64,
     host_profile: bool,
     profiler: HostProfiler,
+    cache: Option<Arc<ResultCache>>,
+    /// The installed fault plan as JSON (or `Null`) — part of every cache
+    /// key, because the plan changes what the simulations compute.
+    fault_key: Json,
+}
+
+/// What [`BenchRun::finish`] needs from the canonical run regardless of
+/// whether it was simulated or replayed from the result cache.
+struct CanonicalArtifacts {
+    series: SeriesSet,
+    trace_json: String,
+    trace_events: u64,
 }
 
 impl BenchRun {
@@ -119,6 +133,26 @@ impl BenchRun {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             });
+        let cache = match cli.cache_dir() {
+            None => None,
+            Some(dir) if cli.probe_interval() > 0 => {
+                // Live probe snapshots stream *during* a simulation; a cache
+                // hit skips the simulation, so there would be nothing to
+                // stream. Disable caching rather than silently going dark.
+                eprintln!(
+                    "note: result cache at {dir} disabled for this run \
+                     (live probing cannot replay from cache)"
+                );
+                None
+            }
+            Some(dir) => match ResultCache::open(dir) {
+                Ok(c) => Some(Arc::new(c)),
+                Err(e) => {
+                    eprintln!("warning: cannot open result cache at {dir}: {e}; caching off");
+                    None
+                }
+            },
+        };
         BenchRun {
             bench: bench.to_owned(),
             cfg: *cfg,
@@ -133,6 +167,8 @@ impl BenchRun {
             probe_interval: cli.probe_interval(),
             host_profile: cli.host_profile(),
             profiler: HostProfiler::enabled(cli.host_profile()),
+            cache,
+            fault_key: cli.fault_plan().map_or(Json::Null, FaultPlan::to_json),
         }
     }
 
@@ -151,6 +187,35 @@ impl BenchRun {
     /// `host_profile` sidecar.
     pub fn absorb_host_profile(&mut self, other: &HostProfiler) {
         self.profiler.absorb(other);
+    }
+
+    /// The content-addressed result cache, when `--cache`/`SA_CACHE_DIR`
+    /// enabled one (and live probing did not veto it). Binaries pass this
+    /// to [`crate::sweep::map_cached`].
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_deref()
+    }
+
+    /// A cache fingerprint for one of this binary's sweep points. Carries
+    /// everything shared by every point — bench name, full machine
+    /// configuration, fault plan — plus the caller's point description;
+    /// extend it with the point's own parameters (sizes, seeds, input
+    /// digests) via the [`Fingerprint`] builder methods. Knobs that cannot
+    /// change simulated results (`--jobs`, `--step-threads`,
+    /// `--node-threads`, `--fast-forward`) are deliberately excluded.
+    pub fn point_key(&self, point: &str) -> Fingerprint {
+        Fingerprint::new("bench-point")
+            .str("bench", &self.bench)
+            .str("point", point)
+            .field("config", self.cfg.fingerprint_json())
+            .field("faults", self.fault_key.clone())
+    }
+
+    /// Merge a sweep point's metrics into this binary's registry (counters
+    /// add, gauges overwrite, histograms merge element-wise) — replaying
+    /// cached points in item order reproduces direct recording exactly.
+    pub fn absorb_metrics(&mut self, metrics: &MetricsRegistry) {
+        self.registry.merge(metrics);
     }
 
     /// An [`Introspect`] bundle for one of the binary's own simulations:
@@ -243,18 +308,18 @@ impl BenchRun {
     /// on I/O failure so scripts notice.
     pub fn finish(mut self) {
         if !self.enabled() {
+            // Sweep points may still have hit the cache — report that even
+            // though there are no files to write.
+            self.emit_cache_counts();
             return;
         }
-        let (series, trace) = self.run_canonical();
+        let art = self.run_canonical();
         if let Some(path) = self.trace_path.clone() {
-            if let Err(e) = trace.write_to(Path::new(&path)) {
+            if let Err(e) = std::fs::write(&path, art.trace_json.as_bytes()) {
                 eprintln!("error: could not write trace to {path}: {e}");
                 std::process::exit(1);
             }
-            eprintln!(
-                "wrote Chrome trace ({} events) to {path}",
-                trace.event_count()
-            );
+            eprintln!("wrote Chrome trace ({} events) to {path}", art.trace_events);
         }
         if let Some(path) = self.stats_path.clone() {
             let section = |entries: Vec<(String, Json)>| {
@@ -267,7 +332,14 @@ impl BenchRun {
             let latency = section(std::mem::take(&mut self.latency));
             let attribution = section(std::mem::take(&mut self.attribution));
             let host_profile = if self.host_profile {
-                Some(self.profiler.to_json())
+                let mut hp = self.profiler.to_json();
+                // Cache effectiveness rides on the nondeterministic sidecar
+                // only — the deterministic document body must stay
+                // byte-identical between cached and fresh runs.
+                if let Some(counts) = self.cache_counts_json() {
+                    hp.push("cache", counts);
+                }
+                Some(hp)
             } else {
                 None
             };
@@ -275,7 +347,7 @@ impl BenchRun {
                 &self.bench,
                 machine_config_json(&self.cfg),
                 &self.registry,
-                Some(&series),
+                Some(&art.series),
                 latency,
                 attribution,
                 host_profile,
@@ -292,12 +364,82 @@ impl BenchRun {
                 sa_telemetry::STATS_SCHEMA_VERSION
             );
         }
+        self.emit_cache_counts();
     }
 
-    /// The deterministic canonical histogram on this binary's machine
-    /// configuration, traced and cycle-sampled. Its metrics land under the
-    /// `canonical.` scope.
-    fn run_canonical(&mut self) -> (SeriesSet, ChromeTrace) {
+    /// Hit/miss/store counters as a JSON object, or `None` without a cache.
+    fn cache_counts_json(&self) -> Option<Json> {
+        let cache = self.cache.as_ref()?;
+        let mut o = Json::obj();
+        o.push("dir", Json::Str(cache.dir().display().to_string()));
+        o.push("hits", Json::UInt(cache.hits()));
+        o.push("misses", Json::UInt(cache.misses()));
+        o.push("stores", Json::UInt(cache.stores()));
+        Some(o)
+    }
+
+    /// Report cache effectiveness on the nondeterministic channels: a
+    /// `{"kind":"cache"}` progress event plus a stderr note.
+    fn emit_cache_counts(&self) {
+        let Some(counts) = self.cache_counts_json() else {
+            return;
+        };
+        let cache = self.cache.as_ref().expect("counts imply a cache");
+        eprintln!(
+            "result cache: {} hits, {} misses, {} stores in {}",
+            cache.hits(),
+            cache.misses(),
+            cache.stores(),
+            cache.dir().display()
+        );
+        if progress_enabled() {
+            let mut ev = Json::obj();
+            ev.push("kind", Json::Str("cache".to_owned()));
+            ev.push("bench", Json::Str(self.bench.clone()));
+            ev.push("cache", counts);
+            global_progress().emit(&ev);
+        }
+    }
+
+    /// The canonical-run cache fingerprint: the workload constants, the
+    /// full machine configuration, the fault plan, and the two telemetry
+    /// knobs that shape the recorded document (`--sample-interval`,
+    /// `--req-sample`). Execution-irrelevant knobs are excluded — a cached
+    /// replay answers for any `--jobs`/`--fast-forward` combination.
+    fn canonical_key(&self) -> Fingerprint {
+        Fingerprint::new("bench-canonical")
+            .u64("elements", CANONICAL_ELEMENTS)
+            .u64("range", CANONICAL_RANGE)
+            .u64("seed", CANONICAL_SEED)
+            .field("config", self.cfg.fingerprint_json())
+            .field("faults", self.fault_key.clone())
+            .u64("sample_interval", self.sample_interval)
+            .u64("req_sample", self.req_sample())
+    }
+
+    /// The canonical workload's artifacts — replayed from the result cache
+    /// when possible, simulated (and stored) otherwise. Either path leaves
+    /// the registry, latency, and attribution sections in the same state,
+    /// so the finished document is byte-identical.
+    fn run_canonical(&mut self) -> CanonicalArtifacts {
+        let Some(cache) = self.cache.clone() else {
+            return self.compute_canonical().0;
+        };
+        let key = self.canonical_key();
+        if let Some(payload) = cache.lookup(&key) {
+            if let Some(art) = self.adopt_canonical(&payload) {
+                return art;
+            }
+        }
+        let (art, payload) = self.compute_canonical();
+        let _ = cache.store(&key, &payload);
+        art
+    }
+
+    /// Simulate the deterministic canonical histogram on this binary's
+    /// machine configuration, traced and cycle-sampled; record its metrics
+    /// under the `canonical.` scope and build the cache payload.
+    fn compute_canonical(&mut self) -> (CanonicalArtifacts, Json) {
         let mut rng = Rng64::new(CANONICAL_SEED);
         let indices: Vec<u64> = (0..CANONICAL_ELEMENTS)
             .map(|_| rng.below(CANONICAL_RANGE))
@@ -309,17 +451,67 @@ impl BenchRun {
         let mut probe = self.introspect("canonical");
         let run = drive_scatter_probed(node, &kernel, false, &mut probe);
         self.profiler.absorb(&probe.profiler);
+        let mut canon = MetricsRegistry::new();
         {
-            let mut scope = self.registry.scope("canonical");
+            let mut scope = canon.scope("canonical");
             run.node.record_metrics(&mut scope);
             scope.counter("cycles", run.cycles);
             scope.counter("drain_cycles", run.drain_cycles);
             scope.counter("skipped_cycles", run.skipped_cycles);
         }
-        self.record_latency("canonical", run.node.req_tracer());
-        self.record_attribution("canonical", &run.stall_breakdown());
+        self.registry.merge(&canon);
+        let tracer = run.node.req_tracer();
+        let latency = if tracer.issued_len() > 0 {
+            Some(tracer.latency_json())
+        } else {
+            None
+        };
+        if let Some(l) = &latency {
+            self.latency.push(("canonical".to_owned(), l.clone()));
+        }
+        let attribution = run.stall_breakdown().to_json();
+        self.attribution
+            .push(("canonical".to_owned(), attribution.clone()));
         let series = run.node.series().clone();
-        (series, run.node.into_tracer())
+        let trace = run.node.into_tracer();
+        let trace_json = trace.to_json_string();
+        let trace_events = trace.event_count() as u64;
+        let mut payload = Json::obj();
+        payload.push("metrics", canon.to_json());
+        payload.push("series", series.to_json());
+        payload.push("latency", latency.unwrap_or(Json::Null));
+        payload.push("attribution", attribution);
+        payload.push("trace_events", Json::UInt(trace_events));
+        payload.push("trace", Json::Str(trace_json.clone()));
+        (
+            CanonicalArtifacts {
+                series,
+                trace_json,
+                trace_events,
+            },
+            payload,
+        )
+    }
+
+    /// Replay a cached canonical payload into this collector; `None` when
+    /// the payload is malformed (the caller recomputes).
+    fn adopt_canonical(&mut self, payload: &Json) -> Option<CanonicalArtifacts> {
+        let canon = MetricsRegistry::from_json(payload.get("metrics")?).ok()?;
+        let series = SeriesSet::from_json(payload.get("series")?).ok()?;
+        let latency = payload.get("latency")?;
+        let attribution = payload.get("attribution")?.clone();
+        let trace_events = payload.get("trace_events")?.as_u64()?;
+        let trace_json = payload.get("trace")?.as_str()?.to_owned();
+        self.registry.merge(&canon);
+        if !matches!(latency, Json::Null) {
+            self.latency.push(("canonical".to_owned(), latency.clone()));
+        }
+        self.attribution.push(("canonical".to_owned(), attribution));
+        Some(CanonicalArtifacts {
+            series,
+            trace_json,
+            trace_events,
+        })
     }
 }
 
@@ -352,9 +544,9 @@ mod tests {
     fn canonical_run_populates_required_scopes() {
         let a = parse("--stats-json x.json");
         let mut b = BenchRun::from_args("t", &MachineConfig::merrimac(), &a);
-        let (series, trace) = b.run_canonical();
-        assert!(!series.is_empty());
-        assert!(trace.event_count() > 0);
+        let art = b.run_canonical();
+        assert!(!art.series.is_empty());
+        assert!(art.trace_events > 0);
         for needle in [
             "canonical.sa.",
             "canonical.cache.",
@@ -366,6 +558,57 @@ mod tests {
                 "missing {needle}"
             );
         }
+    }
+
+    #[test]
+    fn cached_canonical_replays_byte_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("sa-benchrun-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let argv = format!("--stats-json x.json --cache {}", dir.display());
+        let run = |expect_counts: (u64, u64, u64)| {
+            let mut b = BenchRun::from_args("t", &MachineConfig::merrimac(), &parse(&argv));
+            let art = b.run_canonical();
+            let cache = b.cache().expect("cache enabled");
+            assert_eq!(
+                (cache.hits(), cache.misses(), cache.stores()),
+                expect_counts
+            );
+            (
+                b.metrics().to_json().to_string_compact(),
+                art.series.to_json().to_string_compact(),
+                art.trace_json,
+                art.trace_events,
+                b.latency.len(),
+                b.attribution.len(),
+            )
+        };
+        let cold = run((0, 1, 1));
+        let warm = run((1, 0, 0));
+        assert_eq!(cold, warm, "warm canonical replay must be byte-identical");
+
+        // No cache at all: same bytes again.
+        let mut plain = BenchRun::from_args(
+            "t",
+            &MachineConfig::merrimac(),
+            &parse("--stats-json x.json"),
+        );
+        let art = plain.run_canonical();
+        assert!(plain.cache().is_none());
+        assert_eq!(plain.metrics().to_json().to_string_compact(), cold.0);
+        assert_eq!(art.trace_json, cold.2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_probing_disables_the_cache() {
+        let b = BenchRun::from_args(
+            "t",
+            &MachineConfig::merrimac(),
+            &parse("--cache /tmp/never-created-sa-cache --probe-interval 64"),
+        );
+        assert!(b.cache().is_none());
+        assert!(!std::path::Path::new("/tmp/never-created-sa-cache").exists());
     }
 
     #[test]

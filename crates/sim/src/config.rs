@@ -58,6 +58,18 @@ impl Throughput {
         f64::from(self.words) / f64::from(self.cycles)
     }
 
+    /// The configured words-per-burst numerator. Two rates with equal
+    /// averages but different burst shapes (3/10 vs 6/20) behave
+    /// differently, so fingerprints need both raw terms.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// The configured cycles-per-burst denominator.
+    pub fn cycles(&self) -> u32 {
+        self.cycles
+    }
+
     /// Refill credit for one elapsed cycle.
     #[inline]
     pub fn tick(&mut self) {
@@ -318,6 +330,20 @@ impl NetworkConfig {
             queue_depth: 32,
         }
     }
+
+    /// Every field as a flat JSON object for result-cache fingerprints (see
+    /// [`MachineConfig::fingerprint_json`]).
+    pub fn fingerprint_json(&self) -> sa_telemetry::Json {
+        use sa_telemetry::Json;
+        let mut o = Json::obj();
+        o.push(
+            "node_words_per_cycle",
+            Json::UInt(u64::from(self.node_words_per_cycle)),
+        );
+        o.push("hop_latency", Json::UInt(u64::from(self.hop_latency)));
+        o.push("queue_depth", Json::UInt(self.queue_depth as u64));
+        o
+    }
 }
 
 impl Default for NetworkConfig {
@@ -373,6 +399,77 @@ impl MachineConfig {
     /// Peak DRAM bandwidth in GB/s.
     pub fn dram_gbps(&self) -> f64 {
         self.dram.peak_gbps(self.ghz)
+    }
+
+    /// Every field of the configuration as one flat, insertion-ordered JSON
+    /// object — the result cache's config fingerprint.
+    ///
+    /// Unlike the reporting-oriented config block in stats documents (which
+    /// names only the commonly swept knobs), this covers *all* simulation
+    /// parameters: any field that can change output bytes must change the
+    /// fingerprint, or a stale cache entry would masquerade as a fresh run.
+    /// Keep this in sync when adding config fields.
+    pub fn fingerprint_json(&self) -> sa_telemetry::Json {
+        use sa_telemetry::Json;
+        let mut o = Json::obj();
+        o.push("ghz", Json::Num(self.ghz));
+        o.push("cache.banks", Json::UInt(self.cache.banks as u64));
+        o.push("cache.total_bytes", Json::UInt(self.cache.total_bytes));
+        o.push("cache.line_bytes", Json::UInt(self.cache.line_bytes));
+        o.push("cache.ways", Json::UInt(self.cache.ways as u64));
+        o.push(
+            "cache.mshrs_per_bank",
+            Json::UInt(self.cache.mshrs_per_bank as u64),
+        );
+        o.push(
+            "cache.targets_per_mshr",
+            Json::UInt(self.cache.targets_per_mshr as u64),
+        );
+        o.push(
+            "cache.hit_latency",
+            Json::UInt(u64::from(self.cache.hit_latency)),
+        );
+        o.push("sa.cs_entries", Json::UInt(self.sa.cs_entries as u64));
+        o.push("sa.fu_latency", Json::UInt(u64::from(self.sa.fu_latency)));
+        o.push("dram.channels", Json::UInt(self.dram.channels as u64));
+        o.push(
+            "dram.channel_rate.words",
+            Json::UInt(u64::from(self.dram.channel_rate.words())),
+        );
+        o.push(
+            "dram.channel_rate.cycles",
+            Json::UInt(u64::from(self.dram.channel_rate.cycles())),
+        );
+        o.push(
+            "dram.banks_per_channel",
+            Json::UInt(self.dram.banks_per_channel as u64),
+        );
+        o.push("dram.row_bytes", Json::UInt(self.dram.row_bytes));
+        o.push("dram.t_cas", Json::UInt(u64::from(self.dram.t_cas)));
+        o.push("dram.t_rc", Json::UInt(u64::from(self.dram.t_rc)));
+        o.push("dram.queue_depth", Json::UInt(self.dram.queue_depth as u64));
+        o.push("ag.count", Json::UInt(self.ag.count as u64));
+        o.push("ag.width", Json::UInt(u64::from(self.ag.width)));
+        o.push(
+            "ag.startup_cycles",
+            Json::UInt(u64::from(self.ag.startup_cycles)),
+        );
+        o.push("compute.clusters", Json::UInt(self.compute.clusters as u64));
+        o.push(
+            "compute.peak_flops_per_cycle",
+            Json::UInt(u64::from(self.compute.peak_flops_per_cycle)),
+        );
+        o.push(
+            "compute.srf_words_per_cycle",
+            Json::UInt(u64::from(self.compute.srf_words_per_cycle)),
+        );
+        o.push("compute.srf_bytes", Json::UInt(self.compute.srf_bytes));
+        o.push(
+            "compute.kernel_startup_cycles",
+            Json::UInt(u64::from(self.compute.kernel_startup_cycles)),
+        );
+        o.push("req_sample", Json::UInt(self.req_sample));
+        o
     }
 }
 

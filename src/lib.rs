@@ -30,6 +30,7 @@ pub mod session;
 
 pub use sa_core::{scatter_reference, NodeStats, RunResult, ScatterKernel};
 pub use sa_faults::{FaultPlan, ResilienceStats};
+pub use sa_memo::{Fingerprint, ResultCache};
 pub use sa_multinode::Topology;
 pub use sa_sim::{MachineConfig, NetworkConfig};
 pub use session::{Session, SessionBuilder, SessionReport, Telemetry, Workload};

@@ -25,11 +25,18 @@
 //! this session's machines (never through the process-wide default), so
 //! concurrent sessions with different plans do not interfere.
 
-use sa_core::{drive_scatter_probed, NodeMemSys, NodeStats, ScatterKernel};
+use std::sync::Arc;
+
+use sa_cache::CacheStats;
+use sa_core::{drive_scatter_probed, NodeMemSys, NodeStats, SaStats, ScatterKernel};
 use sa_faults::{FaultPlan, ResilienceStats};
+use sa_mem::DramStats;
+use sa_memo::{hash_f64s, hash_u64s, Fingerprint, ResultCache};
 use sa_multinode::{MultiNode, Topology};
-use sa_sim::{Addr, MachineConfig, NetworkConfig};
-use sa_telemetry::{global_progress, HostProfiler, Introspect, ProbeRecorder, Progress};
+use sa_sim::{Addr, MachineConfig, NetworkConfig, QueueStats};
+use sa_telemetry::{
+    global_progress, HostProfiler, Introspect, Json, OccupancyStats, ProbeRecorder, Progress,
+};
 
 /// What a [`Session`] simulates.
 #[derive(Clone, Debug)]
@@ -156,6 +163,301 @@ impl SessionReport {
         doc.push("metrics", registry.to_json());
         sa_telemetry::bottleneck_json(&doc)
     }
+
+    /// Serialize the complete report for the result cache.
+    ///
+    /// Exact: every field (including raw result bits and probe lines)
+    /// round-trips through [`SessionReport::from_json`] to an equal report,
+    /// so a cache hit reproduces the original run byte-for-byte. Note that
+    /// `skipped_cycles` is part of the payload: a hit replays the *cached*
+    /// run's fast-forward accounting, consistent with the byte-identity
+    /// contract that already holds only modulo `skipped_cycles`.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.push("cycles", Json::UInt(self.cycles));
+        doc.push("skipped_cycles", Json::UInt(self.skipped_cycles));
+        doc.push(
+            "node_stats",
+            Json::Arr(self.node_stats.iter().map(node_stats_json).collect()),
+        );
+        doc.push("resilience", resilience_json(&self.resilience));
+        doc.push(
+            "result",
+            Json::Arr(self.result.iter().map(|&w| Json::UInt(w)).collect()),
+        );
+        doc.push(
+            "fetched",
+            Json::Arr(
+                self.fetched
+                    .iter()
+                    .map(|&(a, v)| Json::Arr(vec![Json::UInt(a), Json::UInt(v)]))
+                    .collect(),
+            ),
+        );
+        doc.push(
+            "probe_lines",
+            Json::Arr(
+                self.probe_lines
+                    .iter()
+                    .map(|l| Json::Str(l.clone()))
+                    .collect(),
+            ),
+        );
+        doc.push("adds", Json::UInt(self.adds));
+        doc.push("sum_back_lines", Json::UInt(self.sum_back_lines));
+        doc
+    }
+
+    /// Rebuild a report serialized by [`SessionReport::to_json`].
+    pub fn from_json(doc: &Json) -> Result<SessionReport, String> {
+        let node_stats = doc
+            .get("node_stats")
+            .and_then(Json::as_arr)
+            .ok_or("report: missing 'node_stats'")?
+            .iter()
+            .map(node_stats_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let result = doc
+            .get("result")
+            .and_then(Json::as_arr)
+            .ok_or("report: missing 'result'")?
+            .iter()
+            .map(|w| w.as_u64().ok_or("report: non-u64 result word"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fetched = doc
+            .get("fetched")
+            .and_then(Json::as_arr)
+            .ok_or("report: missing 'fetched'")?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or("report: fetched entry is not a pair")?;
+                match (pair[0].as_u64(), pair[1].as_u64()) {
+                    (Some(a), Some(v)) => Ok((a, v)),
+                    _ => Err("report: non-u64 fetched pair".to_string()),
+                }
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let probe_lines = doc
+            .get("probe_lines")
+            .and_then(Json::as_arr)
+            .ok_or("report: missing 'probe_lines'")?
+            .iter()
+            .map(|l| {
+                l.as_str()
+                    .map(str::to_string)
+                    .ok_or("report: non-string probe line")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SessionReport {
+            cycles: get_u64(doc, "cycles")?,
+            skipped_cycles: get_u64(doc, "skipped_cycles")?,
+            node_stats,
+            resilience: resilience_from_json(
+                doc.get("resilience")
+                    .ok_or("report: missing 'resilience'")?,
+            )?,
+            result,
+            fetched,
+            probe_lines,
+            adds: get_u64(doc, "adds")?,
+            sum_back_lines: get_u64(doc, "sum_back_lines")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report (de)serialization helpers. Field lists mirror the stat structs in
+// their home crates; adding a field there without extending these fails the
+// session round-trip test, not silently.
+// ---------------------------------------------------------------------------
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing u64 field '{key}'"))
+}
+
+fn occ_json(o: &OccupancyStats) -> Json {
+    let mut j = Json::obj();
+    j.push("busy", Json::UInt(o.busy));
+    j.push("blocked", Json::UInt(o.blocked));
+    j.push("idle", Json::UInt(o.idle));
+    j.push("saturated", Json::UInt(o.saturated));
+    j
+}
+
+fn occ_from_json(doc: &Json) -> Result<OccupancyStats, String> {
+    Ok(OccupancyStats {
+        busy: get_u64(doc, "busy")?,
+        blocked: get_u64(doc, "blocked")?,
+        idle: get_u64(doc, "idle")?,
+        saturated: get_u64(doc, "saturated")?,
+    })
+}
+
+fn node_stats_json(ns: &NodeStats) -> Json {
+    let mut sa = Json::obj();
+    sa.push("accepted", Json::UInt(ns.sa.accepted));
+    sa.push("combined", Json::UInt(ns.sa.combined));
+    sa.push("reads_issued", Json::UInt(ns.sa.reads_issued));
+    sa.push("writes_issued", Json::UInt(ns.sa.writes_issued));
+    sa.push("chained", Json::UInt(ns.sa.chained));
+    sa.push("stalled_full", Json::UInt(ns.sa.stalled_full));
+    sa.push("fetch_ops", Json::UInt(ns.sa.fetch_ops));
+    sa.push("occupancy_integral", Json::UInt(ns.sa.occupancy_integral));
+    sa.push("occ", occ_json(&ns.sa.occ));
+
+    let mut cache = Json::obj();
+    cache.push("read_hits", Json::UInt(ns.cache.read_hits));
+    cache.push("read_misses", Json::UInt(ns.cache.read_misses));
+    cache.push("read_merges", Json::UInt(ns.cache.read_merges));
+    cache.push("write_hits", Json::UInt(ns.cache.write_hits));
+    cache.push("write_arounds", Json::UInt(ns.cache.write_arounds));
+    cache.push("write_merges", Json::UInt(ns.cache.write_merges));
+    cache.push("zero_allocs", Json::UInt(ns.cache.zero_allocs));
+    cache.push("evictions", Json::UInt(ns.cache.evictions));
+    cache.push("write_backs", Json::UInt(ns.cache.write_backs));
+    cache.push("sum_backs", Json::UInt(ns.cache.sum_backs));
+    cache.push("blocked", Json::UInt(ns.cache.blocked));
+    cache.push("mshr_full", Json::UInt(ns.cache.mshr_full));
+    cache.push("occ", occ_json(&ns.cache.occ));
+
+    let mut dram = Json::obj();
+    dram.push("reads", Json::UInt(ns.dram.reads));
+    dram.push("writes", Json::UInt(ns.dram.writes));
+    dram.push("row_hits", Json::UInt(ns.dram.row_hits));
+    dram.push("row_misses", Json::UInt(ns.dram.row_misses));
+    dram.push("words_transferred", Json::UInt(ns.dram.words_transferred));
+    dram.push("total_latency", Json::UInt(ns.dram.total_latency));
+    dram.push("occ", occ_json(&ns.dram.occ));
+
+    let q = &ns.bank_in;
+    let mut bank_in = Json::obj();
+    bank_in.push("enqueued", Json::UInt(q.enqueued));
+    bank_in.push("rejected", Json::UInt(q.rejected));
+    bank_in.push("peak_occupancy", Json::UInt(q.peak_occupancy));
+    bank_in.push("occ_sum", Json::UInt(q.occ_sum));
+    bank_in.push("capacity", Json::UInt(q.capacity));
+    bank_in.push(
+        "occ_hist",
+        Json::Arr(q.occ_hist.iter().map(|&c| Json::UInt(c)).collect()),
+    );
+    bank_in.push("created_at", Json::UInt(q.created_at));
+    bank_in.push("advanced_to", Json::UInt(q.advanced_to));
+    bank_in.push("occ_integral", Json::UInt(q.occ_integral));
+
+    let mut j = Json::obj();
+    j.push("sa", sa);
+    j.push("cache", cache);
+    j.push("dram", dram);
+    j.push("bank_in", bank_in);
+    j.push("resilience", resilience_json(&ns.resilience));
+    j
+}
+
+fn node_stats_from_json(doc: &Json) -> Result<NodeStats, String> {
+    let sa = doc.get("sa").ok_or("node_stats: missing 'sa'")?;
+    let cache = doc.get("cache").ok_or("node_stats: missing 'cache'")?;
+    let dram = doc.get("dram").ok_or("node_stats: missing 'dram'")?;
+    let bank_in = doc.get("bank_in").ok_or("node_stats: missing 'bank_in'")?;
+    let hist = bank_in
+        .get("occ_hist")
+        .and_then(Json::as_arr)
+        .ok_or("node_stats: missing 'occ_hist'")?;
+    let mut occ_hist = [0u64; 8];
+    if hist.len() != occ_hist.len() {
+        return Err("node_stats: occ_hist bucket count mismatch".into());
+    }
+    for (slot, bucket) in occ_hist.iter_mut().zip(hist) {
+        *slot = bucket
+            .as_u64()
+            .ok_or("node_stats: non-u64 occ_hist bucket")?;
+    }
+    Ok(NodeStats {
+        sa: SaStats {
+            accepted: get_u64(sa, "accepted")?,
+            combined: get_u64(sa, "combined")?,
+            reads_issued: get_u64(sa, "reads_issued")?,
+            writes_issued: get_u64(sa, "writes_issued")?,
+            chained: get_u64(sa, "chained")?,
+            stalled_full: get_u64(sa, "stalled_full")?,
+            fetch_ops: get_u64(sa, "fetch_ops")?,
+            occupancy_integral: get_u64(sa, "occupancy_integral")?,
+            occ: occ_from_json(sa.get("occ").ok_or("sa: missing 'occ'")?)?,
+        },
+        cache: CacheStats {
+            read_hits: get_u64(cache, "read_hits")?,
+            read_misses: get_u64(cache, "read_misses")?,
+            read_merges: get_u64(cache, "read_merges")?,
+            write_hits: get_u64(cache, "write_hits")?,
+            write_arounds: get_u64(cache, "write_arounds")?,
+            write_merges: get_u64(cache, "write_merges")?,
+            zero_allocs: get_u64(cache, "zero_allocs")?,
+            evictions: get_u64(cache, "evictions")?,
+            write_backs: get_u64(cache, "write_backs")?,
+            sum_backs: get_u64(cache, "sum_backs")?,
+            blocked: get_u64(cache, "blocked")?,
+            mshr_full: get_u64(cache, "mshr_full")?,
+            occ: occ_from_json(cache.get("occ").ok_or("cache: missing 'occ'")?)?,
+        },
+        dram: DramStats {
+            reads: get_u64(dram, "reads")?,
+            writes: get_u64(dram, "writes")?,
+            row_hits: get_u64(dram, "row_hits")?,
+            row_misses: get_u64(dram, "row_misses")?,
+            words_transferred: get_u64(dram, "words_transferred")?,
+            total_latency: get_u64(dram, "total_latency")?,
+            occ: occ_from_json(dram.get("occ").ok_or("dram: missing 'occ'")?)?,
+        },
+        bank_in: QueueStats {
+            enqueued: get_u64(bank_in, "enqueued")?,
+            rejected: get_u64(bank_in, "rejected")?,
+            peak_occupancy: get_u64(bank_in, "peak_occupancy")?,
+            occ_sum: get_u64(bank_in, "occ_sum")?,
+            capacity: get_u64(bank_in, "capacity")?,
+            occ_hist,
+            created_at: get_u64(bank_in, "created_at")?,
+            advanced_to: get_u64(bank_in, "advanced_to")?,
+            occ_integral: get_u64(bank_in, "occ_integral")?,
+        },
+        resilience: resilience_from_json(
+            doc.get("resilience")
+                .ok_or("node_stats: missing 'resilience'")?,
+        )?,
+    })
+}
+
+fn resilience_json(r: &ResilienceStats) -> Json {
+    let mut j = Json::obj();
+    j.push("ecc_corrected", Json::UInt(r.ecc_corrected));
+    j.push("ecc_detected", Json::UInt(r.ecc_detected));
+    j.push("ecc_uncorrected", Json::UInt(r.ecc_uncorrected));
+    j.push("mshr_replays", Json::UInt(r.mshr_replays));
+    j.push("net_nacks", Json::UInt(r.net_nacks));
+    j.push("net_dropped", Json::UInt(r.net_dropped));
+    j.push("net_recovered", Json::UInt(r.net_recovered));
+    j.push("net_retries", Json::UInt(r.net_retries));
+    j.push("cs_stalls", Json::UInt(r.cs_stalls));
+    j.push("cs_timeouts", Json::UInt(r.cs_timeouts));
+    j
+}
+
+fn resilience_from_json(doc: &Json) -> Result<ResilienceStats, String> {
+    Ok(ResilienceStats {
+        ecc_corrected: get_u64(doc, "ecc_corrected")?,
+        ecc_detected: get_u64(doc, "ecc_detected")?,
+        ecc_uncorrected: get_u64(doc, "ecc_uncorrected")?,
+        mshr_replays: get_u64(doc, "mshr_replays")?,
+        net_nacks: get_u64(doc, "net_nacks")?,
+        net_dropped: get_u64(doc, "net_dropped")?,
+        net_recovered: get_u64(doc, "net_recovered")?,
+        net_retries: get_u64(doc, "net_retries")?,
+        cs_stalls: get_u64(doc, "cs_stalls")?,
+        cs_timeouts: get_u64(doc, "cs_timeouts")?,
+    })
 }
 
 /// Staged configuration for a [`Session`]; see the module docs.
@@ -171,6 +473,7 @@ pub struct SessionBuilder {
     probe_interval: u64,
     progress: Option<Progress>,
     fetch: bool,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl SessionBuilder {
@@ -251,6 +554,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Memoize this session's run in `cache` (see `docs/PERFORMANCE.md`).
+    ///
+    /// Deterministic outputs make the cache *exact*: a hit returns a report
+    /// equal to what the simulation would produce, for zero simulated work.
+    /// The fingerprint covers every execution-relevant input (workload,
+    /// config, fault plan, fetch mode, telemetry cadences) and deliberately
+    /// excludes knobs the byte-identity contract proves irrelevant
+    /// (`step_threads`, `node_threads`, `fast_forward`, progress sinks).
+    /// `skipped_cycles` replays the cached run's value.
+    pub fn cache(mut self, cache: Arc<ResultCache>) -> SessionBuilder {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Validate the combination and produce a runnable [`Session`].
     ///
     /// # Errors
@@ -313,6 +630,7 @@ impl SessionBuilder {
             probe_interval: self.probe_interval,
             progress: self.progress,
             fetch: self.fetch,
+            cache: self.cache,
         })
     }
 }
@@ -330,12 +648,62 @@ pub struct Session {
     probe_interval: u64,
     progress: Option<Progress>,
     fetch: bool,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl Session {
     /// Start configuring a session.
     pub fn builder() -> SessionBuilder {
         SessionBuilder::default()
+    }
+
+    /// The canonical cache key for this session: every execution-relevant
+    /// input in a fixed field order, with large index/value arrays folded
+    /// in as SHA-256 digests. Execution-irrelevant knobs (thread counts,
+    /// fast-forward, progress sinks) are excluded — the byte-identity
+    /// contract proves they cannot change the report.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut fp = Fingerprint::new("session");
+        fp = match &self.workload {
+            Workload::Histogram { base_word, indices } => fp
+                .str("workload", "histogram")
+                .u64("base_word", *base_word)
+                .u64("n", indices.len() as u64)
+                .str("indices_sha256", &hash_u64s(indices)),
+            Workload::Scatter(kernel) => fp
+                .str("workload", "scatter")
+                .u64("base_word", kernel.base_word)
+                .str("kind", &format!("{:?}", kernel.kind))
+                .str("op", &format!("{:?}", kernel.op))
+                .u64("n", kernel.indices.len() as u64)
+                .str("indices_sha256", &hash_u64s(&kernel.indices))
+                .str("values_sha256", &hash_u64s(&kernel.values)),
+            Workload::MultiNode {
+                nodes,
+                network,
+                combining,
+                topology,
+                trace,
+                values,
+            } => fp
+                .str("workload", "multinode")
+                .u64("nodes", *nodes as u64)
+                .field("network", network.fingerprint_json())
+                .bool("combining", *combining)
+                .str("topology", &format!("{topology:?}"))
+                .u64("n", trace.len() as u64)
+                .str("trace_sha256", &hash_u64s(trace))
+                .str("values_sha256", &hash_f64s(values)),
+        };
+        fp = fp.field("config", self.config.fingerprint_json());
+        fp = match &self.faults {
+            Some(plan) => fp.field("faults", plan.to_json()),
+            None => fp.field("faults", Json::Null),
+        };
+        fp.u64("sample_interval", self.telemetry.sample_interval)
+            .u64("req_sample", self.telemetry.req_sample)
+            .u64("probe_interval", self.probe_interval)
+            .bool("fetch", self.fetch)
     }
 
     /// Run the workload to completion.
@@ -345,11 +713,32 @@ impl Session {
     /// fast-forward settings (modulo `skipped_cycles`, which is wall-clock
     /// accounting).
     ///
+    /// With a [`SessionBuilder::cache`] attached, a valid cached entry is
+    /// returned without simulating anything; a miss (or a corrupt/stale
+    /// entry, which is evicted) simulates and stores the result.
+    ///
     /// # Panics
     ///
     /// Panics if the simulated machine deadlocks (cycle-limit guard), which
     /// indicates a simulator bug, not bad input.
     pub fn run(self) -> SessionReport {
+        let Some(cache) = self.cache.clone() else {
+            return self.run_uncached();
+        };
+        let fp = self.fingerprint();
+        if let Some(report) = cache
+            .lookup(&fp)
+            .and_then(|payload| SessionReport::from_json(&payload).ok())
+        {
+            return report;
+        }
+        let report = self.run_uncached();
+        // A full disk degrades to "no cache", never to a failed run.
+        let _ = cache.store(&fp, &report.to_json());
+        report
+    }
+
+    fn run_uncached(self) -> SessionReport {
         match self.workload {
             Workload::Histogram {
                 base_word,
@@ -463,6 +852,111 @@ mod tests {
     #[test]
     fn builder_requires_a_workload() {
         assert!(Session::builder().build().unwrap_err().contains("workload"));
+    }
+
+    #[test]
+    fn report_json_round_trip_is_exact() {
+        let report = Session::builder()
+            .workload(Workload::Histogram {
+                base_word: 3,
+                indices: (0..700u64).map(|i| (i * 17) % 96).collect(),
+            })
+            .probe(256)
+            .fetch(true)
+            .build()
+            .expect("valid")
+            .run();
+        assert!(!report.probe_lines.is_empty());
+        assert!(!report.fetched.is_empty());
+        let doc = report.to_json();
+        let back = SessionReport::from_json(&doc).expect("round trip");
+        assert_eq!(back, report);
+        // And through actual bytes.
+        let reparsed = Json::parse(&doc.to_string_compact()).unwrap();
+        assert_eq!(SessionReport::from_json(&reparsed).unwrap(), report);
+    }
+
+    #[test]
+    fn cached_session_reproduces_the_run_without_simulating() {
+        let dir = std::env::temp_dir().join(format!("sa-session-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Arc::new(ResultCache::open(&dir).expect("cache dir"));
+        let build = || {
+            Session::builder()
+                .workload(Workload::MultiNode {
+                    nodes: 2,
+                    network: NetworkConfig::low(),
+                    combining: true,
+                    topology: Topology::Flat,
+                    trace: (0..400u64).map(|i| (i * 29) % 128).collect(),
+                    values: (0..400).map(|i| 0.5 + (i % 5) as f64).collect(),
+                })
+                .cache(Arc::clone(&cache))
+                .build()
+                .expect("valid")
+        };
+        let cold = build().run();
+        assert_eq!((cache.hits(), cache.misses(), cache.stores()), (0, 1, 1));
+        let warm = build().run();
+        assert_eq!(warm, cold, "a hit must reproduce the run exactly");
+        assert_eq!((cache.hits(), cache.misses(), cache.stores()), (1, 1, 1));
+        // Uncached run agrees byte-for-byte, proving the cache is exact.
+        let uncached = Session::builder()
+            .workload(Workload::MultiNode {
+                nodes: 2,
+                network: NetworkConfig::low(),
+                combining: true,
+                topology: Topology::Flat,
+                trace: (0..400u64).map(|i| (i * 29) % 128).collect(),
+                values: (0..400).map(|i| 0.5 + (i % 5) as f64).collect(),
+            })
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(uncached, cold);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_excludes_execution_irrelevant_knobs() {
+        let workload = Workload::Histogram {
+            base_word: 0,
+            indices: vec![1, 2, 3],
+        };
+        let base = Session::builder()
+            .workload(workload.clone())
+            .build()
+            .unwrap()
+            .fingerprint()
+            .digest();
+        let threaded = Session::builder()
+            .workload(workload.clone())
+            .step_threads(4)
+            .node_threads(4)
+            .fast_forward(false)
+            .build()
+            .unwrap()
+            .fingerprint()
+            .digest();
+        assert_eq!(base, threaded, "thread/ff knobs must not change the key");
+        let other = Session::builder()
+            .workload(Workload::Histogram {
+                base_word: 0,
+                indices: vec![1, 2, 4],
+            })
+            .build()
+            .unwrap()
+            .fingerprint()
+            .digest();
+        assert_ne!(base, other, "workload bytes must change the key");
+        let fetched = Session::builder()
+            .workload(workload)
+            .fetch(true)
+            .build()
+            .unwrap()
+            .fingerprint()
+            .digest();
+        assert_ne!(base, fetched, "fetch mode changes the report, so the key");
     }
 
     #[test]
