@@ -81,7 +81,22 @@ positional modes:
                                       (--dir DIR, else SA_CACHE_DIR, else
                                       .sa-cache; gc bound: --max-bytes N,
                                       default 1 GiB, LRU eviction)
+  mkspec histogram|multinode          print a sa-session-spec job file
+                                      (--n N --range R --seed S; multinode
+                                      adds --nodes N --net low|high
+                                      --combining on|off --topology
+                                      flat|hypercube)
+  submit <job.json>                   POST a job spec to a running serve
+                                      daemon (--addr HOST:PORT, --tenant T,
+                                      --out FILE, --stream); the cache/
+                                      simulated sidecar goes to stderr
+  serve stats|health|shutdown         query or stop a running serve daemon
+                                      (--addr HOST:PORT)
 ";
+
+/// Where `submit` / `serve` look for the daemon unless `--addr` says
+/// otherwise (the `serve` binary's default listen address).
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7411";
 
 /// Default `analyze cache gc` size bound: 1 GiB.
 const DEFAULT_GC_BYTES: u64 = 1 << 30;
@@ -540,14 +555,150 @@ const KNOWN_FLAGS: &[&str] = &[
     "quick",
     "dir",
     "max-bytes",
+    // mkspec
+    "n",
+    "range",
+    "seed",
+    "nodes",
+    "net",
+    "combining",
+    "topology",
+    // submit / serve client modes
+    "addr",
+    "tenant",
+    "out",
+    "stream",
 ];
 
 fn usage_exit(context: &str) -> ! {
-    if !context.is_empty() {
-        eprintln!("error: {context}\n");
+    sa_bench::usage_error(context, USAGE);
+}
+
+/// `analyze mkspec histogram|multinode`: print a ready-to-submit
+/// `sa-session-spec` job file, deterministically generated from `--seed`,
+/// so CI and examples never need to commit large index arrays.
+fn mkspec_mode(args: &Args) -> Result<(), String> {
+    let kind = match args.positional().get(1).map(String::as_str) {
+        Some(kind @ ("histogram" | "multinode")) => kind,
+        Some(other) => return Err(format!("unknown mkspec workload '{other}'")),
+        None => return Err("mkspec needs a workload: histogram | multinode".to_string()),
+    };
+    let n = args.get_or("n", 4096u64).map_err(|e| e.to_string())?;
+    let range = args
+        .get_or("range", 512u64)
+        .map_err(|e| e.to_string())?
+        .max(1);
+    let seed = args.get_or("seed", 1u64).map_err(|e| e.to_string())?;
+    let mut rng = Rng64::new(seed);
+    let indices: Vec<u64> = (0..n).map(|_| rng.next_u64() % range).collect();
+    let spec = match kind {
+        "histogram" => {
+            scatter_add_repro::SessionSpec::new(scatter_add_repro::Workload::Histogram {
+                base_word: 0,
+                indices,
+            })
+        }
+        _ => {
+            let nodes = args.get_or("nodes", 4usize).map_err(|e| e.to_string())?;
+            let net = match args
+                .choice("net", &["low", "high"], "low")
+                .map_err(|e| e.to_string())?
+            {
+                "high" => sa_sim::NetworkConfig::high(),
+                _ => sa_sim::NetworkConfig::low(),
+            };
+            let combining = args
+                .choice("combining", &["on", "off"], "on")
+                .map_err(|e| e.to_string())?
+                == "on";
+            let topology = match args
+                .choice("topology", &["flat", "hypercube"], "flat")
+                .map_err(|e| e.to_string())?
+            {
+                "hypercube" => scatter_add_repro::Topology::Hypercube,
+                _ => scatter_add_repro::Topology::Flat,
+            };
+            // Eighths are exactly representable, so the values survive the
+            // spec's raw-bits round trip with pretty JSON untouched.
+            let values: Vec<f64> = (0..n)
+                .map(|_| (rng.next_u64() % 1000) as f64 / 8.0)
+                .collect();
+            scatter_add_repro::SessionSpec::new(scatter_add_repro::Workload::MultiNode {
+                nodes,
+                network: net,
+                combining,
+                topology,
+                trace: indices,
+                values,
+            })
+        }
+    };
+    println!("{}", spec.to_json().to_string_pretty());
+    Ok(())
+}
+
+/// `analyze submit <job.json>`: POST a spec to a serve daemon. The result
+/// body goes to stdout (or `--out FILE`); the cache/simulated sidecar and
+/// any streamed progress lines go to stderr so the body stays clean for
+/// byte-identity checks.
+fn submit_mode(args: &Args) -> Result<(), String> {
+    let Some(path) = args.positional().get(1) else {
+        return Err("submit needs a job file path".to_string());
+    };
+    let spec_text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let addr = args.raw("addr").unwrap_or(DEFAULT_SERVE_ADDR);
+    let tenant = args.raw("tenant").unwrap_or("");
+    let mut print_line = |line: &str| eprintln!("{line}");
+    let on_line: Option<&mut dyn FnMut(&str)> = if args.has("stream") {
+        Some(&mut print_line)
+    } else {
+        None
+    };
+    let resp = sa_serve::client::submit(addr, &spec_text, tenant, on_line)?;
+    let cache = resp.header("x-sa-cache").unwrap_or("-");
+    let simulated = resp.header("x-sa-simulated").unwrap_or("-");
+    eprintln!(
+        "submit: status={} cache={cache} simulated={simulated}",
+        resp.status
+    );
+    if resp.status != 200 {
+        return Err(format!(
+            "server answered {}: {}",
+            resp.status,
+            resp.body.trim()
+        ));
     }
-    eprint!("{USAGE}");
-    std::process::exit(2);
+    match args.raw("out") {
+        Some(out) => {
+            let mut body = resp.body;
+            if !body.ends_with('\n') {
+                body.push('\n');
+            }
+            std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
+        }
+        None => println!("{}", resp.body.trim_end()),
+    }
+    Ok(())
+}
+
+/// `analyze serve stats|health|shutdown`: query or stop a running daemon.
+fn serve_mode(args: &Args) -> Result<(), String> {
+    let addr = args.raw("addr").unwrap_or(DEFAULT_SERVE_ADDR);
+    let resp = match args.positional().get(1).map(String::as_str) {
+        Some("stats") => sa_serve::client::stats(addr)?,
+        Some("health") => sa_serve::client::health(addr)?,
+        Some("shutdown") => sa_serve::client::shutdown(addr)?,
+        Some(other) => return Err(format!("unknown serve subcommand '{other}'")),
+        None => return Err("serve mode needs a subcommand: stats | health | shutdown".to_string()),
+    };
+    print!("{}", resp.body);
+    if !resp.body.ends_with('\n') {
+        println!();
+    }
+    if resp.status != 200 {
+        return Err(format!("server answered {}", resp.status));
+    }
+    Ok(())
 }
 
 fn main() {
@@ -625,6 +776,35 @@ fn main() {
                 },
             };
             if let Err(e) = trend_mode(n) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("mkspec") => {
+            // Everything that can go wrong here is a command-line problem.
+            if let Err(e) = mkspec_mode(&args) {
+                usage_exit(&e);
+            }
+        }
+        Some("submit") => {
+            if args.positional().get(1).is_none() {
+                usage_exit("submit needs a job file path");
+            }
+            if let Err(e) = submit_mode(&args) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("serve") => {
+            match args.positional().get(1).map(String::as_str) {
+                Some("stats" | "health" | "shutdown") => {}
+                Some(other) => {
+                    let other = other.to_owned();
+                    usage_exit(&format!("unknown serve subcommand '{other}'"));
+                }
+                None => usage_exit("serve mode needs a subcommand: stats | health | shutdown"),
+            }
+            if let Err(e) = serve_mode(&args) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }

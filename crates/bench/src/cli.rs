@@ -29,6 +29,9 @@
 //!   to [`DEFAULT_PROBE_INTERVAL`] while listening, otherwise 0/off)
 //! - `--host-profile` — collect host wall-clock phase attribution into the
 //!   nondeterministic `host_profile` stats sidecar
+//! - `--spec JOB.json` — run a serialized `SessionSpec` job instead of
+//!   the binary's built-in experiment (see [`crate::specrun`] and
+//!   `docs/SERVING.md`); handled here so every figure binary gets it
 //! - `--cache[=DIR]` / `--cache DIR` — content-addressed result cache for
 //!   sweep points and the canonical run (see `docs/PERFORMANCE.md`); a bare
 //!   `--cache` uses `SA_CACHE_DIR` or `.sa-cache`, and setting the
@@ -104,9 +107,19 @@ impl Cli {
     }
 
     /// Parse pre-collected arguments and install the process-wide defaults.
+    ///
+    /// When `--spec JOB.json` is among them the binary's own experiment is
+    /// skipped entirely: the serialized session runs through
+    /// [`crate::specrun`] and the process exits (status 0, or 2 on a
+    /// malformed spec — the shared usage convention).
     pub fn from_args(args: Args) -> Cli {
         match Cli::try_from_args(args) {
-            Ok(cli) => cli,
+            Ok(cli) => {
+                if cli.args().has("spec") || cli.args().raw("spec").is_some() {
+                    crate::specrun::run_and_exit(&cli);
+                }
+                cli
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);

@@ -74,6 +74,18 @@ pub fn ratio(a: u64, b: u64) -> String {
     }
 }
 
+/// The one usage-error convention every binary shares: `error: <context>`
+/// on stderr, then the caller's usage block, then exit status 2. Data and
+/// I/O failures exit 1 instead — status 2 always means "fix the command
+/// line / job spec".
+pub fn usage_error(context: &str, usage: &str) -> ! {
+    if !context.is_empty() {
+        eprintln!("error: {context}\n");
+    }
+    eprint!("{usage}");
+    std::process::exit(2);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +103,6 @@ mod tests {
 pub mod args;
 pub mod cli;
 pub mod diff;
+pub mod specrun;
 pub mod sweep;
 pub mod telemetry;

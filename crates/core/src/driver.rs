@@ -17,7 +17,7 @@ use crate::node::{NodeMemSys, NodeStats};
 
 /// A data-parallel scatter operation: `a[b[i]] ∘= c[i]` for all `i`
 /// (the paper's `scatterAdd(a, b, c)` with `a` starting at `base_word`).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScatterKernel {
     /// First word index of the target array `a`.
     pub base_word: u64,

@@ -246,6 +246,16 @@ impl Fingerprint {
         Fingerprint { key }
     }
 
+    /// A fingerprint whose entire content is one canonical JSON payload —
+    /// the spec-first key shape: `Fingerprint::for_payload("session",
+    /// spec.canonical_json())` makes the serialized job description *be*
+    /// the cache key (plus the usual schema/version salts), so any two
+    /// routes that produce the same canonical spec (builder chain, spec
+    /// file, HTTP job body) hit the same entry by construction.
+    pub fn for_payload(kind: &str, payload: Json) -> Fingerprint {
+        Fingerprint::new(kind).field("spec", payload)
+    }
+
     /// Append an arbitrary JSON field.
     pub fn field(mut self, name: &str, value: Json) -> Fingerprint {
         self.key.push(name, value);

@@ -1,0 +1,194 @@
+//! A small blocking HTTP client for talking to an `sa-serve` daemon — used
+//! by `analyze submit` / `analyze serve` and the CI smoke job, and handy
+//! for tests. Connections retry briefly so a freshly forked daemon has time
+//! to bind.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How many times [`connect`] retries before giving up.
+const CONNECT_ATTEMPTS: u32 = 40;
+/// Pause between connection attempts.
+const CONNECT_BACKOFF: Duration = Duration::from_millis(250);
+
+/// One parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body. For streaming submissions this is the final NDJSON
+    /// line (the result document).
+    pub body: String,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Connect to `addr`, retrying for ~10 s to ride out daemon startup.
+pub fn connect(addr: &str) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for attempt in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e.to_string(),
+        }
+        if attempt + 1 < CONNECT_ATTEMPTS {
+            std::thread::sleep(CONNECT_BACKOFF);
+        }
+    }
+    Err(format!("could not connect to {addr}: {last}"))
+}
+
+/// Issue one request and read the whole response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> Result<Response, String> {
+    let mut stream = connect(addr)?;
+    write_request(&mut stream, addr, method, path, headers, body)?;
+    let raw = read_all(&mut stream)?;
+    let (status, resp_headers, payload) = split_response(&raw)?;
+    Ok(Response {
+        status,
+        headers: resp_headers,
+        body: payload,
+    })
+}
+
+/// Submit a job spec. `tenant` becomes the `X-SA-Tenant` header when
+/// non-empty. With `on_line` set the submission streams: every NDJSON line
+/// before the final result document is passed to the callback.
+pub fn submit(
+    addr: &str,
+    spec_text: &str,
+    tenant: &str,
+    mut on_line: Option<&mut dyn FnMut(&str)>,
+) -> Result<Response, String> {
+    let mut headers: Vec<(&str, &str)> = vec![("Content-Type", "application/json")];
+    if !tenant.is_empty() {
+        headers.push(("X-SA-Tenant", tenant));
+    }
+    if on_line.is_some() {
+        headers.push(("X-SA-Stream", "progress"));
+    }
+    let mut stream = connect(addr)?;
+    write_request(
+        &mut stream,
+        addr,
+        "POST",
+        "/v1/jobs",
+        &headers,
+        Some(spec_text),
+    )?;
+    let raw = read_all(&mut stream)?;
+    let (status, resp_headers, payload) = split_response(&raw)?;
+    let is_ndjson = resp_headers
+        .iter()
+        .any(|(k, v)| k.eq_ignore_ascii_case("content-type") && v.contains("ndjson"));
+    if !is_ndjson {
+        return Ok(Response {
+            status,
+            headers: resp_headers,
+            body: payload,
+        });
+    }
+    // Streamed response: the last non-empty line is the result document.
+    let mut result_line = String::new();
+    for line in payload.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !result_line.is_empty() {
+            if let Some(cb) = on_line.as_deref_mut() {
+                cb(&result_line);
+            }
+        }
+        result_line = line.to_string();
+    }
+    Ok(Response {
+        status,
+        headers: resp_headers,
+        body: result_line,
+    })
+}
+
+/// `GET /v1/stats`.
+pub fn stats(addr: &str) -> Result<Response, String> {
+    request(addr, "GET", "/v1/stats", &[], None)
+}
+
+/// `GET /healthz`.
+pub fn health(addr: &str) -> Result<Response, String> {
+    request(addr, "GET", "/healthz", &[], None)
+}
+
+/// `POST /v1/shutdown`.
+pub fn shutdown(addr: &str) -> Result<Response, String> {
+    request(addr, "POST", "/v1/shutdown", &[], None)
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> Result<(), String> {
+    let body = body.unwrap_or("");
+    let mut text = format!("{method} {path} HTTP/1.1\r\n");
+    text.push_str(&format!("Host: {addr}\r\n"));
+    for (k, v) in headers {
+        text.push_str(&format!("{k}: {v}\r\n"));
+    }
+    text.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    text.push_str("Connection: close\r\n\r\n");
+    text.push_str(body);
+    stream
+        .write_all(text.as_bytes())
+        .map_err(|e| format!("send failed: {e}"))
+}
+
+fn read_all(stream: &mut TcpStream) -> Result<String, String> {
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read failed: {e}"))?;
+    String::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())
+}
+
+/// Status code, headers, body.
+type ResponseParts = (u16, Vec<(String, String)>, String);
+
+fn split_response(raw: &str) -> Result<ResponseParts, String> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("malformed response: no header terminator")?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    Ok((status, headers, body.to_string()))
+}

@@ -344,6 +344,83 @@ impl NetworkConfig {
         o.push("queue_depth", Json::UInt(self.queue_depth as u64));
         o
     }
+
+    /// Parse the object written by [`NetworkConfig::fingerprint_json`].
+    ///
+    /// Strict: every field is required and unknown keys are rejected, so a
+    /// typo in a job spec fails loudly instead of silently meaning "default".
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing, mistyped, or unknown key.
+    pub fn from_fingerprint_json(doc: &sa_telemetry::Json) -> Result<NetworkConfig, String> {
+        let mut fields = FieldReader::new("network", doc)?;
+        let cfg = NetworkConfig {
+            node_words_per_cycle: fields.u32("node_words_per_cycle")?,
+            hop_latency: fields.u32("hop_latency")?,
+            queue_depth: fields.usize("queue_depth")?,
+        };
+        fields.finish()?;
+        Ok(cfg)
+    }
+}
+
+/// Strict reader for the flat fingerprint objects: every key must be
+/// consumed exactly once, and leftovers are an error.
+struct FieldReader<'a> {
+    what: &'static str,
+    pairs: &'a [(String, sa_telemetry::Json)],
+    seen: Vec<&'a str>,
+}
+
+impl<'a> FieldReader<'a> {
+    fn new(what: &'static str, doc: &'a sa_telemetry::Json) -> Result<FieldReader<'a>, String> {
+        let pairs = doc
+            .as_obj()
+            .ok_or_else(|| format!("{what}: not a JSON object"))?;
+        Ok(FieldReader {
+            what,
+            pairs,
+            seen: Vec::new(),
+        })
+    }
+
+    fn u64(&mut self, key: &'a str) -> Result<u64, String> {
+        self.seen.push(key);
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_u64())
+            .ok_or_else(|| format!("{}: missing or non-integer field '{key}'", self.what))
+    }
+
+    fn u32(&mut self, key: &'a str) -> Result<u32, String> {
+        let v = self.u64(key)?;
+        u32::try_from(v).map_err(|_| format!("{}: field '{key}' out of range", self.what))
+    }
+
+    fn usize(&mut self, key: &'a str) -> Result<usize, String> {
+        let v = self.u64(key)?;
+        usize::try_from(v).map_err(|_| format!("{}: field '{key}' out of range", self.what))
+    }
+
+    fn f64(&mut self, key: &'a str) -> Result<f64, String> {
+        self.seen.push(key);
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+            .ok_or_else(|| format!("{}: missing or non-numeric field '{key}'", self.what))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        for (k, _) in self.pairs {
+            if !self.seen.contains(&k.as_str()) {
+                return Err(format!("{}: unknown field '{k}'", self.what));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for NetworkConfig {
@@ -470,6 +547,67 @@ impl MachineConfig {
         );
         o.push("req_sample", Json::UInt(self.req_sample));
         o
+    }
+
+    /// Parse the object written by [`MachineConfig::fingerprint_json`] — the
+    /// machine half of a serialized session spec.
+    ///
+    /// Strict by the same rule as the writer's "any field that can change
+    /// output bytes must change the fingerprint": every field is required
+    /// and unknown keys are rejected, so specs cannot drift out of sync with
+    /// the config struct silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing, mistyped, out-of-range,
+    /// or unknown key.
+    pub fn from_fingerprint_json(doc: &sa_telemetry::Json) -> Result<MachineConfig, String> {
+        let mut f = FieldReader::new("config", doc)?;
+        let rate_words = f.u32("dram.channel_rate.words")?;
+        let rate_cycles = f.u32("dram.channel_rate.cycles")?;
+        if rate_words == 0 || rate_cycles == 0 {
+            return Err("config: dram.channel_rate terms must be positive".into());
+        }
+        let cfg = MachineConfig {
+            ghz: f.f64("ghz")?,
+            cache: CacheConfig {
+                banks: f.usize("cache.banks")?,
+                total_bytes: f.u64("cache.total_bytes")?,
+                line_bytes: f.u64("cache.line_bytes")?,
+                ways: f.usize("cache.ways")?,
+                mshrs_per_bank: f.usize("cache.mshrs_per_bank")?,
+                targets_per_mshr: f.usize("cache.targets_per_mshr")?,
+                hit_latency: f.u32("cache.hit_latency")?,
+            },
+            sa: SaUnitConfig {
+                cs_entries: f.usize("sa.cs_entries")?,
+                fu_latency: f.u32("sa.fu_latency")?,
+            },
+            dram: DramConfig {
+                channels: f.usize("dram.channels")?,
+                channel_rate: Throughput::new(rate_words, rate_cycles),
+                banks_per_channel: f.usize("dram.banks_per_channel")?,
+                row_bytes: f.u64("dram.row_bytes")?,
+                t_cas: f.u32("dram.t_cas")?,
+                t_rc: f.u32("dram.t_rc")?,
+                queue_depth: f.usize("dram.queue_depth")?,
+            },
+            ag: AgConfig {
+                count: f.usize("ag.count")?,
+                width: f.u32("ag.width")?,
+                startup_cycles: f.u32("ag.startup_cycles")?,
+            },
+            compute: ComputeConfig {
+                clusters: f.usize("compute.clusters")?,
+                peak_flops_per_cycle: f.u32("compute.peak_flops_per_cycle")?,
+                srf_words_per_cycle: f.u32("compute.srf_words_per_cycle")?,
+                srf_bytes: f.u64("compute.srf_bytes")?,
+                kernel_startup_cycles: f.u32("compute.kernel_startup_cycles")?,
+            },
+            req_sample: f.u64("req_sample")?,
+        };
+        f.finish()?;
+        Ok(cfg)
     }
 }
 

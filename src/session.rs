@@ -31,7 +31,7 @@ use sa_cache::CacheStats;
 use sa_core::{drive_scatter_probed, NodeMemSys, NodeStats, SaStats, ScatterKernel};
 use sa_faults::{FaultPlan, ResilienceStats};
 use sa_mem::DramStats;
-use sa_memo::{hash_f64s, hash_u64s, Fingerprint, ResultCache};
+use sa_memo::{Fingerprint, ResultCache};
 use sa_multinode::{MultiNode, Topology};
 use sa_sim::{Addr, MachineConfig, NetworkConfig, QueueStats};
 use sa_telemetry::{
@@ -39,7 +39,7 @@ use sa_telemetry::{
 };
 
 /// What a [`Session`] simulates.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Workload {
     /// A histogram: every index contributes `+1` (integer scatter-add) to
     /// `base_word + index`.
@@ -69,7 +69,7 @@ pub enum Workload {
 }
 
 /// Telemetry knobs for a session (see `docs/OBSERVABILITY.md`).
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct Telemetry {
     /// Cycle-series sampling interval (0 disables sampling).
     pub sample_interval: u64,
@@ -657,53 +657,35 @@ impl Session {
         SessionBuilder::default()
     }
 
-    /// The canonical cache key for this session: every execution-relevant
-    /// input in a fixed field order, with large index/value arrays folded
-    /// in as SHA-256 digests. Execution-irrelevant knobs (thread counts,
-    /// fast-forward, progress sinks) are excluded — the byte-identity
-    /// contract proves they cannot change the report.
+    /// The serializable job description of this session: every field a
+    /// [`crate::SessionSpec`] names, reconstructed from the validated state.
+    /// Lossless: `session.spec().to_builder().build()` reproduces an
+    /// equivalent session, and the spec's canonical form is this session's
+    /// cache fingerprint input.
+    pub fn spec(&self) -> crate::SessionSpec {
+        crate::SessionSpec {
+            workload: self.workload.clone(),
+            config: self.config,
+            faults: self.faults.clone(),
+            telemetry: self.telemetry,
+            probe_interval: self.probe_interval,
+            fetch: self.fetch,
+            exec: crate::spec::ExecSpec {
+                step_threads: self.step_threads,
+                node_threads: self.node_threads,
+                fast_forward: self.fast_forward,
+            },
+        }
+    }
+
+    /// The canonical cache key for this session: the canonical JSON form of
+    /// [`Session::spec`] — every execution-relevant input in a fixed field
+    /// order, with large index/value arrays folded in as SHA-256 digests.
+    /// Execution-irrelevant knobs (thread counts, fast-forward, progress
+    /// sinks) are excluded — the byte-identity contract proves they cannot
+    /// change the report.
     pub fn fingerprint(&self) -> Fingerprint {
-        let mut fp = Fingerprint::new("session");
-        fp = match &self.workload {
-            Workload::Histogram { base_word, indices } => fp
-                .str("workload", "histogram")
-                .u64("base_word", *base_word)
-                .u64("n", indices.len() as u64)
-                .str("indices_sha256", &hash_u64s(indices)),
-            Workload::Scatter(kernel) => fp
-                .str("workload", "scatter")
-                .u64("base_word", kernel.base_word)
-                .str("kind", &format!("{:?}", kernel.kind))
-                .str("op", &format!("{:?}", kernel.op))
-                .u64("n", kernel.indices.len() as u64)
-                .str("indices_sha256", &hash_u64s(&kernel.indices))
-                .str("values_sha256", &hash_u64s(&kernel.values)),
-            Workload::MultiNode {
-                nodes,
-                network,
-                combining,
-                topology,
-                trace,
-                values,
-            } => fp
-                .str("workload", "multinode")
-                .u64("nodes", *nodes as u64)
-                .field("network", network.fingerprint_json())
-                .bool("combining", *combining)
-                .str("topology", &format!("{topology:?}"))
-                .u64("n", trace.len() as u64)
-                .str("trace_sha256", &hash_u64s(trace))
-                .str("values_sha256", &hash_f64s(values)),
-        };
-        fp = fp.field("config", self.config.fingerprint_json());
-        fp = match &self.faults {
-            Some(plan) => fp.field("faults", plan.to_json()),
-            None => fp.field("faults", Json::Null),
-        };
-        fp.u64("sample_interval", self.telemetry.sample_interval)
-            .u64("req_sample", self.telemetry.req_sample)
-            .u64("probe_interval", self.probe_interval)
-            .bool("fetch", self.fetch)
+        self.spec().fingerprint()
     }
 
     /// Run the workload to completion.
